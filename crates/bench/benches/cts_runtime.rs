@@ -1,0 +1,56 @@
+//! Criterion benchmarks for the runtime (RT) columns of Table III:
+//! our full flow versus the conventional OpenROAD-like + [2] flow, per
+//! design. The paper reports a 6.9x geometric-mean speed-up of `Ours` over
+//! `OpenROAD + [2]`; here both substrates are ours, so the comparison
+//! isolates the algorithmic cost of concurrent insertion versus
+//! synthesize-then-flip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dscts_core::baseline::{flip_backside, FlipMethod, HTreeCts};
+use dscts_core::DsCts;
+use dscts_netlist::BenchmarkSpec;
+use dscts_tech::Technology;
+use std::hint::black_box;
+
+fn bench_flows(c: &mut Criterion) {
+    let tech = Technology::asap7();
+    // C4 and C5 keep bench wall-time reasonable; table3 reports wall-clock
+    // for all five designs.
+    let designs = [
+        ("C4_riscv32i", BenchmarkSpec::c4_riscv32i().generate()),
+        ("C5_aes", BenchmarkSpec::c5_aes().generate()),
+    ];
+
+    let mut group = c.benchmark_group("cts_runtime");
+    group.sample_size(10);
+    for (id, design) in &designs {
+        group.bench_with_input(BenchmarkId::new("ours_full_flow", id), design, |b, d| {
+            let pipe = DsCts::new(tech.clone());
+            b.iter(|| black_box(pipe.run(d).metrics.latency_ps));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("openroad_like_plus_flip2", id),
+            design,
+            |b, d| {
+                b.iter(|| {
+                    let tree = HTreeCts::default().synthesize(d, &tech);
+                    let flipped = flip_backside(&tree, &tech, FlipMethod::Latency);
+                    black_box(
+                        flipped
+                            .tree
+                            .evaluate(&tech, dscts_core::EvalModel::Elmore)
+                            .latency_ps,
+                    )
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("our_bct_front_only", id), design, |b, d| {
+            let pipe = DsCts::new(tech.clone()).single_side(true);
+            b.iter(|| black_box(pipe.run(d).metrics.latency_ps));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

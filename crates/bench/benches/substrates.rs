@@ -1,0 +1,67 @@
+//! Microbenchmarks of the substrate algorithms: dual-level clustering,
+//! zero-skew DME, the concurrent DP, and the post-CTS flipper. These track
+//! where the pipeline's runtime goes and guard against regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dscts_cluster::DualHierarchy;
+use dscts_core::baseline::{flip_backside, FlipMethod};
+use dscts_core::{run_dp, DpConfig, DsCts, HierarchicalRouter};
+use dscts_netlist::BenchmarkSpec;
+use dscts_tech::Technology;
+use std::hint::black_box;
+
+fn bench_substrates(c: &mut Criterion) {
+    let tech = Technology::asap7();
+    let design = BenchmarkSpec::c4_riscv32i().generate();
+    let sinks = design.sink_positions();
+
+    c.bench_function("cluster/dual_level_1056_sinks", |b| {
+        b.iter(|| black_box(DualHierarchy::build(&sinks, 3000, 30, 7).sink_count()))
+    });
+
+    c.bench_function("dme/hierarchical_route_1056_sinks", |b| {
+        let router = HierarchicalRouter::new();
+        b.iter(|| black_box(router.route(&design, &tech).total_wirelength()))
+    });
+
+    let mut topo = HierarchicalRouter::new().route(&design, &tech);
+    topo.subdivide(40_000);
+    let mut group = c.benchmark_group("dp");
+    group.sample_size(20);
+    for (name, cfg) in [
+        ("latency_only", DpConfig::default()),
+        (
+            "multi_objective",
+            DpConfig {
+                prune: dscts_core::PruneMode::MultiObjective,
+                ..DpConfig::default()
+            },
+        ),
+        (
+            "single_side",
+            DpConfig {
+                single_side: true,
+                ..DpConfig::default()
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("run", name), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_dp(&topo, &tech, cfg).root_candidates.len()))
+        });
+    }
+    group.finish();
+
+    let bct = DsCts::new(tech.clone()).single_side(true).run(&design);
+    c.bench_function("flip/latency_driven", |b| {
+        b.iter(|| {
+            black_box(
+                flip_backside(&bct.tree, &tech, FlipMethod::Latency)
+                    .tree
+                    .inserted_ntsvs(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

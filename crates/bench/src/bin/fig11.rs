@@ -1,0 +1,71 @@
+//! Regenerates **Fig. 11**: effectiveness of skew refinement (SR).
+//!
+//! Runs the full double-side flow on C1–C5 with and without the skew
+//! refinement stage and reports latency / skew / buffer count for each —
+//! the three bar groups of the figure. The expected shape: skew drops
+//! substantially, latency and buffer count move negligibly.
+//!
+//! Run with `cargo run --release -p dscts-bench --bin fig11`.
+
+use dscts_bench::{all_designs, fmt_ps, write_csv, TextTable, DESIGN_IDS};
+use dscts_core::skew::SkewConfig;
+use dscts_core::DsCts;
+use dscts_tech::Technology;
+
+fn main() {
+    let tech = Technology::asap7();
+    let mut t = TextTable::new([
+        "Design",
+        "Latency w/o SR",
+        "Latency w/ SR",
+        "Skew w/o SR",
+        "Skew w/ SR",
+        "Buffers w/o SR",
+        "Buffers w/ SR",
+    ]);
+    let mut csv = Vec::new();
+    for (id, d) in DESIGN_IDS.iter().zip(all_designs()) {
+        let without = DsCts::new(tech.clone()).skew_refinement(None).run(&d);
+        let with = DsCts::new(tech.clone())
+            .skew_refinement(Some(SkewConfig {
+                // Force the pass so the figure shows the effect on every
+                // design (the paper's bars all change).
+                trigger_percent: 0.0,
+                ..SkewConfig::default()
+            }))
+            .run(&d);
+        t.row([
+            id.to_string(),
+            fmt_ps(without.metrics.latency_ps),
+            fmt_ps(with.metrics.latency_ps),
+            fmt_ps(without.metrics.skew_ps),
+            fmt_ps(with.metrics.skew_ps),
+            without.metrics.buffers.to_string(),
+            with.metrics.buffers.to_string(),
+        ]);
+        csv.push(vec![
+            id.to_string(),
+            fmt_ps(without.metrics.latency_ps),
+            fmt_ps(with.metrics.latency_ps),
+            fmt_ps(without.metrics.skew_ps),
+            fmt_ps(with.metrics.skew_ps),
+            without.metrics.buffers.to_string(),
+            with.metrics.buffers.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    let path = write_csv(
+        "fig11.csv",
+        &[
+            "design",
+            "latency_wo_sr",
+            "latency_w_sr",
+            "skew_wo_sr",
+            "skew_w_sr",
+            "buffers_wo_sr",
+            "buffers_w_sr",
+        ],
+        &csv,
+    );
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,132 @@
+//! Regenerates **Fig. 12**: DSE comparison of latency/skew versus
+//! insertion resources (#buffers + #nTSVs) on C3 (ethmac).
+//!
+//! Series:
+//! * **Our DSE flow** — fanout threshold swept 20..=1000 step 10 (§III-E);
+//! * **Our BCT + [7]** — the fanout-driven flipper swept over the same
+//!   thresholds on our front-side buffered tree;
+//! * **Our BCT + [6]** — the criticality-driven flipper swept q = 0.2..=0.9
+//!   step 0.05;
+//! * **Our BCT + [2]** and **Ours (Table III)** — single points.
+//!
+//! Pass `--quick` to coarsen the sweeps (step 100 / 0.2) for a fast look.
+//!
+//! Run with `cargo run --release -p dscts-bench --bin fig12`.
+
+use dscts_bench::{write_csv, TextTable};
+use dscts_core::baseline::{flip_backside, FlipMethod};
+use dscts_core::{dse, DsCts, EvalModel};
+use dscts_netlist::BenchmarkSpec;
+use dscts_tech::Technology;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let tech = Technology::asap7();
+    let design = BenchmarkSpec::c3_ethmac().generate();
+    let model = EvalModel::Elmore;
+    let fan_step = if quick { 100 } else { 10 };
+    let q_step = if quick { 0.2 } else { 0.05 };
+
+    let mut csv: Vec<Vec<String>> = Vec::new();
+    let mut push = |series: &str, x: u32, lat: f64, skew: f64| {
+        csv.push(vec![
+            series.to_owned(),
+            x.to_string(),
+            format!("{lat:.3}"),
+            format!("{skew:.3}"),
+        ]);
+    };
+
+    // --- Our DSE flow. ---
+    let base = DsCts::new(tech.clone());
+    let thresholds: Vec<u32> = (20..=1000).step_by(fan_step).collect();
+    eprintln!("sweeping {} DSE configurations...", thresholds.len());
+    let ours_sweep = dse::sweep_fanout(&base, &design, thresholds.iter().copied());
+    for p in &ours_sweep {
+        push("our_dse", p.resources(), p.latency_ps, p.skew_ps);
+    }
+
+    // --- Reference flows on our buffered clock tree. ---
+    let bct = DsCts::new(tech.clone()).single_side(true).run(&design);
+    let bm = &bct.metrics;
+    push("our_bct", bm.buffers + bm.ntsvs, bm.latency_ps, bm.skew_ps);
+
+    for t in (20..=1000).step_by(fan_step) {
+        let f = flip_backside(&bct.tree, &tech, FlipMethod::Fanout { threshold: t as u32 });
+        let m = f.tree.evaluate(&tech, model);
+        push("bct_fanout7", m.buffers + m.ntsvs, m.latency_ps, m.skew_ps);
+    }
+    let mut q = 0.2;
+    while q <= 0.9 + 1e-9 {
+        let f = flip_backside(&bct.tree, &tech, FlipMethod::Criticality { fraction: q });
+        let m = f.tree.evaluate(&tech, model);
+        push("bct_crit6", m.buffers + m.ntsvs, m.latency_ps, m.skew_ps);
+        q += q_step;
+    }
+    let f2 = flip_backside(&bct.tree, &tech, FlipMethod::Latency);
+    let m2 = f2.tree.evaluate(&tech, model);
+    push("bct_latency2", m2.buffers + m2.ntsvs, m2.latency_ps, m2.skew_ps);
+
+    let table3 = DsCts::new(tech.clone()).run(&design);
+    let tm = &table3.metrics;
+    push("ours_table3", tm.buffers + tm.ntsvs, tm.latency_ps, tm.skew_ps);
+
+    // --- Frontier summary. ---
+    let mut t = TextTable::new([
+        "Series",
+        "Points",
+        "Res range",
+        "Lat range (ps)",
+        "Skew range (ps)",
+        "Frontier pts (lat)",
+    ]);
+    for series in [
+        "our_dse",
+        "bct_fanout7",
+        "bct_crit6",
+        "bct_latency2",
+        "our_bct",
+        "ours_table3",
+    ] {
+        let pts: Vec<(f64, f64, f64)> = csv
+            .iter()
+            .filter(|r| r[0] == series)
+            .map(|r| {
+                (
+                    r[1].parse::<f64>().unwrap(),
+                    r[2].parse::<f64>().unwrap(),
+                    r[3].parse::<f64>().unwrap(),
+                )
+            })
+            .collect();
+        if pts.is_empty() {
+            continue;
+        }
+        let range = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
+            let lo = pts.iter().map(|p| f(p)).fold(f64::INFINITY, f64::min);
+            let hi = pts.iter().map(|p| f(p)).fold(f64::NEG_INFINITY, f64::max);
+            format!("{lo:.1}..{hi:.1}")
+        };
+        let frontier = dse::pareto_frontier(&pts, |p| (p.0, p.1));
+        t.row([
+            series.to_owned(),
+            pts.len().to_string(),
+            range(&|p: &(f64, f64, f64)| p.0),
+            range(&|p: &(f64, f64, f64)| p.1),
+            range(&|p: &(f64, f64, f64)| p.2),
+            frontier.len().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Fig. 12 shape: the flipper sweeps stay pinned near the buffered tree's\n\
+         latency/skew, while the DSE sweep reaches far lower latency by trading\n\
+         resources — only concurrent insertion opens that region.\n"
+    );
+    let path = write_csv(
+        "fig12.csv",
+        &["series", "resources", "latency_ps", "skew_ps"],
+        &csv,
+    );
+    println!("Series written to {}", path.display());
+}

@@ -1,0 +1,39 @@
+//! Regenerates **Fig. 8**: the adaptive scale factor `t` versus
+//! `N / 10 000`, plus the resulting end-point budgets for the five
+//! benchmark designs.
+//!
+//! Run with `cargo run -p dscts-bench --bin fig8`.
+
+use dscts_bench::{write_csv, TextTable};
+use dscts_core::skew::{endpoint_budget, scale_factor};
+use dscts_netlist::BenchmarkSpec;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut t = TextTable::new(["N/10000", "t"]);
+    let mut x = 0.0f64;
+    while x <= 1.2 + 1e-9 {
+        let n = (x * 10_000.0).round() as usize;
+        let tf = scale_factor(n);
+        t.row([format!("{x:.2}"), format!("{tf:.4}")]);
+        rows.push(vec![format!("{x:.2}"), format!("{tf:.6}")]);
+        x += 0.05;
+    }
+    println!("{}", t.render());
+    let path = write_csv("fig8.csv", &["n_over_10000", "t"], &rows);
+    println!("CSV written to {}\n", path.display());
+
+    let mut t = TextTable::new(["Design", "N", "t(N)", "n = min(N*t, 33)"]);
+    for (id, spec) in ["C1", "C2", "C3", "C4", "C5"]
+        .iter()
+        .zip(BenchmarkSpec::all())
+    {
+        t.row([
+            id.to_string(),
+            spec.num_ffs.to_string(),
+            format!("{:.4}", scale_factor(spec.num_ffs)),
+            endpoint_budget(spec.num_ffs, 33).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}

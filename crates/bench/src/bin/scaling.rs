@@ -1,0 +1,68 @@
+//! Scaling study (beyond the paper): how latency, skew, resources, clock
+//! power and runtime scale with sink count for the three principal flows.
+//! Complements the RT columns of Table III by showing the near-linear
+//! runtime growth of the concurrent DP.
+//!
+//! Run with `cargo run --release -p dscts-bench --bin scaling`.
+
+use dscts_bench::{write_csv, TextTable};
+use dscts_core::baseline::{flip_backside, FlipMethod, HTreeCts};
+use dscts_core::{DsCts, EvalModel};
+use dscts_netlist::BenchmarkSpec;
+use dscts_tech::Technology;
+use std::time::Instant;
+
+fn main() {
+    let tech = Technology::asap7();
+    let mut table = TextTable::new([
+        "Sinks", "Flow", "Latency(ps)", "Skew(ps)", "Buf+nTSV", "Power@2GHz(uW)", "RT(s)",
+    ]);
+    let mut csv = Vec::new();
+    for ffs in [250usize, 1_000, 4_000, 16_000] {
+        let mut spec = BenchmarkSpec::c4_riscv32i();
+        spec.name = format!("scale-{ffs}");
+        spec.num_ffs = ffs;
+        spec.num_cells = ffs * 11;
+        spec.seed = 42;
+        let design = spec.generate();
+
+        // Ours.
+        let o = DsCts::new(tech.clone()).run(&design);
+        let mut emit = |flow: &str, m: &dscts_core::TreeMetrics, rt: f64| {
+            let row = vec![
+                ffs.to_string(),
+                flow.to_owned(),
+                format!("{:.2}", m.latency_ps),
+                format!("{:.2}", m.skew_ps),
+                (m.buffers + m.ntsvs).to_string(),
+                format!("{:.1}", m.clock_power_uw(0.7, 2.0)),
+                format!("{rt:.4}"),
+            ];
+            table.row(row.clone());
+            csv.push(row);
+        };
+        emit("ours", &o.metrics, o.runtime_s);
+
+        // Front-only.
+        let f = DsCts::new(tech.clone()).single_side(true).run(&design);
+        emit("front-only", &f.metrics, f.runtime_s);
+
+        // Conventional flow.
+        let t0 = Instant::now();
+        let htree = HTreeCts::default().synthesize(&design, &tech);
+        let flipped = flip_backside(&htree, &tech, FlipMethod::Latency);
+        let rt = t0.elapsed().as_secs_f64();
+        emit(
+            "openroad-like+[2]",
+            &flipped.tree.evaluate(&tech, EvalModel::Elmore),
+            rt,
+        );
+    }
+    println!("{}", table.render());
+    let path = write_csv(
+        "scaling.csv",
+        &["sinks", "flow", "latency_ps", "skew_ps", "resources", "power_uw", "rt_s"],
+        &csv,
+    );
+    println!("CSV written to {}", path.display());
+}

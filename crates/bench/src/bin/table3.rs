@@ -1,0 +1,191 @@
+//! Regenerates **Table III**: the main comparison against recent studies.
+//!
+//! Upper block: the OpenROAD-like buffered clock tree, that tree with the
+//! latency-driven back-side flip of [2], and our full flow. Lower block:
+//! our front-side buffered tree and the three post-CTS flipping methods
+//! ([2], [7] fanout = 100, [6] q = 0.5) applied to it. The final row of
+//! each block is the geometric-mean ratio versus `Ours`, matching the
+//! paper's "Ratio" row.
+//!
+//! Run with `cargo run --release -p dscts-bench --bin table3`.
+
+use dscts_bench::{all_designs, fmt_ps, fmt_wl, geomean, write_csv, TextTable, DESIGN_IDS};
+use dscts_core::baseline::{flip_backside, FlipMethod, HTreeCts};
+use dscts_core::{DsCts, EvalModel, TreeMetrics};
+use dscts_tech::Technology;
+use std::time::Instant;
+
+struct FlowRow {
+    metrics: TreeMetrics,
+    runtime_s: f64,
+}
+
+fn main() {
+    let tech = Technology::asap7();
+    let designs = all_designs();
+    let model = EvalModel::Elmore;
+
+    println!("Reproducing Table III (5 designs x 7 flows); this takes a minute in --release...\n");
+
+    let mut openroad = Vec::new();
+    let mut openroad2 = Vec::new();
+    let mut ours = Vec::new();
+    let mut our_bct = Vec::new();
+    let mut bct2 = Vec::new();
+    let mut bct7 = Vec::new();
+    let mut bct6 = Vec::new();
+
+    for d in &designs {
+        // OpenROAD-like buffered clock tree (front side).
+        let t0 = Instant::now();
+        let htree = HTreeCts::default().synthesize(d, &tech);
+        let htree_rt = t0.elapsed().as_secs_f64();
+        openroad.push(FlowRow {
+            metrics: htree.evaluate(&tech, model),
+            runtime_s: htree_rt,
+        });
+        // + [2] latency-driven flip.
+        let t0 = Instant::now();
+        let flip = flip_backside(&htree, &tech, FlipMethod::Latency);
+        openroad2.push(FlowRow {
+            metrics: flip.tree.evaluate(&tech, model),
+            runtime_s: htree_rt + t0.elapsed().as_secs_f64(),
+        });
+        // Ours (all edges full mode, Table III configuration).
+        let o = DsCts::new(tech.clone()).run(d);
+        ours.push(FlowRow {
+            metrics: o.metrics.clone(),
+            runtime_s: o.runtime_s,
+        });
+        // Our buffered clock tree (front side only).
+        let b = DsCts::new(tech.clone()).single_side(true).run(d);
+        let bct_tree = b.tree.clone();
+        our_bct.push(FlowRow {
+            metrics: b.metrics.clone(),
+            runtime_s: b.runtime_s,
+        });
+        for (method, bucket) in [
+            (FlipMethod::Latency, &mut bct2),
+            (FlipMethod::Fanout { threshold: 100 }, &mut bct7),
+            (FlipMethod::Criticality { fraction: 0.5 }, &mut bct6),
+        ] {
+            let t0 = Instant::now();
+            let f = flip_backside(&bct_tree, &tech, method);
+            bucket.push(FlowRow {
+                metrics: f.tree.evaluate(&tech, model),
+                runtime_s: b.runtime_s + t0.elapsed().as_secs_f64(),
+            });
+        }
+    }
+
+    // ---- Upper block. ----
+    let mut t = TextTable::new([
+        "Design", "Flow", "Latency(ps)", "Skew(ps)", "Buffers", "ClkWL(e6)", "nTSVs", "RT(s)",
+    ]);
+    let mut csv_rows = Vec::new();
+    for (i, id) in DESIGN_IDS.iter().enumerate() {
+        for (name, row) in [
+            ("OpenROAD BCT", &openroad[i]),
+            ("OpenROAD+[2]", &openroad2[i]),
+            ("Ours", &ours[i]),
+        ] {
+            push_row(&mut t, &mut csv_rows, id, name, row);
+        }
+    }
+    ratio_rows(&mut t, &[("OpenROAD BCT", &openroad), ("OpenROAD+[2]", &openroad2)], &ours);
+    println!("{}", t.render());
+
+    // ---- Lower block. ----
+    let mut t = TextTable::new([
+        "Design", "Flow", "Latency(ps)", "Skew(ps)", "Buffers", "ClkWL(e6)", "nTSVs", "RT(s)",
+    ]);
+    for (i, id) in DESIGN_IDS.iter().enumerate() {
+        for (name, row) in [
+            ("Our BCT", &our_bct[i]),
+            ("Our BCT+[2]", &bct2[i]),
+            ("Our BCT+[7]", &bct7[i]),
+            ("Our BCT+[6]", &bct6[i]),
+        ] {
+            push_row(&mut t, &mut csv_rows, id, name, row);
+        }
+    }
+    ratio_rows(
+        &mut t,
+        &[
+            ("Our BCT", &our_bct),
+            ("Our BCT+[2]", &bct2),
+            ("Our BCT+[7]", &bct7),
+            ("Our BCT+[6]", &bct6),
+        ],
+        &ours,
+    );
+    println!("{}", t.render());
+
+    let path = write_csv(
+        "table3.csv",
+        &[
+            "design", "flow", "latency_ps", "skew_ps", "buffers", "clk_wl_e6nm", "ntsvs", "rt_s",
+        ],
+        &csv_rows,
+    );
+    println!("CSV written to {}", path.display());
+}
+
+fn push_row(t: &mut TextTable, csv: &mut Vec<Vec<String>>, id: &str, flow: &str, row: &FlowRow) {
+    let m = &row.metrics;
+    t.row([
+        id.to_owned(),
+        flow.to_owned(),
+        fmt_ps(m.latency_ps),
+        fmt_ps(m.skew_ps),
+        m.buffers.to_string(),
+        fmt_wl(m.trunk_wirelength_nm),
+        m.ntsvs.to_string(),
+        format!("{:.3}", row.runtime_s),
+    ]);
+    csv.push(vec![
+        id.to_owned(),
+        flow.to_owned(),
+        fmt_ps(m.latency_ps),
+        fmt_ps(m.skew_ps),
+        m.buffers.to_string(),
+        fmt_wl(m.trunk_wirelength_nm),
+        m.ntsvs.to_string(),
+        format!("{:.4}", row.runtime_s),
+    ]);
+}
+
+/// Appends geometric-mean ratio rows (flow / ours), the paper's last row.
+fn ratio_rows(t: &mut TextTable, flows: &[(&str, &Vec<FlowRow>)], ours: &Vec<FlowRow>) {
+    for (name, rows) in flows {
+        let r = |f: &dyn Fn(&TreeMetrics) -> f64| {
+            geomean(
+                rows.iter()
+                    .zip(ours.iter())
+                    .map(|(a, b)| (f(&a.metrics).max(1e-9)) / (f(&b.metrics).max(1e-9))),
+            )
+        };
+        let rt = geomean(
+            rows.iter()
+                .zip(ours.iter())
+                .map(|(a, b)| (a.runtime_s.max(1e-6)) / (b.runtime_s.max(1e-6))),
+        );
+        t.row([
+            "Ratio".to_owned(),
+            format!("{name}/Ours"),
+            format!("{:.3}", r(&|m| m.latency_ps)),
+            format!("{:.3}", r(&|m| m.skew_ps)),
+            format!("{:.3}", r(&|m| m.buffers as f64)),
+            format!("{:.3}", r(&|m| m.trunk_wirelength_nm as f64)),
+            {
+                let has_ntsvs = rows.iter().all(|x| x.metrics.ntsvs > 0);
+                if has_ntsvs {
+                    format!("{:.3}", r(&|m| m.ntsvs as f64))
+                } else {
+                    "-".to_owned()
+                }
+            },
+            format!("{rt:.3}"),
+        ]);
+    }
+}

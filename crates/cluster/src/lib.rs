@@ -1,0 +1,500 @@
+//! Sink clustering for hierarchical clock routing.
+//!
+//! §III-B of the paper clusters clock sinks at two levels before routing:
+//! *high-level* clusters of size `Hc` (3 000 in the experiments) and, inside
+//! each, *low-level* clusters of size `Lc` (30). Both steps use k-means as
+//! the backbone; the centroids become the leaf and root terminals of the
+//! hierarchical DME step.
+//!
+//! This crate provides:
+//!
+//! * [`KMeans`] — seeded k-means++ with Lloyd iterations and an optional
+//!   hard **size cap** per cluster (the paper's `Hc`/`Lc` are capacity
+//!   bounds, not cluster counts);
+//! * [`Clustering`] — the assignment + centroid result, with intra-cluster
+//!   wirelength metrics;
+//! * [`DualHierarchy`] — the two-level structure consumed by the router.
+//!
+//! # Example
+//!
+//! ```
+//! use dscts_cluster::{DualHierarchy, KMeans};
+//! use dscts_geom::Point;
+//!
+//! let sinks: Vec<Point> = (0..200)
+//!     .map(|i| Point::new((i % 20) * 1000, (i / 20) * 1000))
+//!     .collect();
+//! let h = DualHierarchy::build(&sinks, 3000, 30, 42);
+//! // 200 sinks with Hc=3000 -> a single high cluster; Lc=30 -> ceil(200/30)=7 low clusters.
+//! assert_eq!(h.high.k(), 1);
+//! assert_eq!(h.low_clusters().count(), 7);
+//! let km = KMeans::new(4).with_seed(7).with_cap(60);
+//! let c = km.run(&sinks);
+//! assert!(c.sizes().iter().all(|&s| s <= 60));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dscts_geom::Point;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded k-means++ clustering with optional per-cluster size caps.
+///
+/// The algorithm is deterministic for a given `(points, k, seed, cap)`
+/// configuration, which keeps every downstream experiment reproducible.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    k: usize,
+    max_iter: usize,
+    seed: u64,
+    cap: Option<usize>,
+}
+
+impl KMeans {
+    /// Creates a k-means runner for `k` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KMeans {
+            k,
+            max_iter: 40,
+            seed: 0,
+            cap: None,
+        }
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the Lloyd iteration budget (default 40).
+    pub fn with_max_iter(mut self, iters: usize) -> Self {
+        self.max_iter = iters.max(1);
+        self
+    }
+
+    /// Enforces a hard maximum cluster size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn with_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "cap must be positive");
+        self.cap = Some(cap);
+        self
+    }
+
+    /// Runs clustering over `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, or if a size cap is configured and
+    /// `k * cap < points.len()` (infeasible).
+    pub fn run(&self, points: &[Point]) -> Clustering {
+        assert!(!points.is_empty(), "cannot cluster zero points");
+        if let Some(cap) = self.cap {
+            assert!(
+                self.k.saturating_mul(cap) >= points.len(),
+                "infeasible: k*cap ({} * {cap}) < n ({})",
+                self.k,
+                points.len()
+            );
+        }
+        let k = self.k.min(points.len());
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut centroids = kmeanspp_seed(points, k, &mut rng);
+        let mut assignment = vec![0u32; points.len()];
+        for _ in 0..self.max_iter {
+            let changed = assign(points, &centroids, &mut assignment);
+            recentre(points, &assignment, &mut centroids);
+            if !changed {
+                break;
+            }
+        }
+        let mut clustering = Clustering {
+            centroids,
+            assignment,
+        };
+        if let Some(cap) = self.cap {
+            rebalance(points, &mut clustering, cap);
+            recentre(
+                points,
+                &clustering.assignment,
+                &mut clustering.centroids,
+            );
+        }
+        clustering
+    }
+}
+
+/// The result of a clustering run: per-point assignment plus centroids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    centroids: Vec<Point>,
+    assignment: Vec<u32>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Centroid of cluster `c`.
+    pub fn centroid(&self, c: usize) -> Point {
+        self.centroids[c]
+    }
+
+    /// All centroids.
+    pub fn centroids(&self) -> &[Point] {
+        &self.centroids
+    }
+
+    /// Cluster index of point `i`.
+    pub fn cluster_of(&self, i: usize) -> usize {
+        self.assignment[i] as usize
+    }
+
+    /// The raw assignment vector.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Point indices belonging to each cluster.
+    pub fn members(&self) -> Vec<Vec<u32>> {
+        let mut m = vec![Vec::new(); self.k()];
+        for (i, &c) in self.assignment.iter().enumerate() {
+            m[c as usize].push(i as u32);
+        }
+        m
+    }
+
+    /// Cluster cardinalities.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.k()];
+        for &c in &self.assignment {
+            s[c as usize] += 1;
+        }
+        s
+    }
+
+    /// Total intra-cluster wirelength: Σ L1(point, its centroid). This is
+    /// the quantity the paper's high-level clustering approximately
+    /// minimises.
+    pub fn intra_wirelength(&self, points: &[Point]) -> i64 {
+        self.assignment
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| points[i].manhattan(self.centroids[c as usize]))
+            .sum()
+    }
+}
+
+fn kmeanspp_seed(points: &[Point], k: usize, rng: &mut SmallRng) -> Vec<Point> {
+    let first = points[rng.random_range(0..points.len())];
+    let mut centroids = vec![first];
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| {
+            let d = p.manhattan(first) as f64;
+            d * d
+        })
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centroids; any point works.
+            points[rng.random_range(0..points.len())]
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut chosen = points.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            points[chosen]
+        };
+        centroids.push(next);
+        for (i, p) in points.iter().enumerate() {
+            let d = p.manhattan(next) as f64;
+            d2[i] = d2[i].min(d * d);
+        }
+    }
+    centroids
+}
+
+fn assign(points: &[Point], centroids: &[Point], assignment: &mut [u32]) -> bool {
+    let mut changed = false;
+    for (i, p) in points.iter().enumerate() {
+        let mut best = 0u32;
+        let mut best_d = i64::MAX;
+        for (c, ctr) in centroids.iter().enumerate() {
+            let d = p.manhattan(*ctr);
+            if d < best_d {
+                best_d = d;
+                best = c as u32;
+            }
+        }
+        if assignment[i] != best {
+            assignment[i] = best;
+            changed = true;
+        }
+    }
+    changed
+}
+
+fn recentre(points: &[Point], assignment: &[u32], centroids: &mut [Point]) {
+    let k = centroids.len();
+    let mut sx = vec![0i128; k];
+    let mut sy = vec![0i128; k];
+    let mut n = vec![0i64; k];
+    for (i, &c) in assignment.iter().enumerate() {
+        sx[c as usize] += points[i].x as i128;
+        sy[c as usize] += points[i].y as i128;
+        n[c as usize] += 1;
+    }
+    for c in 0..k {
+        if n[c] > 0 {
+            centroids[c] = Point::new((sx[c] / n[c] as i128) as i64, (sy[c] / n[c] as i128) as i64);
+        }
+        // Empty clusters keep their previous centroid; the next assignment
+        // pass may repopulate them.
+    }
+}
+
+/// Moves overflow points (farthest from their centroid first) to the
+/// nearest cluster with spare capacity.
+fn rebalance(points: &[Point], clustering: &mut Clustering, cap: usize) {
+    let k = clustering.k();
+    let mut sizes = clustering.sizes();
+    // Collect overflow points, farthest-first so the cheapest stay.
+    let members = clustering.members();
+    let mut overflow: Vec<u32> = Vec::new();
+    for (c, mut mem) in members.into_iter().enumerate() {
+        if mem.len() > cap {
+            let ctr = clustering.centroids[c];
+            mem.sort_by_key(|&i| std::cmp::Reverse(points[i as usize].manhattan(ctr)));
+            let excess = mem.len() - cap;
+            overflow.extend(mem.into_iter().take(excess));
+            sizes[c] = cap;
+        }
+    }
+    for i in overflow {
+        let p = points[i as usize];
+        let mut best: Option<(i64, usize)> = None;
+        for c in 0..k {
+            if sizes[c] < cap {
+                let d = p.manhattan(clustering.centroids[c]);
+                if best.map_or(true, |(bd, _)| d < bd) {
+                    best = Some((d, c));
+                }
+            }
+        }
+        let (_, c) = best.expect("feasibility checked in run()");
+        clustering.assignment[i as usize] = c as u32;
+        sizes[c] += 1;
+    }
+}
+
+/// A low-level cluster inside the dual hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowCluster {
+    /// Index of the parent high-level cluster.
+    pub high: u32,
+    /// Centroid of this low-level cluster (a DME leaf terminal).
+    pub centroid: Point,
+    /// Global sink indices belonging to this cluster.
+    pub sinks: Vec<u32>,
+}
+
+/// The dual-level clustering of §III-B: high-level clusters of size ≤ `Hc`,
+/// each subdivided into low-level clusters of size ≤ `Lc`.
+#[derive(Debug, Clone)]
+pub struct DualHierarchy {
+    /// High-level clustering over all sinks.
+    pub high: Clustering,
+    low: Vec<LowCluster>,
+}
+
+impl DualHierarchy {
+    /// Builds the hierarchy. `hc`/`lc` are **maximum cluster sizes** (the
+    /// paper uses 3 000 and 30); cluster counts are `ceil(n/size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sinks` is empty or `hc`/`lc` are zero.
+    pub fn build(sinks: &[Point], hc: usize, lc: usize, seed: u64) -> Self {
+        assert!(!sinks.is_empty(), "cannot cluster zero sinks");
+        assert!(hc > 0 && lc > 0, "cluster size bounds must be positive");
+        let k_high = sinks.len().div_ceil(hc);
+        let high = KMeans::new(k_high)
+            .with_seed(seed)
+            .with_cap(hc)
+            .run(sinks);
+        let mut low = Vec::new();
+        for (h, members) in high.members().into_iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let pts: Vec<Point> = members.iter().map(|&i| sinks[i as usize]).collect();
+            let k_low = pts.len().div_ceil(lc);
+            let lowc = KMeans::new(k_low)
+                .with_seed(seed.wrapping_add(h as u64 + 1))
+                .with_cap(lc)
+                .run(&pts);
+            for (c, local) in lowc.members().into_iter().enumerate() {
+                if local.is_empty() {
+                    continue;
+                }
+                low.push(LowCluster {
+                    high: h as u32,
+                    centroid: lowc.centroid(c),
+                    sinks: local.iter().map(|&j| members[j as usize]).collect(),
+                });
+            }
+        }
+        DualHierarchy { high, low }
+    }
+
+    /// Iterates over the low-level clusters (DME leaf terminals).
+    pub fn low_clusters(&self) -> impl ExactSizeIterator<Item = &LowCluster> {
+        self.low.iter()
+    }
+
+    /// Low-level clusters grouped by their parent high-level cluster.
+    pub fn low_by_high(&self) -> Vec<Vec<&LowCluster>> {
+        let mut groups = vec![Vec::new(); self.high.k()];
+        for lc in &self.low {
+            groups[lc.high as usize].push(lc);
+        }
+        groups
+    }
+
+    /// Total number of sinks covered (for invariant checks).
+    pub fn sink_count(&self) -> usize {
+        self.low.iter().map(|l| l.sinks.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize, pitch: i64) -> Vec<Point> {
+        let side = (n as f64).sqrt().ceil() as usize;
+        (0..n)
+            .map(|i| Point::new((i % side) as i64 * pitch, (i / side) as i64 * pitch))
+            .collect()
+    }
+
+    #[test]
+    fn kmeans_is_deterministic() {
+        let pts = grid(300, 500);
+        let a = KMeans::new(7).with_seed(11).run(&pts);
+        let b = KMeans::new(7).with_seed(11).run(&pts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_cover_all() {
+        let pts = grid(100, 500);
+        let c = KMeans::new(5).with_seed(3).run(&pts);
+        assert_eq!(c.assignment().len(), 100);
+        assert_eq!(c.sizes().iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let pts = grid(100, 10);
+        let c = KMeans::new(10).with_seed(1).with_cap(12).run(&pts);
+        assert!(c.sizes().iter().all(|&s| s <= 12), "sizes {:?}", c.sizes());
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn infeasible_cap_panics() {
+        let pts = grid(100, 10);
+        let _ = KMeans::new(2).with_cap(10).run(&pts);
+    }
+
+    #[test]
+    fn k_larger_than_n_clamps() {
+        let pts = grid(3, 10);
+        let c = KMeans::new(10).run(&pts);
+        assert!(c.k() <= 3);
+    }
+
+    #[test]
+    fn clustering_reduces_wirelength_vs_single_cluster() {
+        let pts = grid(400, 1000);
+        let one = KMeans::new(1).run(&pts);
+        let many = KMeans::new(16).with_seed(5).run(&pts);
+        assert!(many.intra_wirelength(&pts) < one.intra_wirelength(&pts) / 2);
+    }
+
+    #[test]
+    fn dual_hierarchy_counts_match_paper_formula() {
+        // 4380 sinks (C1 jpeg): Hc=3000 -> 2 high clusters; the low count is
+        // near ceil(4380/30)=146 (caps can split a few extra).
+        let pts = grid(4380, 700);
+        let h = DualHierarchy::build(&pts, 3000, 30, 42);
+        assert_eq!(h.high.k(), 2);
+        let lows = h.low_clusters().len();
+        assert!(
+            (146..=165).contains(&lows),
+            "expected ~146 low clusters, got {lows}"
+        );
+        assert_eq!(h.sink_count(), 4380);
+    }
+
+    #[test]
+    fn low_clusters_partition_sinks() {
+        let pts = grid(500, 333);
+        let h = DualHierarchy::build(&pts, 120, 16, 9);
+        let mut seen = vec![false; pts.len()];
+        for lc in h.low_clusters() {
+            assert!(lc.sinks.len() <= 16);
+            for &s in &lc.sinks {
+                assert!(!seen[s as usize], "sink {s} in two low clusters");
+                seen[s as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn low_by_high_groups_consistently() {
+        let pts = grid(200, 100);
+        let h = DualHierarchy::build(&pts, 80, 10, 1);
+        let groups = h.low_by_high();
+        assert_eq!(groups.len(), h.high.k());
+        let total: usize = groups.iter().flat_map(|g| g.iter()).map(|l| l.sinks.len()).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn single_point_everything() {
+        let pts = vec![Point::new(5, 5)];
+        let h = DualHierarchy::build(&pts, 3000, 30, 0);
+        assert_eq!(h.low_clusters().len(), 1);
+        let lc = h.low_clusters().next().unwrap();
+        assert_eq!(lc.centroid, Point::new(5, 5));
+    }
+
+    #[test]
+    fn coincident_points_do_not_crash() {
+        let pts = vec![Point::new(7, 7); 50];
+        let c = KMeans::new(4).with_seed(2).run(&pts);
+        assert_eq!(c.assignment().len(), 50);
+    }
+}

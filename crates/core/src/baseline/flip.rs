@@ -1,0 +1,283 @@
+//! Post-CTS back-side net assignment (the *conventional flow*, Fig. 1).
+//!
+//! All three published methods start from a finished front-side buffered
+//! clock tree and move selected trunk wires to back-side metal, inserting
+//! nTSVs wherever a back-side wire meets a front-side pin or wire:
+//!
+//! * **[2] latency-driven** — flip *every* trunk net above the leaf level
+//!   (Fig. 2(b)): maximal latency gain, maximal nTSV count;
+//! * **[7] fanout-driven** — flip nets whose driven-sink fanout reaches a
+//!   threshold (Fig. 2(c));
+//! * **[6] criticality-driven** — flip the nets on root-to-leaf paths of
+//!   the most timing-critical leaf clusters (Fig. 2(d)); the GNN selector
+//!   is substituted by an arrival-time ranking (see DESIGN.md);
+//! * **[29]** — [6] integrated with back-side PDN design; modelled as the
+//!   [6] selection plus a PDN nTSV-sharing overhead on the via count.
+//!
+//! Buffered edges (pattern P1) never flip: buffer pins live on the front
+//! side, exactly the restriction that motivates the paper's concurrent
+//! approach.
+
+use crate::pattern::Pattern;
+use crate::synth::{EvalModel, SynthesizedTree};
+use dscts_tech::{Side, Technology};
+
+/// Net-selection criterion for back-side assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlipMethod {
+    /// Veloso et al. [2]: flip all unbuffered trunk edges.
+    Latency,
+    /// Bethur et al. [7]: flip edges with downstream sink count ≥ the
+    /// threshold (the paper sweeps 20..1000; Table III uses 100).
+    Fanout {
+        /// Minimum downstream sink count for a net to flip.
+        threshold: u32,
+    },
+    /// Bethur et al. [6]: flip edges on the root paths of the most critical
+    /// `fraction` of leaf clusters (Table III uses 0.5).
+    Criticality {
+        /// Fraction of leaf clusters treated as timing-critical (0..=1).
+        fraction: f64,
+    },
+    /// Vanna-iampikul et al. [29]: the [6] selection with a PDN nTSV
+    /// sharing overhead.
+    CriticalityPdn {
+        /// Fraction of critical leaf clusters.
+        fraction: f64,
+        /// Relative extra nTSVs reserved for PDN taps (e.g. 0.15).
+        pdn_ntsv_overhead: f64,
+    },
+}
+
+/// Result of a flip pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlipOutcome {
+    /// The re-patterned double-side tree.
+    pub tree: SynthesizedTree,
+    /// Extra nTSVs to account on top of the tree's own count (PDN models).
+    pub extra_ntsvs: u32,
+}
+
+/// Applies a back-side assignment method to a front-side buffered tree.
+///
+/// # Panics
+///
+/// Panics if `tree` contains back-side patterns already (the conventional
+/// flow starts from a single-side tree).
+pub fn flip_backside(
+    tree: &SynthesizedTree,
+    tech: &Technology,
+    method: FlipMethod,
+) -> FlipOutcome {
+    for p in tree.patterns.iter().flatten() {
+        assert!(
+            !p.uses_back_side(),
+            "conventional flow starts from a front-side tree"
+        );
+    }
+    let topo = &tree.topo;
+    let n = topo.nodes.len();
+    let children = topo.children();
+    let fanout = topo.fanout();
+
+    // --- Select the wires to flip (never buffered edges). ---
+    let mut flip = vec![false; n];
+    let flippable =
+        |i: usize| tree.patterns[i].map_or(false, |p| p.buffers() == 0);
+    match method {
+        FlipMethod::Latency => {
+            for i in 1..n {
+                flip[i] = flippable(i);
+            }
+        }
+        FlipMethod::Fanout { threshold } => {
+            for i in 1..n {
+                flip[i] = flippable(i) && fanout[i] >= threshold;
+            }
+        }
+        FlipMethod::Criticality { fraction }
+        | FlipMethod::CriticalityPdn { fraction, .. } => {
+            let fraction = fraction.clamp(0.0, 1.0);
+            let metrics = tree.evaluate(tech, EvalModel::Elmore);
+            // Rank leaf clusters by their worst sink arrival, most critical
+            // first.
+            let mut ranked: Vec<(usize, f64)> = topo
+                .stars
+                .iter()
+                .enumerate()
+                .map(|(si, s)| {
+                    let worst = s
+                        .sinks
+                        .iter()
+                        .map(|&sk| metrics.arrivals[sk as usize])
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    (si, worst)
+                })
+                .collect();
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let take = ((ranked.len() as f64 * fraction).round() as usize).min(ranked.len());
+            for &(si, _) in ranked.iter().take(take) {
+                // Walk from the star's centroid to the root, flipping
+                // unbuffered edges along the way.
+                let mut v = topo.stars[si].node;
+                while let Some(p) = topo.nodes[v as usize].parent {
+                    if flippable(v as usize) {
+                        flip[v as usize] = true;
+                    }
+                    v = p;
+                }
+            }
+        }
+    }
+
+    // --- Vertex sides: back only when every incident wire flipped. ---
+    let mut vertex_back = vec![false; n];
+    for v in 1..n {
+        if topo.nodes[v].star.is_some() {
+            continue; // leaf pins are front-side
+        }
+        let parent_flipped = flip[v];
+        let kids = &children[v];
+        if parent_flipped && !kids.is_empty() && kids.iter().all(|&c| flip[c as usize]) {
+            vertex_back[v] = true;
+        }
+    }
+
+    // --- Re-pattern flipped edges from their endpoint sides. ---
+    let mut patterns = tree.patterns.clone();
+    for v in 1..n {
+        if !flip[v] {
+            continue;
+        }
+        let parent = topo.nodes[v].parent.expect("non-root") as usize;
+        let root_side = if parent == 0 || !vertex_back[parent] {
+            Side::Front
+        } else {
+            Side::Back
+        };
+        let sink_side = if vertex_back[v] { Side::Back } else { Side::Front };
+        patterns[v] = Some(match (root_side, sink_side) {
+            (Side::Front, Side::Front) => Pattern::Ntsv1,
+            (Side::Back, Side::Front) => Pattern::Ntsv2,
+            (Side::Front, Side::Back) => Pattern::Ntsv3,
+            (Side::Back, Side::Back) => Pattern::WiringB,
+        });
+    }
+
+    let flipped = SynthesizedTree {
+        topo: topo.clone(),
+        patterns,
+        star_buffers: tree.star_buffers.clone(),
+        buffer_scales: tree.buffer_scales.clone(),
+    };
+    debug_assert_eq!(flipped.validate_sides(), Ok(()));
+
+    let extra_ntsvs = match method {
+        FlipMethod::CriticalityPdn {
+            pdn_ntsv_overhead, ..
+        } => (flipped.inserted_ntsvs() as f64 * pdn_ntsv_overhead).round() as u32,
+        _ => 0,
+    };
+    FlipOutcome {
+        tree: flipped,
+        extra_ntsvs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::htree::HTreeCts;
+    use dscts_netlist::BenchmarkSpec;
+
+    fn front_tree() -> (SynthesizedTree, Technology) {
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let tech = Technology::asap7();
+        (HTreeCts::default().synthesize(&d, &tech), tech)
+    }
+
+    #[test]
+    fn latency_flip_reduces_latency_costs_ntsvs() {
+        let (tree, tech) = front_tree();
+        let before = tree.evaluate(&tech, EvalModel::Elmore);
+        let out = flip_backside(&tree, &tech, FlipMethod::Latency);
+        assert_eq!(out.tree.validate_sides(), Ok(()));
+        let after = out.tree.evaluate(&tech, EvalModel::Elmore);
+        assert!(
+            after.latency_ps < before.latency_ps,
+            "{} -> {}",
+            before.latency_ps,
+            after.latency_ps
+        );
+        assert!(after.ntsvs > 0);
+        assert_eq!(after.buffers, before.buffers, "flipping never moves buffers");
+        assert_eq!(after.wirelength_nm, before.wirelength_nm);
+    }
+
+    #[test]
+    fn fanout_flip_is_selective() {
+        let (tree, tech) = front_tree();
+        let all = flip_backside(&tree, &tech, FlipMethod::Latency);
+        let some = flip_backside(&tree, &tech, FlipMethod::Fanout { threshold: 100 });
+        let none = flip_backside(&tree, &tech, FlipMethod::Fanout { threshold: u32::MAX });
+        let (a, s, z) = (
+            all.tree.evaluate(&tech, EvalModel::Elmore),
+            some.tree.evaluate(&tech, EvalModel::Elmore),
+            none.tree.evaluate(&tech, EvalModel::Elmore),
+        );
+        assert!(s.ntsvs < a.ntsvs);
+        assert_eq!(z.ntsvs, 0);
+        assert!(s.latency_ps <= z.latency_ps);
+    }
+
+    #[test]
+    fn criticality_flip_interpolates_with_fraction() {
+        let (tree, tech) = front_tree();
+        let lo = flip_backside(&tree, &tech, FlipMethod::Criticality { fraction: 0.2 });
+        let hi = flip_backside(&tree, &tech, FlipMethod::Criticality { fraction: 0.9 });
+        let (l, h) = (
+            lo.tree.evaluate(&tech, EvalModel::Elmore),
+            hi.tree.evaluate(&tech, EvalModel::Elmore),
+        );
+        assert!(l.ntsvs <= h.ntsvs, "{} vs {}", l.ntsvs, h.ntsvs);
+    }
+
+    #[test]
+    fn pdn_variant_reports_overhead() {
+        let (tree, tech) = front_tree();
+        let out = flip_backside(
+            &tree,
+            &tech,
+            FlipMethod::CriticalityPdn {
+                fraction: 0.5,
+                pdn_ntsv_overhead: 0.15,
+            },
+        );
+        assert!(out.extra_ntsvs > 0);
+        let base = flip_backside(&tree, &tech, FlipMethod::Criticality { fraction: 0.5 });
+        assert_eq!(
+            out.tree.inserted_ntsvs(),
+            base.tree.inserted_ntsvs(),
+            "PDN overhead is bookkeeping, not topology"
+        );
+    }
+
+    #[test]
+    fn adjacent_flipped_edges_share_back_vertices() {
+        // With everything flipped, interior vertices should be back-side,
+        // so WiringB / Ntsv2 / Ntsv3 patterns must appear (not only Ntsv1).
+        let (tree, tech) = front_tree();
+        let out = flip_backside(&tree, &tech, FlipMethod::Latency);
+        let kinds: std::collections::HashSet<&str> = out
+            .tree
+            .patterns
+            .iter()
+            .flatten()
+            .map(|p| p.label())
+            .collect();
+        assert!(
+            kinds.contains("P3") || kinds.contains("P5") || kinds.contains("P6"),
+            "expected chained back-side wires, got {kinds:?}"
+        );
+    }
+}

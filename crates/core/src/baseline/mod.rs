@@ -1,0 +1,17 @@
+//! Comparison methods from the paper's evaluation (§IV-B).
+//!
+//! * [`htree`] — an OpenROAD/TritonCTS-like front-side CTS: symmetric
+//!   recursive bisection with per-level buffering and clustered leaf nets.
+//!   Stands in for the "OpenROAD Buffered Clock Tree" column of Table III
+//!   (the real OpenROAD flow is outside this repository; see DESIGN.md).
+//! * [`flip`] — the *conventional flow* (Fig. 1 left): post-CTS back-side
+//!   net assignment onto an existing buffered tree, implementing the three
+//!   published selection criteria: latency-driven ([2], every trunk net),
+//!   fanout-driven ([7]) and timing-criticality-driven ([6], with the GNN
+//!   replaced by a criticality ranking — see DESIGN.md substitutions).
+
+pub mod flip;
+pub mod htree;
+
+pub use flip::{flip_backside, FlipMethod, FlipOutcome};
+pub use htree::HTreeCts;

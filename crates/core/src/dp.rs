@@ -1,0 +1,690 @@
+//! Concurrent buffer and nTSV insertion by multi-objective dynamic
+//! programming (§III-C).
+//!
+//! The DP tree mirrors the clock-tree edges (Fig. 7): each trunk edge is a
+//! DP node whose candidate solutions carry the pattern chosen for that edge
+//! plus the aggregate downstream state. The four steps of the paper:
+//!
+//! 1. **Build heterogeneous DP tree** — every node gets an insertion
+//!    [`Mode`] from a [`ModeRule`] (all-full reproduces Table III; a fanout
+//!    threshold reproduces the DSE flow of §III-E);
+//! 2. **Bottom-up generation** — leaf edges start from the leaf-star load
+//!    with their sink end pinned to the front side (restricting them to
+//!    {P1, P2, P4, P5}); merges require both children to agree on the side
+//!    of the shared vertex, which makes every DP solution a *legal*
+//!    double-side tree by construction;
+//! 3. **Multi-objective selection** — the root candidate set is scored with
+//!    the MOES (Eq. 3): `α·latency + β·buffers + γ·nTSVs` (an optional skew
+//!    term extends it);
+//! 4. **Top-down decision** — child choices recorded during merging retrace
+//!    the full pattern assignment.
+//!
+//! Pruning follows van Ginneken's inferior-solution rule per side
+//! ([`PruneMode::LatencyOnly`]), optionally extended with resource
+//! dominance ([`PruneMode::MultiObjective`], the default) so the root set
+//! keeps the buffer/nTSV diversity that Fig. 10 shows is essential in the
+//! double-side design space.
+
+use crate::pattern::{Mode, Pattern, PatternSet};
+use crate::tree::ClockTopo;
+use dscts_tech::{Side, Technology};
+
+/// How DP nodes are assigned their insertion [`Mode`] (§III-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModeRule {
+    /// Every node in full mode (the Table III configuration).
+    #[default]
+    AllFull,
+    /// Every node in intra-side mode (single-side insertion).
+    AllIntraSide,
+    /// Nodes with fanout **below** the threshold are full mode; nodes at or
+    /// above it are intra-side (the DSE knob). The *top net* — the unshared
+    /// root-feed chain whose fanout equals the total sink count — always
+    /// stays full mode: the paper treats top nets as designer-designated,
+    /// distinct from trunk nets (§II-A), and every published flipper moves
+    /// them to the back side.
+    FanoutThreshold(u32),
+}
+
+impl ModeRule {
+    fn mode(self, fanout: u32, total: u32) -> Mode {
+        match self {
+            ModeRule::AllFull => Mode::Full,
+            ModeRule::AllIntraSide => Mode::IntraSide,
+            ModeRule::FanoutThreshold(t) => {
+                if fanout < t || fanout == total {
+                    Mode::Full
+                } else {
+                    Mode::IntraSide
+                }
+            }
+        }
+    }
+}
+
+/// Candidate pruning discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruneMode {
+    /// The paper's inferior-solution rule: per side, drop candidates whose
+    /// effective capacitance **and** maximum delay are both dominated.
+    /// Optimal in latency (the default, as in §III-C).
+    #[default]
+    LatencyOnly,
+    /// Per side, 4-D dominance over (cap, delay, #buffers, #nTSVs):
+    /// resource-incomparable candidates survive, preserving the Fig. 10
+    /// diversity of the double-side space at some latency cost. Used by
+    /// the MOES-effectiveness and ablation experiments.
+    MultiObjective,
+}
+
+/// Weights of the multi-objective enhancement score (Eq. 3), extended with
+/// an optional skew term.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoesWeights {
+    /// Latency weight α.
+    pub alpha: f64,
+    /// Buffer-count weight β.
+    pub beta: f64,
+    /// nTSV-count weight γ.
+    pub gamma: f64,
+    /// Skew weight δ (0 in the paper's formulation).
+    pub delta: f64,
+}
+
+impl Default for MoesWeights {
+    /// The paper's experimental setting: α, β, γ = 1, 10, 1.
+    fn default() -> Self {
+        MoesWeights {
+            alpha: 1.0,
+            beta: 10.0,
+            gamma: 1.0,
+            delta: 0.0,
+        }
+    }
+}
+
+impl MoesWeights {
+    /// The MOES value of a root candidate.
+    pub fn score(&self, c: &RootCand) -> f64 {
+        self.alpha * c.latency_ps
+            + self.beta * c.buffers as f64
+            + self.gamma * c.ntsvs as f64
+            + self.delta * c.skew_ps
+    }
+}
+
+/// DP configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpConfig {
+    /// Pattern alphabet (base P1–P6 or extended).
+    pub patterns: PatternSet,
+    /// Pruning discipline.
+    pub prune: PruneMode,
+    /// Candidate-set cap per DP node (diversity-preserving truncation).
+    pub max_cands: usize,
+    /// Insertion-mode rule.
+    pub mode_rule: ModeRule,
+    /// Root-selection weights.
+    pub moes: MoesWeights,
+    /// Restrict to the front side entirely ({P1, P2}): the "Our Buffered
+    /// Clock Tree" flow.
+    pub single_side: bool,
+}
+
+impl Default for DpConfig {
+    fn default() -> Self {
+        DpConfig {
+            patterns: PatternSet::Base,
+            prune: PruneMode::default(),
+            max_cands: 64,
+            mode_rule: ModeRule::AllFull,
+            moes: MoesWeights::default(),
+            single_side: false,
+        }
+    }
+}
+
+/// A candidate at the root of the DP tree (one point of Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootCand {
+    /// Source-to-worst-sink latency including the root driver (ps).
+    pub latency_ps: f64,
+    /// Worst minus best sink delay (ps).
+    pub skew_ps: f64,
+    /// Buffers inserted by patterns (excluding the root driver).
+    pub buffers: u32,
+    /// nTSVs inserted by patterns.
+    pub ntsvs: u32,
+    /// Capacitance presented to the root driver (fF).
+    pub cap_ff: f64,
+}
+
+/// Output of [`run_dp`].
+#[derive(Debug, Clone)]
+pub struct DpResult {
+    /// Pattern for every trunk node's incoming edge (`None` for node 0).
+    pub assignment: Vec<Option<Pattern>>,
+    /// The surviving root candidate set (for Fig. 10 and DSE analysis).
+    pub root_candidates: Vec<RootCand>,
+    /// Index into `root_candidates` selected by the MOES.
+    pub chosen: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Work {
+    pattern: Option<Pattern>,
+    side: Side,
+    cap: f64,
+    max_d: f64,
+    min_d: f64,
+    bufs: u32,
+    ntsvs: u32,
+    child: [u32; 2],
+}
+
+/// Runs the concurrent buffer-and-nTSV DP over a routed clock tree.
+///
+/// # Panics
+///
+/// Panics if the trunk root does not have exactly one child edge, or when
+/// the max-capacitance constraint makes every root candidate infeasible.
+pub fn run_dp(topo: &ClockTopo, tech: &Technology, cfg: &DpConfig) -> DpResult {
+    let children = topo.children();
+    assert_eq!(
+        children[0].len(),
+        1,
+        "clock root must feed exactly one trunk edge"
+    );
+    let order = topo.topo_order();
+    let fanout = topo.fanout();
+    let rc_front = tech.rc(Side::Front);
+    let max_load = tech.max_load_ff();
+
+    let patterns: &[Pattern] = if cfg.single_side {
+        &[Pattern::Buffer, Pattern::WiringF]
+    } else {
+        cfg.patterns.patterns()
+    };
+
+    let n = topo.nodes.len();
+    let mut sets: Vec<Vec<Work>> = vec![Vec::new(); n];
+
+    for &id in order.iter().rev() {
+        if id == 0 {
+            continue;
+        }
+        let idu = id as usize;
+        let node = &topo.nodes[idu];
+        // --- Merge step: aggregate the state below this edge's sink end. ---
+        let mut merged: Vec<Work> = match (children[idu].len(), node.star) {
+            (0, Some(star)) => {
+                let s = &topo.stars[star as usize];
+                let mut cap = 0.0;
+                let mut max_d = 0.0f64;
+                let mut min_d = f64::INFINITY;
+                for (&sk, &len) in s.sinks.iter().zip(&s.branch_len) {
+                    cap += rc_front.cap(len) + topo.sink_cap[sk as usize];
+                    let d = rc_front.res(len)
+                        * (rc_front.cap(len) + topo.sink_cap[sk as usize]);
+                    max_d = max_d.max(d);
+                    min_d = min_d.min(d);
+                }
+                vec![Work {
+                    pattern: None,
+                    side: Side::Front, // sinks live on the front side
+                    cap,
+                    max_d,
+                    min_d,
+                    bufs: 0,
+                    ntsvs: 0,
+                    child: [u32::MAX; 2],
+                }]
+            }
+            (1, None) => sets[children[idu][0] as usize]
+                .iter()
+                .enumerate()
+                .map(|(i, c)| Work {
+                    pattern: None,
+                    side: c.pattern.expect("stored candidates have patterns").root_side(),
+                    cap: c.cap,
+                    max_d: c.max_d,
+                    min_d: c.min_d,
+                    bufs: c.bufs,
+                    ntsvs: c.ntsvs,
+                    child: [i as u32, u32::MAX],
+                })
+                .collect(),
+            (2, None) => {
+                let (a, b) = (children[idu][0] as usize, children[idu][1] as usize);
+                let mut out = Vec::with_capacity(sets[a].len() * sets[b].len() / 2);
+                for (i, ca) in sets[a].iter().enumerate() {
+                    let sa = ca.pattern.expect("stored").root_side();
+                    for (j, cb) in sets[b].iter().enumerate() {
+                        // Connectivity constraint: the shared vertex must
+                        // have one side.
+                        if sa != cb.pattern.expect("stored").root_side() {
+                            continue;
+                        }
+                        out.push(Work {
+                            pattern: None,
+                            side: sa,
+                            cap: ca.cap + cb.cap,
+                            max_d: ca.max_d.max(cb.max_d),
+                            min_d: ca.min_d.min(cb.min_d),
+                            bufs: ca.bufs + cb.bufs,
+                            ntsvs: ca.ntsvs + cb.ntsvs,
+                            child: [i as u32, j as u32],
+                        });
+                    }
+                }
+                out
+            }
+            (c, s) => panic!(
+                "trunk node {id} is malformed: {c} children, star {s:?} — leaves must be centroids"
+            ),
+        };
+        prune(&mut merged, cfg.prune, cfg.max_cands.max(4) * 2);
+
+        // --- Insert step: assign a pattern to this edge. ---
+        let mode = cfg.mode_rule.mode(fanout[idu], fanout[0]);
+        let mut cands: Vec<Work> = Vec::with_capacity(merged.len() * patterns.len());
+        for base in &merged {
+            for &p in patterns {
+                if !p.allowed_in(mode) || p.sink_side() != base.side {
+                    continue;
+                }
+                let Some(ev) = p.eval(node.edge_len, base.cap, tech) else {
+                    continue;
+                };
+                // Max driven capacitance prune (§III-C pruning technique).
+                if ev.up_cap_ff > max_load {
+                    continue;
+                }
+                cands.push(Work {
+                    pattern: Some(p),
+                    side: p.root_side(),
+                    cap: ev.up_cap_ff,
+                    max_d: base.max_d + ev.delay_ps,
+                    min_d: base.min_d + ev.delay_ps,
+                    bufs: base.bufs + p.buffers(),
+                    ntsvs: base.ntsvs + p.ntsvs(),
+                    child: base.child,
+                });
+            }
+        }
+        prune(&mut cands, cfg.prune, cfg.max_cands);
+        assert!(
+            !cands.is_empty(),
+            "DP node {id} has no feasible pattern (edge {} nm, load too heavy?)",
+            node.edge_len
+        );
+        sets[idu] = cands;
+    }
+
+    // --- Multi-objective selection at the root. ---
+    let root_edge = children[0][0] as usize;
+    let buf = tech.buffer();
+    let mut root_candidates = Vec::new();
+    let mut root_index = Vec::new();
+    for (i, c) in sets[root_edge].iter().enumerate() {
+        // The clock source drives on the front side.
+        if c.pattern.expect("stored").root_side() != Side::Front {
+            continue;
+        }
+        if c.cap > max_load {
+            continue;
+        }
+        root_candidates.push(RootCand {
+            latency_ps: buf.delay_ps(c.cap) + c.max_d,
+            skew_ps: c.max_d - c.min_d,
+            buffers: c.bufs,
+            ntsvs: c.ntsvs,
+            cap_ff: c.cap,
+        });
+        root_index.push(i);
+    }
+    assert!(
+        !root_candidates.is_empty(),
+        "no feasible front-side root candidate"
+    );
+    let chosen = root_candidates
+        .iter()
+        .enumerate()
+        .min_by(|a, b| cfg.moes.score(a.1).total_cmp(&cfg.moes.score(b.1)))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+
+    // --- Top-down decision. ---
+    let mut assignment: Vec<Option<Pattern>> = vec![None; n];
+    let mut stack = vec![(root_edge, root_index[chosen])];
+    while let Some((nid, cidx)) = stack.pop() {
+        let c = &sets[nid][cidx];
+        assignment[nid] = c.pattern;
+        for (k, &ch) in children[nid].iter().enumerate() {
+            let ci = c.child[k];
+            if ci != u32::MAX {
+                stack.push((ch as usize, ci as usize));
+            }
+        }
+    }
+
+    DpResult {
+        assignment,
+        root_candidates,
+        chosen,
+    }
+}
+
+/// Per-side dominance pruning with diversity-preserving truncation.
+fn prune(cands: &mut Vec<Work>, mode: PruneMode, max_cands: usize) {
+    if cands.len() <= 1 {
+        return;
+    }
+    let mut out: Vec<Work> = Vec::with_capacity(cands.len().min(2 * max_cands));
+    for side in [Side::Front, Side::Back] {
+        let mut group: Vec<Work> = cands.iter().filter(|c| c.side == side).copied().collect();
+        if group.is_empty() {
+            continue;
+        }
+        group.sort_by(|a, b| {
+            a.cap
+                .total_cmp(&b.cap)
+                .then(a.max_d.total_cmp(&b.max_d))
+                .then(a.bufs.cmp(&b.bufs))
+                .then(a.ntsvs.cmp(&b.ntsvs))
+        });
+        let mut kept: Vec<Work> = Vec::new();
+        match mode {
+            PruneMode::LatencyOnly => {
+                let mut best = f64::INFINITY;
+                for c in group {
+                    if c.max_d < best - 1e-12 {
+                        best = c.max_d;
+                        kept.push(c);
+                    }
+                }
+            }
+            PruneMode::MultiObjective => {
+                for c in group {
+                    let dominated = kept.iter().any(|k| {
+                        k.cap <= c.cap + 1e-12
+                            && k.max_d <= c.max_d + 1e-12
+                            && k.bufs <= c.bufs
+                            && k.ntsvs <= c.ntsvs
+                    });
+                    if !dominated {
+                        kept.push(c);
+                    }
+                }
+            }
+        }
+        // Diversity-preserving truncation. The (cap, max_d) staircase is
+        // what propagates latency optimality (van Ginneken), so it is kept
+        // in full whenever it fits; the resource-diverse remainder is
+        // thinned by an even stride over the delay range.
+        if kept.len() > max_cands {
+            let mut staircase = Vec::new();
+            let mut rest = Vec::new();
+            let mut best = f64::INFINITY;
+            for c in kept {
+                if c.max_d < best - 1e-12 {
+                    best = c.max_d;
+                    staircase.push(c);
+                } else {
+                    rest.push(c);
+                }
+            }
+            let stride = |mut v: Vec<Work>, budget: usize| -> Vec<Work> {
+                if v.len() <= budget {
+                    return v;
+                }
+                if budget == 0 {
+                    return Vec::new();
+                }
+                v.sort_by(|a, b| a.max_d.total_cmp(&b.max_d));
+                let m = v.len();
+                let mut pick: Vec<Work> = Vec::with_capacity(budget);
+                let mut last = usize::MAX;
+                for i in 0..budget {
+                    let j = if budget == 1 { 0 } else { i * (m - 1) / (budget - 1) };
+                    if j != last {
+                        pick.push(v[j]);
+                        last = j;
+                    }
+                }
+                pick
+            };
+            if staircase.len() >= max_cands {
+                kept = stride(staircase, max_cands);
+            } else {
+                let budget = max_cands - staircase.len();
+                staircase.extend(stride(rest, budget));
+                kept = staircase;
+            }
+        }
+        out.extend(kept);
+    }
+    *cands = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::HierarchicalRouter;
+    use dscts_netlist::BenchmarkSpec;
+    use dscts_tech::Technology;
+
+    fn small_topo() -> (ClockTopo, Technology) {
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let tech = Technology::asap7();
+        let mut topo = HierarchicalRouter::new().route(&d, &tech);
+        topo.subdivide(20_000);
+        (topo, tech)
+    }
+
+    #[test]
+    fn dp_produces_full_assignment() {
+        let (topo, tech) = small_topo();
+        let res = run_dp(&topo, &tech, &DpConfig::default());
+        assert!(res.assignment[0].is_none());
+        for (i, a) in res.assignment.iter().enumerate().skip(1) {
+            assert!(a.is_some(), "edge {i} unassigned");
+        }
+        assert!(!res.root_candidates.is_empty());
+        assert!(res.chosen < res.root_candidates.len());
+    }
+
+    #[test]
+    fn assignment_satisfies_connectivity() {
+        let (topo, tech) = small_topo();
+        let res = run_dp(&topo, &tech, &DpConfig::default());
+        let children = topo.children();
+        for (v, ch) in children.iter().enumerate() {
+            for &c in ch {
+                let child_pat = res.assignment[c as usize].unwrap();
+                let vertex_side = if v == 0 {
+                    Side::Front
+                } else {
+                    res.assignment[v].unwrap().sink_side()
+                };
+                assert_eq!(
+                    child_pat.root_side(),
+                    vertex_side,
+                    "side mismatch at vertex {v}"
+                );
+            }
+        }
+        // Leaf edges end on the front side.
+        for (i, node) in topo.nodes.iter().enumerate() {
+            if node.star.is_some() {
+                assert_eq!(res.assignment[i].unwrap().sink_side(), Side::Front);
+            }
+        }
+    }
+
+    #[test]
+    fn single_side_uses_only_front_patterns() {
+        let (topo, tech) = small_topo();
+        let cfg = DpConfig {
+            single_side: true,
+            ..DpConfig::default()
+        };
+        let res = run_dp(&topo, &tech, &cfg);
+        for a in res.assignment.iter().flatten() {
+            assert!(matches!(a, Pattern::Buffer | Pattern::WiringF));
+        }
+        for c in &res.root_candidates {
+            assert_eq!(c.ntsvs, 0);
+        }
+    }
+
+    #[test]
+    fn double_side_beats_single_side_latency() {
+        let (topo, tech) = small_topo();
+        let min_lat = |cands: &[RootCand]| {
+            cands
+                .iter()
+                .map(|c| c.latency_ps)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let ds = run_dp(&topo, &tech, &DpConfig::default());
+        let ss = run_dp(
+            &topo,
+            &tech,
+            &DpConfig {
+                single_side: true,
+                ..DpConfig::default()
+            },
+        );
+        let (dl, sl) = (min_lat(&ds.root_candidates), min_lat(&ss.root_candidates));
+        assert!(
+            dl < sl,
+            "double-side min latency {dl} should beat single-side {sl}"
+        );
+    }
+
+    #[test]
+    fn intra_side_rule_yields_no_ntsvs() {
+        let (topo, tech) = small_topo();
+        let cfg = DpConfig {
+            mode_rule: ModeRule::AllIntraSide,
+            ..DpConfig::default()
+        };
+        let res = run_dp(&topo, &tech, &cfg);
+        assert!(res.root_candidates.iter().all(|c| c.ntsvs == 0));
+    }
+
+    #[test]
+    fn fanout_threshold_interpolates() {
+        let (topo, tech) = small_topo();
+        let full = run_dp(&topo, &tech, &DpConfig::default());
+        let tight = run_dp(
+            &topo,
+            &tech,
+            &DpConfig {
+                mode_rule: ModeRule::FanoutThreshold(1),
+                ..DpConfig::default()
+            },
+        );
+        // Threshold 1 puts everything except the designer-level top net
+        // intra-side, so nTSV usage collapses toward the top-net minimum.
+        let max_ntsvs = |r: &DpResult| r.root_candidates.iter().map(|c| c.ntsvs).max().unwrap();
+        assert!(max_ntsvs(&tight) < max_ntsvs(&full));
+        // Full mode finds nTSV-bearing candidates.
+        assert!(full.root_candidates.iter().any(|c| c.ntsvs > 0));
+        // AllIntraSide remains strictly front/back-side-free.
+        let none = run_dp(
+            &topo,
+            &tech,
+            &DpConfig {
+                mode_rule: ModeRule::AllIntraSide,
+                ..DpConfig::default()
+            },
+        );
+        assert!(none.root_candidates.iter().all(|c| c.ntsvs == 0));
+    }
+
+    #[test]
+    fn moes_weights_steer_selection() {
+        let (topo, tech) = small_topo();
+        let latency_first = run_dp(
+            &topo,
+            &tech,
+            &DpConfig {
+                moes: MoesWeights {
+                    alpha: 1.0,
+                    beta: 0.0,
+                    gamma: 0.0,
+                    delta: 0.0,
+                },
+                ..DpConfig::default()
+            },
+        );
+        let resource_first = run_dp(
+            &topo,
+            &tech,
+            &DpConfig {
+                moes: MoesWeights {
+                    alpha: 0.0,
+                    beta: 100.0,
+                    gamma: 100.0,
+                    delta: 0.0,
+                },
+                ..DpConfig::default()
+            },
+        );
+        let lat_pick = latency_first.root_candidates[latency_first.chosen];
+        let res_pick = resource_first.root_candidates[resource_first.chosen];
+        assert!(lat_pick.latency_ps <= res_pick.latency_ps + 1e-9);
+        assert!(
+            res_pick.buffers + res_pick.ntsvs <= lat_pick.buffers + lat_pick.ntsvs,
+            "resource-first pick should not use more resources"
+        );
+    }
+
+    #[test]
+    fn latency_only_prune_preserves_min_latency() {
+        let (topo, tech) = small_topo();
+        let mo = run_dp(&topo, &tech, &DpConfig::default());
+        let lo = run_dp(
+            &topo,
+            &tech,
+            &DpConfig {
+                prune: PruneMode::LatencyOnly,
+                max_cands: 256,
+                ..DpConfig::default()
+            },
+        );
+        let min = |r: &DpResult| {
+            r.root_candidates
+                .iter()
+                .map(|c| c.latency_ps)
+                .fold(f64::INFINITY, f64::min)
+        };
+        // Multi-objective pruning (with truncation) must not lose more than
+        // a whisker of latency optimality.
+        assert!(
+            min(&mo) <= min(&lo) * 1.05 + 1e-9,
+            "multi-objective min latency {} vs latency-only {}",
+            min(&mo),
+            min(&lo)
+        );
+    }
+
+    #[test]
+    fn root_candidate_diversity_in_double_side() {
+        // Fig. 10's premise: the double-side root set spans a wider
+        // resource range than the single-side one.
+        let (topo, tech) = small_topo();
+        let ds = run_dp(&topo, &tech, &DpConfig::default());
+        let spread = |cands: &[RootCand]| {
+            let lo = cands.iter().map(|c| c.buffers + c.ntsvs).min().unwrap();
+            let hi = cands.iter().map(|c| c.buffers + c.ntsvs).max().unwrap();
+            hi - lo
+        };
+        assert!(
+            spread(&ds.root_candidates) > 0,
+            "double-side root set should trade resources"
+        );
+    }
+}

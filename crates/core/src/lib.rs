@@ -1,0 +1,54 @@
+//! Systematic multi-objective double-side clock tree synthesis.
+//!
+//! This crate is the primary contribution of the reproduced paper (Jiang et
+//! al., DAC 2025): a CTS flow that designs front-side *and* back-side clock
+//! routing **concurrently**, instead of flipping nets of a finished
+//! front-side tree. The pipeline (Fig. 4):
+//!
+//! 1. [`HierarchicalRouter`] — dual-level clustering + hierarchical DME
+//!    (§III-B);
+//! 2. [`run_dp`] — concurrent buffer & nTSV insertion over the edge-pattern
+//!    design space P1–P6, selected by the multi-objective enhancement score
+//!    (§III-C);
+//! 3. [`skew::refine`] — resource-aware end-point buffering (§III-D);
+//! 4. [`dse`] — design-space exploration by sweeping the fanout threshold
+//!    that switches DP nodes between full and intra-side modes (§III-E).
+//!
+//! The comparison methods of the paper's evaluation are implemented in
+//! [`baseline`]: an OpenROAD-like H-tree CTS and the post-CTS back-side
+//! flipping flows of refs. [2] (latency-driven), [7] (fanout-driven) and
+//! [6] (timing-criticality-driven).
+//!
+//! Most users want the [`DsCts`] pipeline builder:
+//!
+//! ```
+//! use dscts_core::DsCts;
+//! use dscts_netlist::BenchmarkSpec;
+//! use dscts_tech::Technology;
+//!
+//! let design = BenchmarkSpec::c4_riscv32i().generate();
+//! let outcome = DsCts::new(Technology::asap7()).run(&design);
+//! assert!(outcome.metrics.latency_ps > 0.0);
+//! assert!(outcome.metrics.ntsvs > 0); // double-side by default
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+mod dp;
+pub mod dse;
+mod pattern;
+mod pipeline;
+mod route;
+pub mod sizing;
+pub mod skew;
+mod synth;
+mod tree;
+
+pub use dp::{run_dp, DpConfig, DpResult, ModeRule, MoesWeights, PruneMode, RootCand};
+pub use pattern::{BufferStage, Mode, Pattern, PatternEval, PatternSet};
+pub use pipeline::{DsCts, Outcome};
+pub use route::{HierarchicalRouter, RoutingStyle};
+pub use synth::{EvalModel, SynthesizedTree, TreeMetrics};
+pub use tree::{ClockTopo, LeafStar, TrunkNode};

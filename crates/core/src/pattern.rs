@@ -1,0 +1,418 @@
+//! The discrete edge patterns of the double-side design space (Fig. 6).
+//!
+//! Every trunk edge of the clock tree receives exactly one pattern. The six
+//! base patterns `P1`–`P6` are the paper's; two optional extended patterns
+//! combine a buffer with an nTSV on the same edge (a future-work direction
+//! the framework supports, exercised by the ablation bench).
+//!
+//! A pattern fixes the **side** of the edge's two endpoints — the DP's
+//! connectivity constraint is that patterns sharing a vertex agree on its
+//! side — and its electrical behaviour: delay through the edge and the
+//! effective capacitance presented upstream (with load shielding when a
+//! buffer is present).
+
+use dscts_tech::{Side, Technology};
+use dscts_timing::{chain_delay, Element};
+use std::fmt;
+
+/// Insertion mode of a DP node (§III-C / §III-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Flexible nTSV: all patterns allowed.
+    #[default]
+    Full,
+    /// Forbidden nTSV: only the intra-side patterns P1–P3.
+    IntraSide,
+}
+
+/// An edge pattern. Sides are given as (root-end, sink-end), where the
+/// sink end is the end closer to the sinks (Fig. 6 right end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// P1 — front wire with one buffer at the middle (F, F).
+    Buffer,
+    /// P2 — plain front-side wire (F, F).
+    WiringF,
+    /// P3 — plain back-side wire (B, B).
+    WiringB,
+    /// P4 — nTSV at both ends, back-side wire between (F, F); Eq. (2).
+    Ntsv1,
+    /// P5 — back-side wire with one nTSV at the sink end (B, F).
+    Ntsv2,
+    /// P6 — one nTSV at the root end, back-side wire below (F, B).
+    Ntsv3,
+    /// Extended: front wire, buffer, then nTSV into back wire (F, B).
+    BufNtsv,
+    /// Extended: back wire, nTSV, then buffer driving front wire (B, F).
+    NtsvBuf,
+}
+
+/// Which pattern alphabet the DP explores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PatternSet {
+    /// The paper's P1–P6.
+    #[default]
+    Base,
+    /// P1–P6 plus the buffered-nTSV combinations P7/P8.
+    Extended,
+}
+
+impl PatternSet {
+    /// The patterns in this alphabet.
+    pub fn patterns(self) -> &'static [Pattern] {
+        match self {
+            PatternSet::Base => &[
+                Pattern::Buffer,
+                Pattern::WiringF,
+                Pattern::WiringB,
+                Pattern::Ntsv1,
+                Pattern::Ntsv2,
+                Pattern::Ntsv3,
+            ],
+            PatternSet::Extended => &[
+                Pattern::Buffer,
+                Pattern::WiringF,
+                Pattern::WiringB,
+                Pattern::Ntsv1,
+                Pattern::Ntsv2,
+                Pattern::Ntsv3,
+                Pattern::BufNtsv,
+                Pattern::NtsvBuf,
+            ],
+        }
+    }
+}
+
+/// Wire delays around an embedded buffer, for slew/NLDM evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferStage {
+    /// Wire delay from the root end to the buffer input (ps).
+    pub pre_delay_ps: f64,
+    /// Load seen by the buffer output (fF).
+    pub load_ff: f64,
+    /// Wire delay from the buffer output to the sink end (ps).
+    pub post_delay_ps: f64,
+}
+
+/// Electrical result of assigning a pattern to an edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternEval {
+    /// Delay through the edge into the downstream load, with the linearised
+    /// buffer model (ps).
+    pub delay_ps: f64,
+    /// Effective capacitance presented at the root end (fF).
+    pub up_cap_ff: f64,
+    /// Present when the pattern embeds a buffer: the stage decomposition
+    /// used by NLDM evaluation.
+    pub stage: Option<BufferStage>,
+}
+
+impl Pattern {
+    /// Side of the root-end vertex.
+    pub fn root_side(self) -> Side {
+        match self {
+            Pattern::Buffer | Pattern::WiringF | Pattern::Ntsv1 | Pattern::Ntsv3
+            | Pattern::BufNtsv => Side::Front,
+            Pattern::WiringB | Pattern::Ntsv2 | Pattern::NtsvBuf => Side::Back,
+        }
+    }
+
+    /// Side of the sink-end vertex.
+    pub fn sink_side(self) -> Side {
+        match self {
+            Pattern::Buffer | Pattern::WiringF | Pattern::Ntsv1 | Pattern::Ntsv2
+            | Pattern::NtsvBuf => Side::Front,
+            Pattern::WiringB | Pattern::Ntsv3 | Pattern::BufNtsv => Side::Back,
+        }
+    }
+
+    /// Number of buffers this pattern inserts.
+    pub fn buffers(self) -> u32 {
+        match self {
+            Pattern::Buffer | Pattern::BufNtsv | Pattern::NtsvBuf => 1,
+            _ => 0,
+        }
+    }
+
+    /// Number of nTSVs this pattern inserts.
+    pub fn ntsvs(self) -> u32 {
+        match self {
+            Pattern::Ntsv1 => 2,
+            Pattern::Ntsv2 | Pattern::Ntsv3 | Pattern::BufNtsv | Pattern::NtsvBuf => 1,
+            _ => 0,
+        }
+    }
+
+    /// Whether this pattern routes any wire on the back side.
+    pub fn uses_back_side(self) -> bool {
+        self.ntsvs() > 0 || self == Pattern::WiringB
+    }
+
+    /// Whether the pattern is allowed under `mode` (intra-side mode forbids
+    /// every nTSV-bearing pattern).
+    pub fn allowed_in(self, mode: Mode) -> bool {
+        match mode {
+            Mode::Full => true,
+            Mode::IntraSide => self.ntsvs() == 0,
+        }
+    }
+
+    /// Total wire capacitance of this pattern on an edge of `len_nm` (fF),
+    /// accounting for which sides its wire runs on (excludes device caps).
+    pub fn wire_cap_ff(self, len_nm: i64, tech: &Technology) -> f64 {
+        let f = tech.rc(Side::Front);
+        let b = tech.rc(Side::Back);
+        match self {
+            Pattern::Buffer | Pattern::WiringF => f.cap(len_nm),
+            Pattern::WiringB | Pattern::Ntsv1 | Pattern::Ntsv2 | Pattern::Ntsv3 => b.cap(len_nm),
+            Pattern::BufNtsv => f.cap(len_nm / 2) + b.cap(len_nm - len_nm / 2),
+            Pattern::NtsvBuf => b.cap(len_nm / 2) + f.cap(len_nm - len_nm / 2),
+        }
+    }
+
+    /// The paper's label (`P1` … `P6`, extended `P7`/`P8`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Pattern::Buffer => "P1",
+            Pattern::WiringF => "P2",
+            Pattern::WiringB => "P3",
+            Pattern::Ntsv1 => "P4",
+            Pattern::Ntsv2 => "P5",
+            Pattern::Ntsv3 => "P6",
+            Pattern::BufNtsv => "P7",
+            Pattern::NtsvBuf => "P8",
+        }
+    }
+
+    /// Evaluates the pattern on an edge of electrical length `len_nm`
+    /// driving `load_ff` downstream.
+    ///
+    /// Returns `None` when the pattern is electrically infeasible: an
+    /// embedded buffer would see more than its maximum load.
+    pub fn eval(self, len_nm: i64, load_ff: f64, tech: &Technology) -> Option<PatternEval> {
+        self.eval_scaled(len_nm, load_ff, tech, 1.0)
+    }
+
+    /// Like [`Pattern::eval`], but with the embedded buffer resized by
+    /// `scale` (drive strength and max load scale up, input capacitance
+    /// scales with it): the post-CTS buffer-sizing knob the paper defers
+    /// to follow-up optimization (§IV-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn eval_scaled(
+        self,
+        len_nm: i64,
+        load_ff: f64,
+        tech: &Technology,
+        scale: f64,
+    ) -> Option<PatternEval> {
+        assert!(scale > 0.0, "buffer scale must be positive");
+        let f = tech.rc(Side::Front);
+        let b = tech.rc(Side::Back);
+        let v = tech.ntsv();
+        let buf = tech.buffer();
+        let l = len_nm;
+        let half = |rc: dscts_tech::WireRc, l: i64| Element::new(rc.res(l / 2), rc.cap(l / 2));
+        let full = |rc: dscts_tech::WireRc, l: i64| Element::new(rc.res(l), rc.cap(l));
+        let ntsv = Element::new(v.res_kohm(), v.cap_ff());
+        // A buffered stage: wire `down` into the load, buffer, wire `up`
+        // presenting the upstream cap.
+        let buffered = |up: &[Element], down: &[Element]| -> Option<PatternEval> {
+            let (d_down, c_down) = chain_delay(down, load_ff);
+            if c_down > buf.max_load_ff() * scale {
+                return None;
+            }
+            let d_buf = buf.intrinsic_delay_ps() + buf.drive_res_kohm() / scale * c_down;
+            let (d_up, c_up) = chain_delay(up, buf.input_cap_ff() * scale);
+            Some(PatternEval {
+                delay_ps: d_up + d_buf + d_down,
+                up_cap_ff: c_up,
+                stage: Some(BufferStage {
+                    pre_delay_ps: d_up,
+                    load_ff: c_down,
+                    post_delay_ps: d_down,
+                }),
+            })
+        };
+        let plain = |elems: &[Element]| -> Option<PatternEval> {
+            let (d, c) = chain_delay(elems, load_ff);
+            Some(PatternEval {
+                delay_ps: d,
+                up_cap_ff: c,
+                stage: None,
+            })
+        };
+        match self {
+            // Eq. (1): halves of front wire around the buffer.
+            Pattern::Buffer => buffered(&[half(f, l)], &[half(f, l + l % 2)]),
+            Pattern::WiringF => plain(&[full(f, l)]),
+            Pattern::WiringB => plain(&[full(b, l)]),
+            // Eq. (2): nTSV, back wire, nTSV.
+            Pattern::Ntsv1 => plain(&[ntsv, full(b, l), ntsv]),
+            Pattern::Ntsv2 => plain(&[full(b, l), ntsv]),
+            Pattern::Ntsv3 => plain(&[ntsv, full(b, l)]),
+            Pattern::BufNtsv => buffered(&[half(f, l)], &[ntsv, half(b, l + l % 2)]),
+            Pattern::NtsvBuf => buffered(&[half(b, l), ntsv], &[half(f, l + l % 2)]),
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::asap7()
+    }
+
+    #[test]
+    fn leaf_admissible_patterns_match_paper() {
+        // Step 2: leaf edges are restricted to {P1, P2, P4, P5} — exactly
+        // the base patterns whose sink end is front-side.
+        let front_sink: Vec<&str> = PatternSet::Base
+            .patterns()
+            .iter()
+            .filter(|p| p.sink_side() == Side::Front)
+            .map(|p| p.label())
+            .collect();
+        assert_eq!(front_sink, vec!["P1", "P2", "P4", "P5"]);
+    }
+
+    #[test]
+    fn intra_side_mode_forbids_ntsvs() {
+        let allowed: Vec<&str> = PatternSet::Base
+            .patterns()
+            .iter()
+            .filter(|p| p.allowed_in(Mode::IntraSide))
+            .map(|p| p.label())
+            .collect();
+        assert_eq!(allowed, vec!["P1", "P2", "P3"]);
+    }
+
+    #[test]
+    fn eq1_closed_form() {
+        // Eq. (1) with the constant-Dbuf special case (R_drv = 0).
+        let t = dscts_tech::Technology::builder()
+            .layer(dscts_tech::Layer::new("MF", 0.024222, 0.12918))
+            .layer(dscts_tech::Layer::new("MB", 0.000384, 0.116264))
+            .front_layer("MF")
+            .back_layer("MB")
+            .buffer(dscts_tech::BufferModel::new("B", 2.0, 0.0, 12.0, 1e9, 1, 1))
+            .build()
+            .unwrap();
+        let l = 40_000i64;
+        let cd = 9.0;
+        let e = Pattern::Buffer.eval(l, cd, &t).unwrap();
+        let (rf, cf) = (0.024222e-3, 0.12918e-3);
+        let lf = l as f64;
+        let expected = rf * cf / 2.0 * lf * lf + rf * (2.0 + cd) / 2.0 * lf + 12.0;
+        assert!(
+            (e.delay_ps - expected).abs() < 1e-6,
+            "{} vs {}",
+            e.delay_ps,
+            expected
+        );
+        // Shielding: upstream cap is half wire + buffer input cap.
+        assert!((e.up_cap_ff - (cf * lf / 2.0 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq2_closed_form() {
+        let t = tech();
+        let l = 120_000i64;
+        let cd = 14.0;
+        let e = Pattern::Ntsv1.eval(l, cd, &t).unwrap();
+        let (rb, cb) = (0.000384e-3, 0.116264e-3);
+        let (rt, ct) = (0.020, 0.004);
+        let lf = l as f64;
+        let expected =
+            rb * cb * lf * lf + (rb * ct + rb * cd + rt * cb) * lf + rt * (3.0 * ct + 2.0 * cd);
+        assert!((e.delay_ps - expected).abs() < 1e-9);
+        assert!((e.up_cap_ff - (2.0 * ct + cb * lf + cd)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buffer_shields_but_ntsv_does_not() {
+        let t = tech();
+        let heavy = 60.0;
+        let buf = Pattern::Buffer.eval(50_000, heavy, &t).unwrap();
+        let ntsv = Pattern::Ntsv1.eval(50_000, heavy, &t).unwrap();
+        assert!(buf.up_cap_ff < 10.0, "shielded cap {}", buf.up_cap_ff);
+        assert!(ntsv.up_cap_ff > heavy, "nTSV exposes load");
+    }
+
+    #[test]
+    fn buffer_overload_is_infeasible() {
+        let t = tech(); // max load 80 fF
+        assert!(Pattern::Buffer.eval(10_000, 200.0, &t).is_none());
+        assert!(Pattern::WiringF.eval(10_000, 200.0, &t).is_some());
+    }
+
+    #[test]
+    fn back_side_wiring_is_faster_for_long_edges() {
+        let t = tech();
+        let l = 100_000;
+        let cd = 20.0;
+        let f = Pattern::WiringF.eval(l, cd, &t).unwrap();
+        let p4 = Pattern::Ntsv1.eval(l, cd, &t).unwrap();
+        assert!(p4.delay_ps < f.delay_ps / 5.0);
+    }
+
+    #[test]
+    fn side_tables_are_consistent() {
+        for p in PatternSet::Extended.patterns() {
+            // An edge's wire exists; label is stable; counts bounded.
+            assert!(p.ntsvs() <= 2);
+            assert!(p.buffers() <= 1);
+            assert!(!p.label().is_empty());
+            // Patterns flipping sides carry an odd number of nTSVs.
+            let flips = p.root_side() != p.sink_side();
+            if p.buffers() == 0 {
+                assert_eq!(flips, p.ntsvs() % 2 == 1, "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_ntsv_patterns_mirror() {
+        let t = tech();
+        let (l, cd) = (30_000, 10.0);
+        let p5 = Pattern::Ntsv2.eval(l, cd, &t).unwrap();
+        let p6 = Pattern::Ntsv3.eval(l, cd, &t).unwrap();
+        // P5 charges the nTSV cap through the wire; P6 does not, so the
+        // delays differ slightly but the caps match.
+        assert!((p5.up_cap_ff - p6.up_cap_ff).abs() < 1e-12);
+        assert!(p5.delay_ps != p6.delay_ps);
+    }
+
+    #[test]
+    fn extended_patterns_flip_sides_with_buffer() {
+        assert_eq!(Pattern::BufNtsv.root_side(), Side::Front);
+        assert_eq!(Pattern::BufNtsv.sink_side(), Side::Back);
+        assert_eq!(Pattern::NtsvBuf.root_side(), Side::Back);
+        assert_eq!(Pattern::NtsvBuf.sink_side(), Side::Front);
+        let t = tech();
+        let e = Pattern::BufNtsv.eval(40_000, 30.0, &t).unwrap();
+        let stage = e.stage.expect("buffered pattern has a stage");
+        assert!((stage.pre_delay_ps + stage.post_delay_ps) < e.delay_ps);
+        assert!(e.up_cap_ff < 10.0);
+    }
+
+    #[test]
+    fn zero_length_edges_still_work() {
+        let t = tech();
+        for p in PatternSet::Extended.patterns() {
+            let e = p.eval(0, 5.0, &t).expect("zero-length feasible");
+            assert!(e.delay_ps >= 0.0);
+            assert!(e.up_cap_ff > 0.0);
+        }
+    }
+}

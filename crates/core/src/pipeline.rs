@@ -1,0 +1,240 @@
+//! The end-to-end double-side CTS pipeline (Fig. 4).
+//!
+//! [`DsCts`] chains hierarchical clock routing, concurrent buffer & nTSV
+//! insertion, and skew refinement behind a builder API. Configured with
+//! [`DsCts::single_side`], the same pipeline produces the paper's
+//! "Our Buffered Clock Tree" front-side flow.
+
+use crate::dp::{run_dp, DpConfig, ModeRule, MoesWeights, PruneMode, RootCand};
+use crate::pattern::PatternSet;
+use crate::route::{HierarchicalRouter, RoutingStyle};
+use crate::skew::{refine, RefineReport, SkewConfig};
+use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
+use dscts_netlist::Design;
+use dscts_tech::Technology;
+use std::time::Instant;
+
+/// Pipeline builder. Defaults reproduce the paper's Table III "Ours"
+/// configuration: `Hc = 3000`, `Lc = 30`, all-full insertion modes, MOES
+/// weights (1, 10, 1), skew refinement at `p = 23 %`, `m = 33`.
+#[derive(Debug, Clone)]
+pub struct DsCts {
+    tech: Technology,
+    hc: usize,
+    lc: usize,
+    seed: u64,
+    style: RoutingStyle,
+    max_seg_len: i64,
+    dp: DpConfig,
+    skew: Option<SkewConfig>,
+    eval: EvalModel,
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The synthesized (legal) double-side clock tree.
+    pub tree: SynthesizedTree,
+    /// Final metrics (after skew refinement when enabled).
+    pub metrics: TreeMetrics,
+    /// The DP's surviving root candidate set (Fig. 10 material).
+    pub root_candidates: Vec<RootCand>,
+    /// Index of the MOES-selected candidate.
+    pub chosen: usize,
+    /// Skew-refinement report when the stage ran.
+    pub refinement: Option<RefineReport>,
+    /// Wall-clock runtime of the whole pipeline (seconds).
+    pub runtime_s: f64,
+}
+
+impl DsCts {
+    /// A pipeline over `tech` with the paper's default parameters.
+    pub fn new(tech: Technology) -> Self {
+        DsCts {
+            tech,
+            hc: 3000,
+            lc: 30,
+            seed: 7,
+            style: RoutingStyle::Hierarchical,
+            max_seg_len: 40_000,
+            dp: DpConfig::default(),
+            skew: Some(SkewConfig::default()),
+            eval: EvalModel::Elmore,
+        }
+    }
+
+    /// High-level cluster size bound `Hc`.
+    pub fn hc(mut self, hc: usize) -> Self {
+        self.hc = hc;
+        self
+    }
+
+    /// Low-level cluster size bound `Lc`.
+    pub fn lc(mut self, lc: usize) -> Self {
+        self.lc = lc;
+        self
+    }
+
+    /// Clustering seed (runs are deterministic per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Trunk routing style (hierarchical vs flat matching).
+    pub fn routing_style(mut self, style: RoutingStyle) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// DP segmentation granularity (nm).
+    pub fn max_segment(mut self, nm: i64) -> Self {
+        assert!(nm > 0);
+        self.max_seg_len = nm;
+        self
+    }
+
+    /// Insertion-mode rule (the DSE knob).
+    pub fn mode_rule(mut self, rule: ModeRule) -> Self {
+        self.dp.mode_rule = rule;
+        self
+    }
+
+    /// MOES weights (Eq. 3).
+    pub fn moes(mut self, weights: MoesWeights) -> Self {
+        self.dp.moes = weights;
+        self
+    }
+
+    /// Pruning discipline.
+    pub fn prune(mut self, mode: PruneMode) -> Self {
+        self.dp.prune = mode;
+        self
+    }
+
+    /// Pattern alphabet.
+    pub fn patterns(mut self, set: PatternSet) -> Self {
+        self.dp.patterns = set;
+        self
+    }
+
+    /// Candidate cap per DP node.
+    pub fn max_candidates(mut self, k: usize) -> Self {
+        assert!(k >= 2);
+        self.dp.max_cands = k;
+        self
+    }
+
+    /// Restrict the flow to the front side ("Our Buffered Clock Tree").
+    pub fn single_side(mut self, on: bool) -> Self {
+        self.dp.single_side = on;
+        self
+    }
+
+    /// Configure (or disable with `None`) the skew-refinement stage.
+    pub fn skew_refinement(mut self, cfg: Option<SkewConfig>) -> Self {
+        self.skew = cfg;
+        self
+    }
+
+    /// Delay model for final metrics.
+    pub fn eval_model(mut self, model: EvalModel) -> Self {
+        self.eval = model;
+        self
+    }
+
+    /// The technology this pipeline targets.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Runs the full pipeline on `design`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design has no sinks or the DP finds no feasible
+    /// solution under the configured constraints.
+    pub fn run(&self, design: &Design) -> Outcome {
+        let start = Instant::now();
+        let mut topo = HierarchicalRouter::new()
+            .hc(self.hc)
+            .lc(self.lc)
+            .seed(self.seed)
+            .style(self.style)
+            .route(design, &self.tech);
+        topo.subdivide(self.max_seg_len);
+        let dp = run_dp(&topo, &self.tech, &self.dp);
+        let mut tree = SynthesizedTree::new(topo, dp.assignment);
+        debug_assert_eq!(tree.validate_sides(), Ok(()));
+        let refinement = self
+            .skew
+            .as_ref()
+            .map(|cfg| refine(&mut tree, &self.tech, self.eval, cfg));
+        let metrics = tree.evaluate(&self.tech, self.eval);
+        Outcome {
+            tree,
+            metrics,
+            root_candidates: dp.root_candidates,
+            chosen: dp.chosen,
+            refinement,
+            runtime_s: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscts_netlist::BenchmarkSpec;
+
+    fn run(single: bool) -> Outcome {
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        DsCts::new(Technology::asap7())
+            .single_side(single)
+            .run(&d)
+    }
+
+    #[test]
+    fn full_pipeline_double_side() {
+        let o = run(false);
+        assert_eq!(o.tree.validate_sides(), Ok(()));
+        assert!(o.metrics.ntsvs > 0);
+        assert!(o.metrics.latency_ps > 0.0);
+        assert!(o.runtime_s > 0.0);
+    }
+
+    #[test]
+    fn single_side_flow_has_no_ntsvs() {
+        let o = run(true);
+        assert_eq!(o.metrics.ntsvs, 0);
+    }
+
+    #[test]
+    fn double_side_beats_single_side() {
+        let (ds, ss) = (run(false), run(true));
+        assert!(
+            ds.metrics.latency_ps < ss.metrics.latency_ps,
+            "double-side {} vs single-side {}",
+            ds.metrics.latency_ps,
+            ss.metrics.latency_ps
+        );
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let a = run(false);
+        let b = run(false);
+        assert_eq!(a.metrics.latency_ps, b.metrics.latency_ps);
+        assert_eq!(a.metrics.buffers, b.metrics.buffers);
+        assert_eq!(a.metrics.ntsvs, b.metrics.ntsvs);
+        assert_eq!(a.tree, b.tree);
+    }
+
+    #[test]
+    fn different_seed_changes_clustering_not_validity() {
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let o = DsCts::new(Technology::asap7()).seed(1234).run(&d);
+        assert_eq!(o.tree.validate_sides(), Ok(()));
+        assert_eq!(o.metrics.arrivals.len(), 1056);
+    }
+}

@@ -1,0 +1,258 @@
+//! Post-CTS buffer sizing for skew (§IV-A's deferred optimization).
+//!
+//! The paper inserts a single buffer cell and notes that "buffer sizing
+//! will be further optimized for skew minimization in the follow-up clock
+//! tree optimization after clock tree synthesis". This module implements
+//! that follow-up stage: every pattern-embedded buffer may be resized
+//! among a discrete set of drive strengths (e.g. x2/x4/x8 relative scales
+//! 0.5/1.0/2.0), and a greedy balance pass re-sizes the *last* buffer on
+//! each root-to-sink path — downsizing fast paths (more delay, less input
+//! cap) and upsizing slow ones — to shrink global skew without adding
+//! cells.
+
+use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
+use dscts_tech::Technology;
+
+/// Configuration of the sizing pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingConfig {
+    /// Available drive scales relative to the library buffer (sorted
+    /// ascending). Defaults to `[0.5, 1.0, 2.0]` (x2 / x4 / x8 for the
+    /// BUFx4 base cell).
+    pub scales: Vec<f64>,
+    /// Greedy sweep rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for SizingConfig {
+    fn default() -> Self {
+        SizingConfig {
+            scales: vec![0.5, 1.0, 2.0],
+            max_rounds: 2,
+        }
+    }
+}
+
+/// Outcome of [`resize_for_skew`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingReport {
+    /// Buffers whose size changed.
+    pub resized: usize,
+    /// Metrics before sizing.
+    pub before: TreeMetrics,
+    /// Metrics after sizing.
+    pub after: TreeMetrics,
+}
+
+/// Greedily re-sizes the final buffer of each leaf path to balance sink
+/// arrivals. Changes are kept only when they reduce skew without hurting
+/// latency; the tree is otherwise left untouched.
+///
+/// # Panics
+///
+/// Panics if `cfg.scales` is empty or contains non-positive values.
+pub fn resize_for_skew(
+    tree: &mut SynthesizedTree,
+    tech: &Technology,
+    model: EvalModel,
+    cfg: &SizingConfig,
+) -> SizingReport {
+    assert!(
+        !cfg.scales.is_empty() && cfg.scales.iter().all(|&s| s > 0.0),
+        "scales must be positive"
+    );
+    let before = tree.evaluate(tech, model);
+    let mut current = before.clone();
+    let mut resized = 0usize;
+
+    // The last buffered trunk edge above each star.
+    let last_buffered: Vec<Option<usize>> = tree
+        .topo
+        .stars
+        .iter()
+        .map(|s| {
+            let mut v = s.node;
+            loop {
+                if tree.patterns[v as usize].map_or(false, |p| p.buffers() > 0) {
+                    return Some(v as usize);
+                }
+                match tree.topo.nodes[v as usize].parent {
+                    Some(p) if p != 0 => v = p,
+                    _ => return None,
+                }
+            }
+        })
+        .collect();
+
+    for _ in 0..cfg.max_rounds {
+        let mut changed = 0usize;
+        // Process stars from the fastest upward: downsizing their last
+        // buffer pads their arrival toward the mean.
+        let mut order: Vec<usize> = (0..tree.topo.stars.len()).collect();
+        let star_arrival = |m: &TreeMetrics, s: &crate::tree::LeafStar| {
+            s.sinks
+                .iter()
+                .map(|&sk| m.arrivals[sk as usize])
+                .fold(f64::INFINITY, f64::min)
+        };
+        order.sort_by(|&a, &b| {
+            star_arrival(&current, &tree.topo.stars[a])
+                .total_cmp(&star_arrival(&current, &tree.topo.stars[b]))
+        });
+        for si in order {
+            let Some(edge) = last_buffered[si] else { continue };
+            let old_scale = tree.buffer_scales[edge];
+            let mut best = (current.skew_ps, old_scale);
+            for &s in &cfg.scales {
+                if (s - old_scale).abs() < 1e-12 {
+                    continue;
+                }
+                tree.buffer_scales[edge] = s;
+                // A smaller buffer may be overloaded; evaluate() would
+                // panic on infeasible patterns, so pre-check.
+                let node = &tree.topo.nodes[edge];
+                let pat = tree.patterns[edge].expect("buffered edge");
+                let feasible = pat
+                    .eval_scaled(node.edge_len, probe_load(tree, tech, edge), tech, s)
+                    .is_some();
+                if !feasible {
+                    continue;
+                }
+                let m = tree.evaluate(tech, model);
+                if m.skew_ps < best.0 - 1e-9 && m.latency_ps <= current.latency_ps + 1e-9 {
+                    best = (m.skew_ps, s);
+                }
+            }
+            tree.buffer_scales[edge] = best.1;
+            if (best.1 - old_scale).abs() > 1e-12 {
+                changed += 1;
+                current = tree.evaluate(tech, model);
+            }
+        }
+        resized += changed;
+        if changed == 0 {
+            break;
+        }
+    }
+
+    SizingReport {
+        resized,
+        before,
+        after: current,
+    }
+}
+
+/// Downstream load of `edge`'s bottom vertex under the current assignment
+/// (recomputed locally; cheap relative to a full evaluate).
+fn probe_load(tree: &SynthesizedTree, tech: &Technology, edge: usize) -> f64 {
+    let topo = &tree.topo;
+    let children = topo.children();
+    let order = topo.topo_order();
+    let rc = tech.rc(dscts_tech::Side::Front);
+    let buf = tech.buffer();
+    let mut cap = vec![0.0f64; topo.nodes.len()];
+    for &v in order.iter().rev() {
+        let vu = v as usize;
+        if let Some(si) = topo.nodes[vu].star {
+            let s = &topo.stars[si as usize];
+            cap[vu] += if tree.star_buffers[si as usize] {
+                buf.input_cap_ff()
+            } else {
+                s.sinks
+                    .iter()
+                    .zip(&s.branch_len)
+                    .map(|(&sk, &len)| rc.cap(len) + topo.sink_cap[sk as usize])
+                    .sum()
+            };
+        }
+        for &c in &children[vu] {
+            let cu = c as usize;
+            let p = tree.patterns[cu].expect("assigned");
+            if let Some(ev) =
+                p.eval_scaled(topo.nodes[cu].edge_len, cap[cu], tech, tree.buffer_scales[cu])
+            {
+                cap[vu] += ev.up_cap_ff;
+            } else {
+                // Infeasible under a trial scale: report an over-limit load
+                // so the caller rejects the trial.
+                cap[vu] += tech.max_load_ff() * 10.0;
+            }
+        }
+    }
+    cap[edge]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::{run_dp, DpConfig, MoesWeights};
+    use crate::route::HierarchicalRouter;
+    use dscts_netlist::BenchmarkSpec;
+
+    fn tree() -> (SynthesizedTree, Technology) {
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let tech = Technology::asap7();
+        let mut topo = HierarchicalRouter::new().route(&d, &tech);
+        topo.subdivide(40_000);
+        let cfg = DpConfig {
+            moes: MoesWeights {
+                alpha: 1.0,
+                beta: 0.0,
+                gamma: 0.0,
+                delta: 0.0,
+            },
+            ..DpConfig::default()
+        };
+        let res = run_dp(&topo, &tech, &cfg);
+        (SynthesizedTree::new(topo, res.assignment), tech)
+    }
+
+    #[test]
+    fn sizing_reduces_skew_without_latency_loss() {
+        let (mut t, tech) = tree();
+        let report = resize_for_skew(&mut t, &tech, EvalModel::Elmore, &SizingConfig::default());
+        assert!(report.after.skew_ps <= report.before.skew_ps + 1e-9);
+        assert!(report.after.latency_ps <= report.before.latency_ps + 1e-9);
+        // Cell count is untouched: sizing only changes strengths.
+        assert_eq!(report.after.buffers, report.before.buffers);
+        assert_eq!(report.after.ntsvs, report.before.ntsvs);
+    }
+
+    #[test]
+    fn sizing_is_idempotent_at_fixed_point() {
+        let (mut t, tech) = tree();
+        let _ = resize_for_skew(&mut t, &tech, EvalModel::Elmore, &SizingConfig::default());
+        let second = resize_for_skew(&mut t, &tech, EvalModel::Elmore, &SizingConfig::default());
+        assert_eq!(second.resized, 0);
+        assert_eq!(second.before, second.after);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_empty_scales() {
+        let (mut t, tech) = tree();
+        let _ = resize_for_skew(
+            &mut t,
+            &tech,
+            EvalModel::Elmore,
+            &SizingConfig {
+                scales: vec![],
+                max_rounds: 1,
+            },
+        );
+    }
+
+    #[test]
+    fn scaled_eval_shields_more_with_bigger_buffers() {
+        use crate::pattern::Pattern;
+        let tech = Technology::asap7();
+        let small = Pattern::Buffer.eval_scaled(40_000, 25.0, &tech, 0.5).unwrap();
+        let big = Pattern::Buffer.eval_scaled(40_000, 25.0, &tech, 2.0).unwrap();
+        // Bigger buffer: faster stage, heavier input pin.
+        assert!(big.delay_ps < small.delay_ps);
+        assert!(big.up_cap_ff > small.up_cap_ff);
+        // A half-size buffer cannot drive what the double-size one can.
+        assert!(Pattern::Buffer.eval_scaled(40_000, 60.0, &tech, 0.5).is_none());
+        assert!(Pattern::Buffer.eval_scaled(40_000, 60.0, &tech, 2.0).is_some());
+    }
+}

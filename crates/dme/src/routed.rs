@@ -1,0 +1,241 @@
+use dscts_geom::Point;
+use dscts_tech::WireRc;
+use dscts_timing::RcTree;
+
+/// One node of a routed clock tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedNode {
+    /// Embedded location (nm).
+    pub pos: Point,
+    /// Parent node index (`None` for the root).
+    pub parent: Option<u32>,
+    /// Electrical wire length to the parent (nm). At least the Manhattan
+    /// distance; strictly greater when the edge carries snaking detour.
+    pub edge_len: i64,
+    /// Terminal index for leaves (`None` for internal/root nodes).
+    pub terminal: Option<u32>,
+}
+
+/// A routed (embedded) clock tree: every node has a position, every edge an
+/// electrical length. Produced by [`crate::ZstDme`]; consumed by the
+/// synthesis core, which decorates edges with buffers/nTSVs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedTree {
+    nodes: Vec<RoutedNode>,
+    /// Tapping-point delay offset of each terminal (ps), carried through
+    /// from [`crate::Terminal::delay`].
+    term_delays: Vec<f64>,
+    /// Load capacitance of each terminal (fF).
+    term_caps: Vec<f64>,
+}
+
+impl RoutedTree {
+    pub(crate) fn new(nodes: Vec<RoutedNode>, term_delays: Vec<f64>, term_caps: Vec<f64>) -> Self {
+        RoutedTree {
+            nodes,
+            term_delays,
+            term_caps,
+        }
+    }
+
+    /// Nodes in topological order (parents before children).
+    pub fn nodes(&self) -> &[RoutedNode] {
+        &self.nodes
+    }
+
+    /// The root node index (always 0).
+    pub fn root(&self) -> u32 {
+        0
+    }
+
+    /// Number of terminals this tree drives.
+    pub fn terminal_count(&self) -> usize {
+        self.term_caps.len()
+    }
+
+    /// Total electrical wirelength (nm), including snaking detours.
+    pub fn total_wirelength(&self) -> i64 {
+        self.nodes.iter().map(|n| n.edge_len).sum()
+    }
+
+    /// Geometric wirelength (nm): Manhattan spans only, excluding snaking
+    /// detour wire. `total_wirelength() - geometric_wirelength()` measures
+    /// how much metal strict delay balancing costs.
+    pub fn geometric_wirelength(&self) -> i64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| {
+                n.parent
+                    .map(|p| n.pos.manhattan(self.nodes[p as usize].pos))
+            })
+            .sum()
+    }
+
+    /// Child indices of every node.
+    pub fn children(&self) -> Vec<Vec<u32>> {
+        let mut ch = vec![Vec::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Some(p) = n.parent {
+                ch[p as usize].push(i as u32);
+            }
+        }
+        ch
+    }
+
+    /// Elmore arrival time at every terminal when the whole tree is routed
+    /// as plain wire of stock `rc` driven from the root (no buffers). Each
+    /// terminal's own tapping delay offset is included.
+    ///
+    /// This is the zero-skew target the DME construction balances; the
+    /// synthesis core replaces this with pattern-aware evaluation.
+    pub fn sink_arrivals(&self, rc: WireRc) -> Vec<f64> {
+        let mut rct = RcTree::new(0.0);
+        let mut map = vec![rct.root(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate().skip(1) {
+            let p = map[n.parent.expect("non-root has parent") as usize];
+            let id = rct.add_node(p, rc.res(n.edge_len), rc.cap(n.edge_len));
+            if let Some(t) = n.terminal {
+                rct.add_cap(id, self.term_caps[t as usize]);
+            }
+            map[i] = id;
+        }
+        let delays = rct.elmore();
+        let mut arrivals = vec![0.0; self.term_caps.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Some(t) = n.terminal {
+                arrivals[t as usize] = delays[map[i].index()] + self.term_delays[t as usize];
+            }
+        }
+        arrivals
+    }
+
+    /// Structural validation: parents precede children, edge lengths cover
+    /// the Manhattan distance, every terminal appears exactly once.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("empty tree".into());
+        }
+        if self.nodes[0].parent.is_some() {
+            return Err("node 0 must be the root".into());
+        }
+        let mut seen = vec![false; self.term_caps.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            match n.parent {
+                None if i != 0 => return Err(format!("non-root node {i} without parent")),
+                Some(p) if p as usize >= i => {
+                    return Err(format!("node {i} has later parent {p}"))
+                }
+                _ => {}
+            }
+            if let Some(p) = n.parent {
+                let d = n.pos.manhattan(self.nodes[p as usize].pos);
+                if n.edge_len < d {
+                    return Err(format!(
+                        "node {i}: edge_len {} < manhattan {d}",
+                        n.edge_len
+                    ));
+                }
+            }
+            if let Some(t) = n.terminal {
+                let t = t as usize;
+                if t >= seen.len() {
+                    return Err(format!("node {i}: terminal {t} out of range"));
+                }
+                if seen[t] {
+                    return Err(format!("terminal {t} embedded twice"));
+                }
+                seen[t] = true;
+            }
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err("not all terminals embedded".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire() -> WireRc {
+        WireRc {
+            res_per_nm: 1e-5,
+            cap_per_nm: 1e-4,
+        }
+    }
+
+    fn two_leaf_tree() -> RoutedTree {
+        // root(0) at (0,0) -> internal(1) at (10,0) -> leaves at (20,10) & (20,-10)
+        RoutedTree::new(
+            vec![
+                RoutedNode {
+                    pos: Point::new(0, 0),
+                    parent: None,
+                    edge_len: 0,
+                    terminal: None,
+                },
+                RoutedNode {
+                    pos: Point::new(10, 0),
+                    parent: Some(0),
+                    edge_len: 10,
+                    terminal: None,
+                },
+                RoutedNode {
+                    pos: Point::new(20, 10),
+                    parent: Some(1),
+                    edge_len: 20,
+                    terminal: Some(0),
+                },
+                RoutedNode {
+                    pos: Point::new(20, -10),
+                    parent: Some(1),
+                    edge_len: 20,
+                    terminal: Some(1),
+                },
+            ],
+            vec![0.0, 0.0],
+            vec![3.0, 3.0],
+        )
+    }
+
+    #[test]
+    fn validates_and_measures() {
+        let t = two_leaf_tree();
+        assert_eq!(t.validate(), Ok(()));
+        assert_eq!(t.total_wirelength(), 50);
+        assert_eq!(t.terminal_count(), 2);
+        assert_eq!(t.children()[1], vec![2, 3]);
+    }
+
+    #[test]
+    fn symmetric_tree_has_zero_skew() {
+        let t = two_leaf_tree();
+        let arr = t.sink_arrivals(wire());
+        assert_eq!(arr.len(), 2);
+        assert!((arr[0] - arr[1]).abs() < 1e-12);
+        assert!(arr[0] > 0.0);
+    }
+
+    #[test]
+    fn terminal_delay_offsets_shift_arrivals() {
+        let mut t = two_leaf_tree();
+        t.term_delays[0] = 5.0;
+        let arr = t.sink_arrivals(wire());
+        assert!((arr[0] - arr[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_catches_short_edge() {
+        let mut t = two_leaf_tree();
+        t.nodes[2].edge_len = 1; // manhattan distance is 20
+        assert!(t.validate().unwrap_err().contains("edge_len"));
+    }
+
+    #[test]
+    fn validate_catches_duplicate_terminal() {
+        let mut t = two_leaf_tree();
+        t.nodes[3].terminal = Some(0);
+        assert!(t.validate().is_err());
+    }
+}

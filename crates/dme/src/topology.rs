@@ -1,0 +1,257 @@
+use crate::zst::Terminal;
+use dscts_geom::Point;
+
+/// One node of a binary clock topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyNode {
+    /// Children node indices (internal nodes) — `None` for leaves.
+    pub children: Option<(u32, u32)>,
+    /// Terminal index for leaves — `None` for internal nodes.
+    pub terminal: Option<u32>,
+}
+
+/// A binary merge topology over a terminal set, in bottom-up order
+/// (children always precede parents; the root is the last node).
+///
+/// Build one with [`Topology::matching`] (greedy nearest-neighbour pairing,
+/// the classic Edahiro-style approach shown in Fig. 5(c) of the paper) or
+/// [`Topology::bisection`] (recursive balanced splits along the wider axis).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    nodes: Vec<TopologyNode>,
+}
+
+impl Topology {
+    /// Nodes in bottom-up order.
+    pub fn nodes(&self) -> &[TopologyNode] {
+        &self.nodes
+    }
+
+    /// Index of the root node.
+    pub fn root(&self) -> u32 {
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Number of nodes (= `2·n_terminals − 1` for `n ≥ 1`).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the topology is empty (never true for valid inputs).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Greedy nearest-neighbour matching topology: at every level, the
+    /// closest unmatched pair of subtree anchor points merges; an odd
+    /// leftover is carried to the next level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terminals` is empty.
+    pub fn matching(terminals: &[Terminal]) -> Topology {
+        assert!(!terminals.is_empty(), "topology needs at least one terminal");
+        let mut nodes: Vec<TopologyNode> = (0..terminals.len())
+            .map(|i| TopologyNode {
+                children: None,
+                terminal: Some(i as u32),
+            })
+            .collect();
+        // Active set: (node index, anchor point).
+        let mut active: Vec<(u32, Point)> = terminals
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u32, t.pos))
+            .collect();
+        while active.len() > 1 {
+            // All pairwise distances at this level.
+            let mut pairs: Vec<(i64, usize, usize)> = Vec::new();
+            for i in 0..active.len() {
+                for j in (i + 1)..active.len() {
+                    pairs.push((active[i].1.manhattan(active[j].1), i, j));
+                }
+            }
+            pairs.sort_unstable();
+            let mut used = vec![false; active.len()];
+            let mut next: Vec<(u32, Point)> = Vec::with_capacity(active.len() / 2 + 1);
+            for (_, i, j) in pairs {
+                if used[i] || used[j] {
+                    continue;
+                }
+                used[i] = true;
+                used[j] = true;
+                let id = nodes.len() as u32;
+                nodes.push(TopologyNode {
+                    children: Some((active[i].0, active[j].0)),
+                    terminal: None,
+                });
+                next.push((id, active[i].1.midpoint(active[j].1)));
+            }
+            for (i, &(id, p)) in active.iter().enumerate() {
+                if !used[i] {
+                    next.push((id, p));
+                }
+            }
+            active = next;
+        }
+        Topology { nodes }
+    }
+
+    /// Balanced-bisection topology: recursively split the terminal set in
+    /// half along the wider spatial axis. Produces depth `⌈log2 n⌉` trees
+    /// that are robust on strongly imbalanced point sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terminals` is empty.
+    pub fn bisection(terminals: &[Terminal]) -> Topology {
+        assert!(!terminals.is_empty(), "topology needs at least one terminal");
+        let mut nodes = Vec::with_capacity(2 * terminals.len());
+        let mut idx: Vec<u32> = (0..terminals.len() as u32).collect();
+        let root = Self::bisect(&mut idx, terminals, &mut nodes);
+        debug_assert_eq!(root as usize, nodes.len() - 1);
+        Topology { nodes }
+    }
+
+    fn bisect(idx: &mut [u32], terminals: &[Terminal], nodes: &mut Vec<TopologyNode>) -> u32 {
+        if idx.len() == 1 {
+            nodes.push(TopologyNode {
+                children: None,
+                terminal: Some(idx[0]),
+            });
+            return (nodes.len() - 1) as u32;
+        }
+        let xs: Vec<i64> = idx.iter().map(|&i| terminals[i as usize].pos.x).collect();
+        let ys: Vec<i64> = idx.iter().map(|&i| terminals[i as usize].pos.y).collect();
+        let span = |v: &[i64]| v.iter().max().unwrap() - v.iter().min().unwrap();
+        if span(&xs) >= span(&ys) {
+            idx.sort_by_key(|&i| (terminals[i as usize].pos.x, terminals[i as usize].pos.y));
+        } else {
+            idx.sort_by_key(|&i| (terminals[i as usize].pos.y, terminals[i as usize].pos.x));
+        }
+        let mid = idx.len() / 2;
+        let (lo, hi) = idx.split_at_mut(mid);
+        let a = Self::bisect(lo, terminals, nodes);
+        let b = Self::bisect(hi, terminals, nodes);
+        nodes.push(TopologyNode {
+            children: Some((a, b)),
+            terminal: None,
+        });
+        (nodes.len() - 1) as u32
+    }
+
+    /// Checks structural sanity: bottom-up order, every terminal appearing
+    /// exactly once, `2n − 1` nodes.
+    pub fn validate(&self, n_terminals: usize) -> Result<(), String> {
+        if self.nodes.len() != 2 * n_terminals - 1 {
+            return Err(format!(
+                "expected {} nodes for {} terminals, got {}",
+                2 * n_terminals - 1,
+                n_terminals,
+                self.nodes.len()
+            ));
+        }
+        let mut seen = vec![false; n_terminals];
+        for (i, n) in self.nodes.iter().enumerate() {
+            match (n.children, n.terminal) {
+                (Some((a, b)), None) => {
+                    if a as usize >= i || b as usize >= i {
+                        return Err(format!("node {i} references later child"));
+                    }
+                }
+                (None, Some(t)) => {
+                    if seen[t as usize] {
+                        return Err(format!("terminal {t} appears twice"));
+                    }
+                    seen[t as usize] = true;
+                }
+                _ => return Err(format!("node {i} is neither leaf nor internal")),
+            }
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err("not all terminals reachable".to_owned());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(pts: &[(i64, i64)]) -> Vec<Terminal> {
+        pts.iter()
+            .map(|&(x, y)| Terminal::new(Point::new(x, y), 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn matching_single_terminal() {
+        let t = terms(&[(5, 5)]);
+        let topo = Topology::matching(&t);
+        assert_eq!(topo.len(), 1);
+        assert!(topo.validate(1).is_ok());
+    }
+
+    #[test]
+    fn matching_pairs_nearest_first() {
+        // Two tight pairs far apart: matching must pair (0,1) and (2,3).
+        let t = terms(&[(0, 0), (1, 0), (100, 100), (101, 100)]);
+        let topo = Topology::matching(&t);
+        assert!(topo.validate(4).is_ok());
+        let pairs: Vec<(u32, u32)> = topo
+            .nodes()
+            .iter()
+            .filter_map(|n| n.children)
+            .collect();
+        // First two merges must combine the tight pairs (in some order).
+        let leaf_pairs: Vec<(u32, u32)> = pairs
+            .iter()
+            .filter(|&&(a, b)| a < 4 && b < 4)
+            .cloned()
+            .collect();
+        assert_eq!(leaf_pairs.len(), 2);
+        for (a, b) in leaf_pairs {
+            let (a, b) = (a.min(b), a.max(b));
+            assert!(((a, b) == (0, 1)) || ((a, b) == (2, 3)), "bad pair ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn matching_handles_odd_counts() {
+        let t = terms(&[(0, 0), (10, 0), (20, 0), (30, 0), (40, 0)]);
+        let topo = Topology::matching(&t);
+        assert_eq!(topo.len(), 9);
+        assert!(topo.validate(5).is_ok());
+    }
+
+    #[test]
+    fn bisection_is_balanced() {
+        let t: Vec<Terminal> = (0..16)
+            .map(|i| Terminal::new(Point::new(i * 10, 0), 1.0))
+            .collect();
+        let topo = Topology::bisection(&t);
+        assert!(topo.validate(16).is_ok());
+        // Depth of a balanced 16-leaf tree is 4; count max depth.
+        let mut depth = vec![0usize; topo.len()];
+        for (i, n) in topo.nodes().iter().enumerate() {
+            if let Some((a, b)) = n.children {
+                depth[i] = 1 + depth[a as usize].max(depth[b as usize]);
+            }
+        }
+        assert_eq!(depth[topo.root() as usize], 4);
+    }
+
+    #[test]
+    fn validate_rejects_wrong_node_count() {
+        let t = terms(&[(0, 0), (1, 1)]);
+        let topo = Topology::matching(&t);
+        assert!(topo.validate(3).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one terminal")]
+    fn empty_terminals_panic() {
+        let _ = Topology::matching(&[]);
+    }
+}

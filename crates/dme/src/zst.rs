@@ -1,0 +1,348 @@
+use crate::routed::{RoutedNode, RoutedTree};
+use crate::topology::Topology;
+use dscts_geom::{Point, TiltedRect};
+use dscts_tech::WireRc;
+
+/// A DME terminal: a point with downstream capacitance and an optional
+/// tapping delay (used for the centroids of already-routed subtrees).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Terminal {
+    /// Location (nm).
+    pub pos: Point,
+    /// Downstream capacitance presented to the tree (fF).
+    pub cap: f64,
+    /// Delay from this point to its own sinks (ps); zero for bare sinks.
+    pub delay: f64,
+}
+
+impl Terminal {
+    /// A bare sink terminal with zero tapping delay.
+    pub fn new(pos: Point, cap: f64) -> Self {
+        Terminal {
+            pos,
+            cap,
+            delay: 0.0,
+        }
+    }
+
+    /// A terminal summarising an already-routed subtree.
+    pub fn with_delay(pos: Point, cap: f64, delay: f64) -> Self {
+        Terminal { pos, cap, delay }
+    }
+}
+
+/// Zero-skew DME router (Elmore balanced, with wire snaking when needed).
+///
+/// See the crate docs for the algorithm outline and an example.
+#[derive(Debug, Clone)]
+pub struct ZstDme {
+    rc: WireRc,
+}
+
+#[derive(Debug, Clone)]
+struct MergeState {
+    ms: TiltedRect,
+    delay: f64,
+    cap: f64,
+    /// `(edge to child a, edge to child b)` electrical lengths (nm).
+    edges: Option<(i64, i64)>,
+}
+
+impl ZstDme {
+    /// Creates a router for wire stock `rc` (the layer the initial tree is
+    /// planned on; the synthesis core re-evaluates per-side later).
+    pub fn new(rc: WireRc) -> Self {
+        assert!(
+            rc.res_per_nm > 0.0 && rc.cap_per_nm > 0.0,
+            "DME needs positive wire parasitics"
+        );
+        ZstDme { rc }
+    }
+
+    /// Routes `topo` over `terminals`, feeding the tree from `source`.
+    ///
+    /// The returned tree has the source as node 0; its single child is the
+    /// DME tree root embedded at the nearest point of the root merging
+    /// segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology does not validate against the terminal set.
+    pub fn run(&self, topo: &Topology, terminals: &[Terminal], source: Point) -> RoutedTree {
+        topo.validate(terminals.len())
+            .expect("topology must match terminals");
+        let n = topo.len();
+        let r = self.rc.res_per_nm;
+        let c = self.rc.cap_per_nm;
+
+        // ---- Bottom-up: merging segments. ----
+        let mut st: Vec<MergeState> = Vec::with_capacity(n);
+        for node in topo.nodes() {
+            let state = match (node.children, node.terminal) {
+                (None, Some(t)) => {
+                    let t = &terminals[t as usize];
+                    MergeState {
+                        ms: TiltedRect::from_point(t.pos),
+                        delay: t.delay,
+                        cap: t.cap,
+                        edges: None,
+                    }
+                }
+                (Some((a, b)), None) => {
+                    let (sa, sb) = (&st[a as usize], &st[b as usize]);
+                    let (ea, eb) = balance_split(
+                        r,
+                        c,
+                        sa.ms.dist(&sb.ms),
+                        sa.delay,
+                        sa.cap,
+                        sb.delay,
+                        sb.cap,
+                    );
+                    let ms = sa
+                        .ms
+                        .expanded(ea)
+                        .intersect(&sb.ms.expanded(eb))
+                        .unwrap_or_else(|| {
+                            // Rounding starved the intersection; collapse to
+                            // the closest point of the nearer child.
+                            TiltedRect::from_point(sa.ms.nearest_point(sb.ms.center()))
+                        });
+                    let wire = |e: i64, cap: f64| r * e as f64 * (c * e as f64 + cap);
+                    let da = sa.delay + wire(ea, sa.cap);
+                    let db = sb.delay + wire(eb, sb.cap);
+                    MergeState {
+                        ms,
+                        delay: da.max(db),
+                        cap: sa.cap + sb.cap + c * (ea + eb) as f64,
+                        edges: Some((ea, eb)),
+                    }
+                }
+                _ => unreachable!("validated topology"),
+            };
+            st.push(state);
+        }
+
+        // ---- Top-down: embedding. ----
+        let mut nodes: Vec<RoutedNode> = vec![RoutedNode {
+            pos: source,
+            parent: None,
+            edge_len: 0,
+            terminal: None,
+        }];
+        let root_t = topo.root() as usize;
+        let root_pos = st[root_t].ms.nearest_point(source);
+        nodes.push(RoutedNode {
+            pos: root_pos,
+            parent: Some(0),
+            edge_len: source.manhattan(root_pos),
+            terminal: topo.nodes()[root_t].terminal,
+        });
+        // Parent topo index and first-child flag for every topo node.
+        let mut topo_parent: Vec<Option<(usize, bool)>> = vec![None; n];
+        for (i, node) in topo.nodes().iter().enumerate() {
+            if let Some((a, b)) = node.children {
+                topo_parent[a as usize] = Some((i, true));
+                topo_parent[b as usize] = Some((i, false));
+            }
+        }
+        // Stack of (topo node, routed parent index).
+        let mut stack: Vec<(usize, u32)> = Vec::new();
+        if let Some((a, b)) = topo.nodes()[root_t].children {
+            stack.push((a as usize, 1));
+            stack.push((b as usize, 1));
+        }
+        while let Some((t, parent_routed)) = stack.pop() {
+            let (parent_topo, is_first) = topo_parent[t].expect("child has a parent");
+            let (ea, eb) = st[parent_topo].edges.expect("internal node has edges");
+            let e = if is_first { ea } else { eb };
+            let ppos = nodes[parent_routed as usize].pos;
+            let q = st[t].ms.nearest_point(ppos);
+            let dist = ppos.manhattan(q);
+            let id = nodes.len() as u32;
+            nodes.push(RoutedNode {
+                pos: q,
+                parent: Some(parent_routed),
+                edge_len: e.max(dist),
+                terminal: topo.nodes()[t].terminal,
+            });
+            if let Some((a, b)) = topo.nodes()[t].children {
+                stack.push((a as usize, id));
+                stack.push((b as usize, id));
+            }
+        }
+
+        let tree = RoutedTree::new(
+            nodes,
+            terminals.iter().map(|t| t.delay).collect(),
+            terminals.iter().map(|t| t.cap).collect(),
+        );
+        debug_assert_eq!(tree.validate(), Ok(()));
+        tree
+    }
+}
+
+/// Splits the merge distance `d` into `(ea, eb)` equalising Elmore delay,
+/// snaking (detour > `d`) on the faster side when balancing inside `d` is
+/// impossible.
+fn balance_split(
+    r: f64,
+    c: f64,
+    d: i64,
+    ta: f64,
+    ca: f64,
+    tb: f64,
+    cb: f64,
+) -> (i64, i64) {
+    let df = d as f64;
+    let denom = 2.0 * r * c * df + r * (ca + cb);
+    let x = if denom > 0.0 {
+        (tb - ta + r * c * df * df + r * cb * df) / denom
+    } else {
+        // Zero distance and zero caps: split trivially.
+        0.0
+    };
+    if x < 0.0 {
+        // Subtree a is too slow: tap on a's segment, snake wire toward b.
+        let eb = extend_for_delay(r, c, cb, ta - tb).max(df);
+        (0, eb.round() as i64)
+    } else if x > df {
+        let ea = extend_for_delay(r, c, ca, tb - ta).max(df);
+        (ea.round() as i64, 0)
+    } else {
+        let ea = x.round().clamp(0.0, df) as i64;
+        (ea, d - ea)
+    }
+}
+
+/// Length `e` of wire with downstream cap `cap` whose Elmore delay equals
+/// `target` (ps): solves `r·c·e² + r·cap·e = target`.
+fn extend_for_delay(r: f64, c: f64, cap: f64, target: f64) -> f64 {
+    if target <= 0.0 {
+        return 0.0;
+    }
+    let a = r * c;
+    let b = r * cap;
+    if a <= 0.0 {
+        return if b > 0.0 { target / b } else { 0.0 };
+    }
+    (-b + (b * b + 4.0 * a * target).sqrt()) / (2.0 * a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rc() -> WireRc {
+        // M3-like stock.
+        WireRc {
+            res_per_nm: 0.024222e-3,
+            cap_per_nm: 0.12918e-3,
+        }
+    }
+
+    fn skew(tree: &RoutedTree, rc: WireRc) -> f64 {
+        let a = tree.sink_arrivals(rc);
+        let max = a.iter().cloned().fold(f64::MIN, f64::max);
+        let min = a.iter().cloned().fold(f64::MAX, f64::min);
+        max - min
+    }
+
+    #[test]
+    fn symmetric_pair_taps_in_the_middle() {
+        let terms = vec![
+            Terminal::new(Point::new(0, 0), 2.0),
+            Terminal::new(Point::new(20_000, 0), 2.0),
+        ];
+        let topo = Topology::matching(&terms);
+        let tree = ZstDme::new(rc()).run(&topo, &terms, Point::new(10_000, 30_000));
+        assert_eq!(tree.validate(), Ok(()));
+        assert!(skew(&tree, rc()) < 0.01);
+        // The tap sits on the bisector: equal distance to both sinks.
+        let tap = tree.nodes().iter().find(|n| n.parent == Some(0)).unwrap();
+        let d0 = tap.pos.manhattan(Point::new(0, 0));
+        let d1 = tap.pos.manhattan(Point::new(20_000, 0));
+        assert!((d0 - d1).abs() <= 2, "tap {} vs {}", d0, d1);
+    }
+
+    #[test]
+    fn asymmetric_caps_still_zero_skew() {
+        let terms = vec![
+            Terminal::new(Point::new(0, 0), 1.0),
+            Terminal::new(Point::new(40_000, 10_000), 20.0),
+        ];
+        let topo = Topology::matching(&terms);
+        let tree = ZstDme::new(rc()).run(&topo, &terms, Point::new(0, 0));
+        assert!(skew(&tree, rc()) < 0.05, "skew {}", skew(&tree, rc()));
+    }
+
+    #[test]
+    fn initial_delay_forces_snaking() {
+        // Terminal 0 is "already slow": the wire to terminal 1 must snake.
+        let terms = vec![
+            Terminal::with_delay(Point::new(0, 0), 2.0, 50.0),
+            Terminal::new(Point::new(5_000, 0), 2.0),
+        ];
+        let topo = Topology::matching(&terms);
+        let tree = ZstDme::new(rc()).run(&topo, &terms, Point::new(0, 10_000));
+        assert!(skew(&tree, rc()) < 0.6, "skew {}", skew(&tree, rc()));
+        // Some edge must be longer than its Manhattan span.
+        let snaked = tree.nodes().iter().enumerate().any(|(i, n)| {
+            n.parent.map_or(false, |p| {
+                let d = n.pos.manhattan(tree.nodes()[p as usize].pos);
+                let _ = i;
+                n.edge_len > d
+            })
+        });
+        assert!(snaked, "expected a snaking edge");
+    }
+
+    #[test]
+    fn four_sinks_grid_balanced() {
+        let terms = vec![
+            Terminal::new(Point::new(0, 0), 2.0),
+            Terminal::new(Point::new(30_000, 0), 2.0),
+            Terminal::new(Point::new(0, 30_000), 2.0),
+            Terminal::new(Point::new(30_000, 30_000), 2.0),
+        ];
+        let topo = Topology::matching(&terms);
+        let tree = ZstDme::new(rc()).run(&topo, &terms, Point::new(15_000, 15_000));
+        assert_eq!(tree.validate(), Ok(()));
+        assert!(skew(&tree, rc()) < 0.02, "skew {}", skew(&tree, rc()));
+        // Wirelength should be near the H-tree optimum (90 µm for this
+        // square: two 30 µm rails plus the 30 µm cross bar).
+        assert!(tree.total_wirelength() <= 105_000);
+    }
+
+    #[test]
+    fn single_terminal_direct_feed() {
+        let terms = vec![Terminal::new(Point::new(7_000, 3_000), 4.0)];
+        let topo = Topology::matching(&terms);
+        let tree = ZstDme::new(rc()).run(&topo, &terms, Point::new(0, 0));
+        assert_eq!(tree.validate(), Ok(()));
+        assert_eq!(tree.total_wirelength(), 10_000);
+    }
+
+    #[test]
+    fn balance_split_covers_distance() {
+        let (ea, eb) = balance_split(1e-5, 1e-4, 10_000, 0.0, 5.0, 0.0, 5.0);
+        assert_eq!(ea + eb, 10_000);
+        assert_eq!(ea, 5_000); // symmetric
+    }
+
+    #[test]
+    fn balance_split_shifts_toward_lighter_side() {
+        // Heavier cap on b pulls the tap toward b (shorter eb).
+        let (_ea, eb) = balance_split(1e-5, 1e-4, 10_000, 0.0, 1.0, 0.0, 50.0);
+        assert!(eb < 5_000, "eb {eb}");
+    }
+
+    #[test]
+    fn extend_for_delay_roundtrips() {
+        let (r, c, cap) = (1e-5, 1e-4, 3.0);
+        let e = extend_for_delay(r, c, cap, 2.5);
+        let d = r * e * (c * e + cap);
+        assert!((d - 2.5).abs() < 1e-9);
+        assert_eq!(extend_for_delay(r, c, cap, 0.0), 0.0);
+    }
+}

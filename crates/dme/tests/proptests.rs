@@ -1,0 +1,160 @@
+//! Property tests: DME produces valid, zero-skew trees on random inputs.
+
+use dscts_dme::{Terminal, Topology, ZstDme};
+use dscts_geom::Point;
+use dscts_tech::WireRc;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn rc() -> WireRc {
+    WireRc {
+        res_per_nm: 0.024222e-3,
+        cap_per_nm: 0.12918e-3,
+    }
+}
+
+fn random_terminals(n: usize, seed: u64, span: i64) -> Vec<Terminal> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Terminal::new(
+                Point::new(rng.random_range(0..span), rng.random_range(0..span)),
+                rng.random_range(1.0..5.0),
+            )
+        })
+        .collect()
+}
+
+fn skew_of(tree: &dscts_dme::RoutedTree) -> f64 {
+    let a = tree.sink_arrivals(rc());
+    let max = a.iter().cloned().fold(f64::MIN, f64::max);
+    let min = a.iter().cloned().fold(f64::MAX, f64::min);
+    max - min
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn zst_dme_zero_skew_random(n in 2usize..40, seed in 0u64..1000) {
+        let terms = random_terminals(n, seed, 100_000);
+        let topo = Topology::matching(&terms);
+        prop_assert!(topo.validate(n).is_ok());
+        let tree = ZstDme::new(rc()).run(&topo, &terms, Point::new(0, 0));
+        prop_assert_eq!(tree.validate(), Ok(()));
+        prop_assert_eq!(tree.terminal_count(), n);
+        // Integer rounding accumulates sub-ps noise per merge level.
+        prop_assert!(skew_of(&tree) < 0.2, "skew {}", skew_of(&tree));
+    }
+
+    #[test]
+    fn bisection_topology_also_balances(n in 2usize..40, seed in 0u64..500) {
+        let terms = random_terminals(n, seed, 80_000);
+        let topo = Topology::bisection(&terms);
+        let tree = ZstDme::new(rc()).run(&topo, &terms, Point::new(40_000, 40_000));
+        prop_assert_eq!(tree.validate(), Ok(()));
+        prop_assert!(skew_of(&tree) < 0.2, "skew {}", skew_of(&tree));
+    }
+
+    #[test]
+    fn heterogeneous_tap_delays_balance(n in 2usize..20, seed in 0u64..200) {
+        // Terminals that summarise routed subtrees with different delays.
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD5C7);
+        let terms: Vec<Terminal> = random_terminals(n, seed, 60_000)
+            .into_iter()
+            .map(|t| Terminal::with_delay(t.pos, t.cap, rng.random_range(0.0..20.0)))
+            .collect();
+        let topo = Topology::matching(&terms);
+        let tree = ZstDme::new(rc()).run(&topo, &terms, Point::new(0, 0));
+        prop_assert_eq!(tree.validate(), Ok(()));
+        // Snaking may be needed; allow slightly more rounding noise.
+        prop_assert!(skew_of(&tree) < 0.6, "skew {}", skew_of(&tree));
+    }
+
+    #[test]
+    fn wirelength_at_least_steiner_lower_bound(n in 2usize..30, seed in 0u64..300) {
+        // Any tree connecting the terminals is at least half the bounding
+        // box perimeter long.
+        let terms = random_terminals(n, seed, 120_000);
+        let topo = Topology::matching(&terms);
+        let tree = ZstDme::new(rc()).run(&topo, &terms, Point::new(0, 0));
+        let bb = dscts_geom::bounding_box(terms.iter().map(|t| t.pos)).unwrap();
+        let half_perimeter = bb.width() + bb.height();
+        prop_assert!(tree.total_wirelength() >= half_perimeter / 2);
+    }
+
+    #[test]
+    fn edge_lengths_cover_geometry(n in 2usize..25, seed in 0u64..300) {
+        let terms = random_terminals(n, seed, 90_000);
+        let topo = Topology::matching(&terms);
+        let tree = ZstDme::new(rc()).run(&topo, &terms, Point::new(45_000, 0));
+        for node in tree.nodes().iter() {
+            if let Some(p) = node.parent {
+                let d = node.pos.manhattan(tree.nodes()[p as usize].pos);
+                prop_assert!(node.edge_len >= d);
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_beats_naive_on_imbalanced_sets(seed in 0u64..40) {
+        // The paper's motivation for hierarchical DME (§III-B): on strongly
+        // imbalanced sink distributions, topology quality dominates
+        // wirelength. A bisection (locality-aware) topology should not be
+        // dramatically worse than matching, and both must stay within 4x of
+        // the Steiner lower bound.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut terms = Vec::new();
+        // Dense clump + far-away stragglers.
+        for _ in 0..30 {
+            terms.push(Terminal::new(
+                Point::new(rng.random_range(0..5_000), rng.random_range(0..5_000)),
+                2.0,
+            ));
+        }
+        for _ in 0..3 {
+            terms.push(Terminal::new(
+                Point::new(rng.random_range(90_000..100_000), rng.random_range(90_000..100_000)),
+                2.0,
+            ));
+        }
+        // Reference: minimum spanning tree length (Prim), a constant-factor
+        // proxy for the rectilinear Steiner minimum.
+        let mst = {
+            let pts: Vec<Point> = terms.iter().map(|t| t.pos).collect();
+            let mut in_tree = vec![false; pts.len()];
+            let mut best = vec![i64::MAX; pts.len()];
+            in_tree[0] = true;
+            for i in 1..pts.len() {
+                best[i] = pts[i].manhattan(pts[0]);
+            }
+            let mut total = 0i64;
+            for _ in 1..pts.len() {
+                let (i, _) = best
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| !in_tree[i])
+                    .min_by_key(|&(_, &d)| d)
+                    .unwrap();
+                total += best[i];
+                in_tree[i] = true;
+                for j in 0..pts.len() {
+                    if !in_tree[j] {
+                        best[j] = best[j].min(pts[j].manhattan(pts[i]));
+                    }
+                }
+            }
+            total
+        };
+        for topo in [Topology::matching(&terms), Topology::bisection(&terms)] {
+            let tree = ZstDme::new(rc()).run(&topo, &terms, Point::new(0, 0));
+            // Geometric metal stays within a small factor of the MST; the
+            // *electrical* length may blow up through snaking — that
+            // inflation is exactly the cost buffer-based balancing avoids.
+            prop_assert!(tree.geometric_wirelength() < 4 * mst,
+                "geom wl {} vs mst {}", tree.geometric_wirelength(), mst);
+            prop_assert!(tree.total_wirelength() >= tree.geometric_wirelength());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Manhattan-plane geometry primitives for clock tree synthesis.
+//!
+//! Clock routing algorithms such as deferred-merge embedding (DME) operate in
+//! the rectilinear (Manhattan, L1) plane. This crate provides the small set
+//! of exact integer-geometry types they need:
+//!
+//! * [`Point`] — a lattice point in database units (this workspace uses
+//!   1 dbu = 1 nm).
+//! * [`Rect`] — an axis-aligned rectangle (die area, macro keep-outs).
+//! * [`TiltedRect`] — a *tilted rectangle region* (TRR): the Minkowski
+//!   expansion of a 45°-sloped "Manhattan arc" by an L1 radius. Merging
+//!   segments in DME are Manhattan arcs, and all TRR arithmetic (distance,
+//!   intersection, nearest point) becomes axis-aligned rectangle arithmetic
+//!   in the *tilted coordinate system* `(u, v) = (x + y, x − y)`.
+//!
+//! # Example
+//!
+//! ```
+//! use dscts_geom::{Point, TiltedRect};
+//!
+//! let a = TiltedRect::from_point(Point::new(0, 0));
+//! let b = TiltedRect::from_point(Point::new(10, 6));
+//! // L1 distance between the two regions:
+//! assert_eq!(a.dist(&b), 16);
+//! // DME merge: expand each region by its edge length; the intersection is
+//! // the locus of merge points.
+//! let ms = a.expanded(9).intersect(&b.expanded(7)).unwrap();
+//! assert!(ms.contains(Point::new(5, 4)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod point;
+mod rect;
+mod tilted;
+
+pub use point::{manhattan, Point};
+pub use rect::Rect;
+pub use tilted::TiltedRect;
+
+/// Total Manhattan length of a path given as a sequence of points.
+///
+/// Returns 0 for paths with fewer than two points.
+///
+/// ```
+/// use dscts_geom::{path_length, Point};
+/// let p = [Point::new(0, 0), Point::new(3, 0), Point::new(3, 4)];
+/// assert_eq!(path_length(&p), 7);
+/// ```
+pub fn path_length(points: &[Point]) -> i64 {
+    points.windows(2).map(|w| manhattan(w[0], w[1])).sum()
+}
+
+/// Axis-aligned bounding box of a non-empty set of points.
+///
+/// Returns `None` for an empty iterator.
+///
+/// ```
+/// use dscts_geom::{bounding_box, Point, Rect};
+/// let pts = [Point::new(1, 5), Point::new(-2, 3)];
+/// assert_eq!(bounding_box(pts).unwrap(), Rect::new(-2, 3, 1, 5));
+/// ```
+pub fn bounding_box<I: IntoIterator<Item = Point>>(points: I) -> Option<Rect> {
+    let mut it = points.into_iter();
+    let first = it.next()?;
+    let mut r = Rect::new(first.x, first.y, first.x, first.y);
+    for p in it {
+        r = r.union_point(p);
+    }
+    Some(r)
+}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn path_length_empty_and_single() {
+        assert_eq!(path_length(&[]), 0);
+        assert_eq!(path_length(&[Point::new(9, 9)]), 0);
+    }
+
+    #[test]
+    fn bounding_box_empty() {
+        assert!(bounding_box(std::iter::empty::<Point>()).is_none());
+    }
+
+    #[test]
+    fn bounding_box_covers_all() {
+        let pts = [
+            Point::new(0, 0),
+            Point::new(10, -5),
+            Point::new(-3, 8),
+            Point::new(4, 4),
+        ];
+        let bb = bounding_box(pts).unwrap();
+        for p in pts {
+            assert!(bb.contains(p));
+        }
+        assert_eq!(bb, Rect::new(-3, -5, 10, 8));
+    }
+}

@@ -1,0 +1,175 @@
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A lattice point in database units (1 dbu = 1 nm in this workspace).
+///
+/// `Point` is a plain value type: `Copy`, ordered lexicographically
+/// (x first), hashable, and usable as a map key.
+///
+/// ```
+/// use dscts_geom::Point;
+/// let p = Point::new(3, 4) + Point::new(1, -1);
+/// assert_eq!(p, Point::new(4, 3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Point {
+    /// Horizontal coordinate (dbu).
+    pub x: i64,
+    /// Vertical coordinate (dbu).
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// Manhattan (L1) distance to `other`.
+    ///
+    /// ```
+    /// use dscts_geom::Point;
+    /// assert_eq!(Point::new(0, 0).manhattan(Point::new(3, -4)), 7);
+    /// ```
+    pub fn manhattan(self, other: Point) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Tilted coordinate `u = x + y`.
+    pub fn u(self) -> i64 {
+        self.x + self.y
+    }
+
+    /// Tilted coordinate `v = x − y`.
+    pub fn v(self) -> i64 {
+        self.x - self.y
+    }
+
+    /// Reconstructs a point from tilted coordinates, rounding to the nearest
+    /// lattice point when `(u + v)` is odd (the true pre-image then lies on a
+    /// half-integer coordinate; the rounded point is within 1 dbu in L1).
+    pub fn from_tilted(u: i64, v: i64) -> Point {
+        // x = (u + v) / 2, y = (u - v) / 2 with floor-consistent rounding.
+        let x2 = u + v;
+        let y2 = u - v;
+        Point::new(x2.div_euclid(2), y2.div_euclid(2))
+    }
+
+    /// Component-wise midpoint (rounded toward negative infinity).
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new(
+            (self.x + other.x).div_euclid(2),
+            (self.y + other.y).div_euclid(2),
+        )
+    }
+
+    /// Returns the point on the rectilinear segment `self -> other` at
+    /// Manhattan distance `d` from `self`, walking the L-shaped path that
+    /// first moves in x then in y.
+    ///
+    /// `d` is clamped to `[0, manhattan(self, other)]`.
+    ///
+    /// ```
+    /// use dscts_geom::Point;
+    /// let a = Point::new(0, 0);
+    /// let b = Point::new(3, 4);
+    /// assert_eq!(a.walk_toward(b, 0), a);
+    /// assert_eq!(a.walk_toward(b, 3), Point::new(3, 0));
+    /// assert_eq!(a.walk_toward(b, 5), Point::new(3, 2));
+    /// assert_eq!(a.walk_toward(b, 99), b);
+    /// ```
+    pub fn walk_toward(self, other: Point, d: i64) -> Point {
+        let total = self.manhattan(other);
+        let d = d.clamp(0, total);
+        let dx = other.x - self.x;
+        let step_x = d.min(dx.abs());
+        let x = self.x + step_x * dx.signum();
+        let rem = d - step_x;
+        let dy = other.y - self.y;
+        let y = self.y + rem.min(dy.abs()) * dy.signum();
+        Point::new(x, y)
+    }
+}
+
+/// Manhattan (L1) distance between two points (free-function form).
+///
+/// ```
+/// use dscts_geom::{manhattan, Point};
+/// assert_eq!(manhattan(Point::new(1, 1), Point::new(4, 5)), 7);
+/// ```
+pub fn manhattan(a: Point, b: Point) -> i64 {
+    a.manhattan(b)
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    fn from((x, y): (i64, i64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = Point::new(-3, 9);
+        let b = Point::new(14, -2);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn tilted_roundtrip_even_parity() {
+        let p = Point::new(7, 3); // u + v = 14 even
+        assert_eq!(Point::from_tilted(p.u(), p.v()), p);
+    }
+
+    #[test]
+    fn tilted_distance_is_chebyshev() {
+        let a = Point::new(2, 5);
+        let b = Point::new(-4, 9);
+        let cheb = (a.u() - b.u()).abs().max((a.v() - b.v()).abs());
+        assert_eq!(a.manhattan(b), cheb);
+    }
+
+    #[test]
+    fn walk_toward_endpoints() {
+        let a = Point::new(5, 5);
+        let b = Point::new(-2, 8);
+        let total = a.manhattan(b);
+        assert_eq!(a.walk_toward(b, total), b);
+        assert_eq!(a.walk_toward(b, 0), a);
+        let mid = a.walk_toward(b, total / 2);
+        assert_eq!(a.manhattan(mid) + mid.manhattan(b), total);
+    }
+
+    #[test]
+    fn display_and_from_tuple() {
+        let p: Point = (1, 2).into();
+        assert_eq!(p.to_string(), "(1, 2)");
+    }
+}

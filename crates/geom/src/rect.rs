@@ -1,0 +1,185 @@
+use crate::Point;
+use std::fmt;
+
+/// An axis-aligned rectangle with inclusive integer bounds.
+///
+/// Used for die areas, core boxes, and macro keep-out regions. A `Rect` with
+/// `xlo == xhi` or `ylo == yhi` is degenerate (a segment or point) but still
+/// valid.
+///
+/// ```
+/// use dscts_geom::{Point, Rect};
+/// let die = Rect::new(0, 0, 1000, 800);
+/// assert!(die.contains(Point::new(500, 400)));
+/// assert_eq!(die.width(), 1000);
+/// assert_eq!(die.area(), 800_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Lower x bound (inclusive).
+    pub xlo: i64,
+    /// Lower y bound (inclusive).
+    pub ylo: i64,
+    /// Upper x bound (inclusive).
+    pub xhi: i64,
+    /// Upper y bound (inclusive).
+    pub yhi: i64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xlo > xhi` or `ylo > yhi`.
+    pub fn new(xlo: i64, ylo: i64, xhi: i64, yhi: i64) -> Self {
+        assert!(xlo <= xhi && ylo <= yhi, "malformed rect bounds");
+        Rect { xlo, ylo, xhi, yhi }
+    }
+
+    /// Rectangle covering exactly one point.
+    pub fn from_point(p: Point) -> Self {
+        Rect::new(p.x, p.y, p.x, p.y)
+    }
+
+    /// Width along x.
+    pub fn width(&self) -> i64 {
+        self.xhi - self.xlo
+    }
+
+    /// Height along y.
+    pub fn height(&self) -> i64 {
+        self.yhi - self.ylo
+    }
+
+    /// Area (`width × height`), computed in 128-bit to avoid overflow and
+    /// saturated back to `i64::MAX` if necessary.
+    pub fn area(&self) -> i64 {
+        let a = self.width() as i128 * self.height() as i128;
+        a.min(i64::MAX as i128) as i64
+    }
+
+    /// Center point (rounded toward negative infinity).
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.xlo + self.xhi).div_euclid(2),
+            (self.ylo + self.yhi).div_euclid(2),
+        )
+    }
+
+    /// Whether `p` lies inside (bounds inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.xlo && p.x <= self.xhi && p.y >= self.ylo && p.y <= self.yhi
+    }
+
+    /// Whether the two rectangles share at least one point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.xlo <= other.xhi
+            && other.xlo <= self.xhi
+            && self.ylo <= other.yhi
+            && other.ylo <= self.yhi
+    }
+
+    /// Smallest rectangle containing both `self` and `p`.
+    pub fn union_point(&self, p: Point) -> Rect {
+        Rect {
+            xlo: self.xlo.min(p.x),
+            ylo: self.ylo.min(p.y),
+            xhi: self.xhi.max(p.x),
+            yhi: self.yhi.max(p.y),
+        }
+    }
+
+    /// Smallest rectangle containing both rectangles.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            xlo: self.xlo.min(other.xlo),
+            ylo: self.ylo.min(other.ylo),
+            xhi: self.xhi.max(other.xhi),
+            yhi: self.yhi.max(other.yhi),
+        }
+    }
+
+    /// Rectangle grown by `margin` on every side (shrunk if negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative margin would invert the bounds.
+    pub fn expanded(&self, margin: i64) -> Rect {
+        Rect::new(
+            self.xlo - margin,
+            self.ylo - margin,
+            self.xhi + margin,
+            self.yhi + margin,
+        )
+    }
+
+    /// The point inside `self` closest (in L1) to `p`; `p` itself when
+    /// contained.
+    ///
+    /// ```
+    /// use dscts_geom::{Point, Rect};
+    /// let r = Rect::new(0, 0, 10, 10);
+    /// assert_eq!(r.clamp_point(Point::new(15, -3)), Point::new(10, 0));
+    /// ```
+    pub fn clamp_point(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.xlo, self.xhi), p.y.clamp(self.ylo, self.yhi))
+    }
+
+    /// L1 distance from `p` to the rectangle (0 when contained).
+    pub fn dist_to_point(&self, p: Point) -> i64 {
+        p.manhattan(self.clamp_point(p))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}, {}] x [{}, {}]",
+            self.xlo, self.xhi, self.ylo, self.yhi
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn rejects_inverted_bounds() {
+        let _ = Rect::new(5, 0, 0, 5);
+    }
+
+    #[test]
+    fn degenerate_rect_is_ok() {
+        let r = Rect::from_point(Point::new(3, 3));
+        assert_eq!(r.area(), 0);
+        assert!(r.contains(Point::new(3, 3)));
+        assert!(!r.contains(Point::new(3, 4)));
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let a = Rect::new(0, 0, 5, 5);
+        let b = Rect::new(3, 3, 9, 9);
+        let c = Rect::new(7, 0, 9, 2);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.union(&c), Rect::new(0, 0, 9, 5));
+    }
+
+    #[test]
+    fn clamp_and_dist() {
+        let r = Rect::new(-5, -5, 5, 5);
+        assert_eq!(r.dist_to_point(Point::new(0, 0)), 0);
+        assert_eq!(r.dist_to_point(Point::new(8, 9)), 3 + 4);
+    }
+
+    #[test]
+    fn center_of_odd_rect() {
+        let r = Rect::new(0, 0, 5, 3);
+        assert_eq!(r.center(), Point::new(2, 1));
+    }
+}

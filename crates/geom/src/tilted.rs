@@ -1,0 +1,282 @@
+use crate::Point;
+use std::fmt;
+
+/// A *tilted rectangle region* (TRR): a rectangle whose sides have slope ±1
+/// in the Manhattan plane.
+///
+/// TRRs are the fundamental regions of DME clock routing:
+///
+/// * a sink location is a degenerate TRR (a point);
+/// * a *merging segment* is a degenerate TRR (a Manhattan arc — a segment of
+///   slope +1 or −1);
+/// * the locus of points within L1 distance `r` of a merging segment is the
+///   TRR obtained by [`TiltedRect::expanded`] with radius `r`.
+///
+/// Internally a TRR is stored as an axis-aligned box in the tilted coordinate
+/// system `(u, v) = (x + y, x − y)`, where L1 distance becomes L∞ distance,
+/// so region intersection and distance reduce to interval arithmetic.
+///
+/// Note that not every tilted box corresponds to a set of lattice points with
+/// consistent parity; conversions back to [`Point`] round to the nearest
+/// lattice point (≤ 1 dbu error, negligible at nanometre resolution).
+///
+/// ```
+/// use dscts_geom::{Point, TiltedRect};
+/// let s = TiltedRect::from_point(Point::new(0, 0)).expanded(4);
+/// // The diamond of radius 4 contains (2, 2) but not (3, 2):
+/// assert!(s.contains(Point::new(2, 2)));
+/// assert!(!s.contains(Point::new(3, 2)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TiltedRect {
+    ulo: i64,
+    uhi: i64,
+    vlo: i64,
+    vhi: i64,
+}
+
+impl TiltedRect {
+    /// Creates a TRR directly from tilted-space bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ulo > uhi` or `vlo > vhi`.
+    pub fn from_tilted_bounds(ulo: i64, uhi: i64, vlo: i64, vhi: i64) -> Self {
+        assert!(ulo <= uhi && vlo <= vhi, "malformed tilted bounds");
+        TiltedRect { ulo, uhi, vlo, vhi }
+    }
+
+    /// Degenerate TRR covering a single point.
+    pub fn from_point(p: Point) -> Self {
+        TiltedRect {
+            ulo: p.u(),
+            uhi: p.u(),
+            vlo: p.v(),
+            vhi: p.v(),
+        }
+    }
+
+    /// TRR covering a Manhattan arc (segment of slope ±1), or a degenerate
+    /// point segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a -> b` is neither a point nor a ±1-sloped segment.
+    pub fn from_arc(a: Point, b: Point) -> Self {
+        let du = (a.u() - b.u()).abs();
+        let dv = (a.v() - b.v()).abs();
+        assert!(
+            du == 0 || dv == 0,
+            "merging segment must be a Manhattan arc: {a} -> {b}"
+        );
+        TiltedRect {
+            ulo: a.u().min(b.u()),
+            uhi: a.u().max(b.u()),
+            vlo: a.v().min(b.v()),
+            vhi: a.v().max(b.v()),
+        }
+    }
+
+    /// Tilted-space bounds `(ulo, uhi, vlo, vhi)`.
+    pub fn tilted_bounds(&self) -> (i64, i64, i64, i64) {
+        (self.ulo, self.uhi, self.vlo, self.vhi)
+    }
+
+    /// Whether this region is a single point in tilted space.
+    pub fn is_point(&self) -> bool {
+        self.ulo == self.uhi && self.vlo == self.vhi
+    }
+
+    /// Whether this region is a Manhattan arc (degenerate in one tilted axis).
+    pub fn is_arc(&self) -> bool {
+        self.ulo == self.uhi || self.vlo == self.vhi
+    }
+
+    /// Minkowski expansion by L1 radius `r ≥ 0`: every point within distance
+    /// `r` of the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r < 0`.
+    pub fn expanded(&self, r: i64) -> TiltedRect {
+        assert!(r >= 0, "expansion radius must be non-negative");
+        TiltedRect {
+            ulo: self.ulo - r,
+            uhi: self.uhi + r,
+            vlo: self.vlo - r,
+            vhi: self.vhi + r,
+        }
+    }
+
+    /// Region intersection, `None` when disjoint.
+    pub fn intersect(&self, other: &TiltedRect) -> Option<TiltedRect> {
+        let ulo = self.ulo.max(other.ulo);
+        let uhi = self.uhi.min(other.uhi);
+        let vlo = self.vlo.max(other.vlo);
+        let vhi = self.vhi.min(other.vhi);
+        if ulo <= uhi && vlo <= vhi {
+            Some(TiltedRect { ulo, uhi, vlo, vhi })
+        } else {
+            None
+        }
+    }
+
+    /// Minimum L1 distance between the two regions (0 when they intersect).
+    ///
+    /// In tilted space this is the Chebyshev gap
+    /// `max(gap_u, gap_v)`.
+    pub fn dist(&self, other: &TiltedRect) -> i64 {
+        let gap = |alo: i64, ahi: i64, blo: i64, bhi: i64| (blo - ahi).max(alo - bhi).max(0);
+        let gu = gap(self.ulo, self.uhi, other.ulo, other.uhi);
+        let gv = gap(self.vlo, self.vhi, other.vlo, other.vhi);
+        gu.max(gv)
+    }
+
+    /// Whether `p` lies inside the region.
+    pub fn contains(&self, p: Point) -> bool {
+        let (u, v) = (p.u(), p.v());
+        u >= self.ulo && u <= self.uhi && v >= self.vlo && v <= self.vhi
+    }
+
+    /// L1 distance from `p` to the region (0 when contained).
+    pub fn dist_to_point(&self, p: Point) -> i64 {
+        self.dist(&TiltedRect::from_point(p))
+    }
+
+    /// A representative point of the region (its tilted-space center,
+    /// rounded to a lattice point).
+    pub fn center(&self) -> Point {
+        Point::from_tilted(
+            (self.ulo + self.uhi).div_euclid(2),
+            (self.vlo + self.vhi).div_euclid(2),
+        )
+    }
+
+    /// The point of `self` nearest (in L1) to the point `p`.
+    ///
+    /// Used by top-down DME embedding: the parent picks its location, then
+    /// each child is placed at the point of its merging segment nearest to
+    /// the parent.
+    ///
+    /// The result is snapped to a lattice point with consistent parity,
+    /// nudging by 1 dbu inside the region when needed, so the returned point
+    /// is contained in the region whenever the region holds any lattice
+    /// point.
+    pub fn nearest_point(&self, p: Point) -> Point {
+        let mut u = p.u().clamp(self.ulo, self.uhi);
+        let mut v = p.v().clamp(self.vlo, self.vhi);
+        if (u + v).rem_euclid(2) != 0 {
+            // (u + v) odd means the pre-image is a half-integer point; nudge
+            // one tilted coordinate toward the interior to restore parity.
+            if u < self.uhi {
+                u += 1;
+            } else if u > self.ulo {
+                u -= 1;
+            } else if v < self.vhi {
+                v += 1;
+            } else if v > self.vlo {
+                v -= 1;
+            }
+        }
+        Point::from_tilted(u, v)
+    }
+
+    /// The four corner points (rounded to lattice points). Degenerate
+    /// regions repeat corners.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            Point::from_tilted(self.ulo, self.vlo),
+            Point::from_tilted(self.ulo, self.vhi),
+            Point::from_tilted(self.uhi, self.vlo),
+            Point::from_tilted(self.uhi, self.vhi),
+        ]
+    }
+}
+
+impl fmt::Display for TiltedRect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TRR(u: [{}, {}], v: [{}, {}])",
+            self.ulo, self.uhi, self.vlo, self.vhi
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_trr_roundtrip() {
+        let p = Point::new(12, 7);
+        let t = TiltedRect::from_point(p);
+        assert!(t.is_point());
+        assert!(t.contains(p));
+        assert_eq!(t.dist_to_point(p), 0);
+    }
+
+    #[test]
+    fn dist_matches_manhattan_for_points() {
+        let a = Point::new(-4, 2);
+        let b = Point::new(9, -6);
+        let ta = TiltedRect::from_point(a);
+        let tb = TiltedRect::from_point(b);
+        assert_eq!(ta.dist(&tb), a.manhattan(b));
+    }
+
+    #[test]
+    fn merge_intersection_exists_when_radii_cover_distance() {
+        let a = TiltedRect::from_point(Point::new(0, 0));
+        let b = TiltedRect::from_point(Point::new(20, 10));
+        let d = a.dist(&b);
+        for ea in 0..=d {
+            let eb = d - ea;
+            let ms = a.expanded(ea).intersect(&b.expanded(eb));
+            assert!(ms.is_some(), "radii {ea}+{eb} must meet");
+            let ms = ms.unwrap();
+            // Every merge point is at distance <= ea from a and <= eb from b.
+            assert!(ms.dist(&a) <= ea && ms.dist(&b) <= eb);
+        }
+    }
+
+    #[test]
+    fn disjoint_when_radii_fall_short() {
+        let a = TiltedRect::from_point(Point::new(0, 0));
+        let b = TiltedRect::from_point(Point::new(100, 0));
+        assert!(a.expanded(40).intersect(&b.expanded(40)).is_none());
+    }
+
+    #[test]
+    fn arc_constructor_accepts_slope_one() {
+        // (0,0) -> (5,5) has v constant: a Manhattan arc.
+        let t = TiltedRect::from_arc(Point::new(0, 0), Point::new(5, 5));
+        assert!(t.is_arc());
+        assert!(t.contains(Point::new(3, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "Manhattan arc")]
+    fn arc_constructor_rejects_axis_segment() {
+        // (0,0) -> (4,0) changes both u and v: not an arc.
+        let _ = TiltedRect::from_arc(Point::new(0, 0), Point::new(4, 0));
+    }
+
+    #[test]
+    fn nearest_point_is_contained_and_closest_among_corners() {
+        let t = TiltedRect::from_point(Point::new(0, 0)).expanded(10);
+        let p = Point::new(30, 2);
+        let n = t.nearest_point(p);
+        assert!(t.contains(n));
+        assert_eq!(n.manhattan(p), t.dist_to_point(p));
+    }
+
+    #[test]
+    fn expanded_contains_original() {
+        let t = TiltedRect::from_arc(Point::new(2, 0), Point::new(6, 4));
+        let e = t.expanded(3);
+        for c in t.corners() {
+            assert!(e.contains(c));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the geometry substrate.
+
+use dscts_geom::{bounding_box, manhattan, path_length, Point, Rect, TiltedRect};
+use proptest::prelude::*;
+
+const C: i64 = 1_000_000; // coordinate magnitude bound (1 mm in nm)
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-C..C, -C..C).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn manhattan_symmetric_nonneg(a in pt(), b in pt()) {
+        prop_assert_eq!(manhattan(a, b), manhattan(b, a));
+        prop_assert!(manhattan(a, b) >= 0);
+    }
+
+    #[test]
+    fn manhattan_triangle_inequality(a in pt(), b in pt(), c in pt()) {
+        prop_assert!(manhattan(a, c) <= manhattan(a, b) + manhattan(b, c));
+    }
+
+    #[test]
+    fn walk_toward_preserves_total_distance(a in pt(), b in pt(), frac in 0.0f64..=1.0) {
+        let total = manhattan(a, b);
+        let d = (total as f64 * frac) as i64;
+        let m = a.walk_toward(b, d);
+        prop_assert_eq!(manhattan(a, m), d);
+        prop_assert_eq!(manhattan(a, m) + manhattan(m, b), total);
+    }
+
+    #[test]
+    fn tilted_point_distance_equals_manhattan(a in pt(), b in pt()) {
+        let ta = TiltedRect::from_point(a);
+        let tb = TiltedRect::from_point(b);
+        prop_assert_eq!(ta.dist(&tb), manhattan(a, b));
+    }
+
+    #[test]
+    fn trr_merge_invariant(a in pt(), b in pt(), split in 0.0f64..=1.0) {
+        // The DME core invariant: if ea + eb = dist(A, B), the expanded
+        // regions intersect, and every point in the intersection is within
+        // ea of A and eb of B.
+        let ta = TiltedRect::from_point(a);
+        let tb = TiltedRect::from_point(b);
+        let d = ta.dist(&tb);
+        let ea = (d as f64 * split) as i64;
+        let eb = d - ea;
+        let ms = ta.expanded(ea).intersect(&tb.expanded(eb));
+        prop_assert!(ms.is_some());
+        let ms = ms.unwrap();
+        prop_assert!(ms.dist(&ta) <= ea);
+        prop_assert!(ms.dist(&tb) <= eb);
+        // Center point of merging region respects both radii (rounding slack 1).
+        let c = ms.center();
+        prop_assert!(manhattan(c, a) <= ea + 1);
+        prop_assert!(manhattan(c, b) <= eb + 1);
+    }
+
+    #[test]
+    fn trr_nearest_point_is_optimal(a in pt(), r in 0i64..100_000, q in pt()) {
+        let t = TiltedRect::from_point(a).expanded(r);
+        let n = t.nearest_point(q);
+        prop_assert!(t.contains(n));
+        // Within rounding slack of the true region distance.
+        prop_assert!((n.manhattan(q) - t.dist_to_point(q)).abs() <= 1);
+    }
+
+    #[test]
+    fn trr_expansion_monotone(a in pt(), b in pt(), r1 in 0i64..50_000, r2 in 0i64..50_000) {
+        let (rs, rl) = (r1.min(r2), r1.max(r2));
+        let t = TiltedRect::from_point(a);
+        let small = t.expanded(rs);
+        let large = t.expanded(rl);
+        if small.contains(b) {
+            prop_assert!(large.contains(b));
+        }
+        prop_assert!(large.dist_to_point(b) <= small.dist_to_point(b));
+    }
+
+    #[test]
+    fn rect_clamp_is_nearest(xlo in -C..0i64, ylo in -C..0i64, w in 0i64..C, h in 0i64..C, p in pt()) {
+        let r = Rect::new(xlo, ylo, xlo + w, ylo + h);
+        let c = r.clamp_point(p);
+        prop_assert!(r.contains(c));
+        // Clamped point achieves the rect distance exactly.
+        prop_assert_eq!(c.manhattan(p), r.dist_to_point(p));
+    }
+
+    #[test]
+    fn bounding_box_is_tight(pts in prop::collection::vec(pt(), 1..50)) {
+        let bb = bounding_box(pts.iter().copied()).unwrap();
+        for &p in &pts {
+            prop_assert!(bb.contains(p));
+        }
+        let xs: Vec<i64> = pts.iter().map(|p| p.x).collect();
+        let ys: Vec<i64> = pts.iter().map(|p| p.y).collect();
+        prop_assert_eq!(bb.xlo, *xs.iter().min().unwrap());
+        prop_assert_eq!(bb.xhi, *xs.iter().max().unwrap());
+        prop_assert_eq!(bb.ylo, *ys.iter().min().unwrap());
+        prop_assert_eq!(bb.yhi, *ys.iter().max().unwrap());
+    }
+
+    #[test]
+    fn path_length_additive(pts in prop::collection::vec(pt(), 2..20)) {
+        let total = path_length(&pts);
+        let split = pts.len() / 2;
+        let first = path_length(&pts[..=split]);
+        let second = path_length(&pts[split..]);
+        prop_assert_eq!(total, first + second);
+    }
+}

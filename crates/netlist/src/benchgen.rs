@@ -1,0 +1,301 @@
+use crate::{Design, Macro, Sink};
+use dscts_geom::{Point, Rect};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Average standard-cell area assumed for floorplan sizing (nm²):
+/// ASAP7 7.5-track row height (270 nm) × a 500 nm average cell width.
+const AVG_CELL_AREA_NM2: f64 = 270.0 * 500.0;
+
+/// Specification of a synthetic placed benchmark.
+///
+/// The five presets (`c1_jpeg` … `c5_aes`) carry the exact Table II
+/// statistics; [`BenchmarkSpec::generate`] turns a spec into a placed
+/// [`Design`] deterministically (same spec + seed ⇒ identical design).
+///
+/// Flip-flops are placed as a mixture of clustered "register banks"
+/// (Gaussian blobs, like the post-placement FF distributions of real
+/// designs) and a uniform background, dodging macro keep-outs — this is
+/// precisely the imbalanced sink distribution that motivates the paper's
+/// clustering-driven DME over matching-based DME (§III-B).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name.
+    pub name: String,
+    /// Total standard cells (Table II `#Cells`).
+    pub num_cells: usize,
+    /// Flip-flop count = clock sink count (Table II `#FFs`).
+    pub num_ffs: usize,
+    /// Placement utilization (Table II `Util.`).
+    pub utilization: f64,
+    /// RNG seed; presets use stable per-design seeds.
+    pub seed: u64,
+    /// Number of macro keep-outs to synthesize.
+    pub macro_count: usize,
+    /// Fraction of FFs placed in clustered register banks (rest uniform).
+    pub bank_fraction: f64,
+    /// Number of register banks.
+    pub bank_count: usize,
+    /// Sink clock-pin capacitance (fF).
+    pub sink_cap_ff: f64,
+}
+
+impl BenchmarkSpec {
+    /// C1 `jpeg`: 54 973 cells, 4 380 FFs, util 0.50.
+    pub fn c1_jpeg() -> Self {
+        Self::preset("jpeg", 54_973, 4_380, 0.50, 101, 2, 24)
+    }
+
+    /// C2 `swerv_wrapper`: 148 407 cells, 14 338 FFs, util 0.40.
+    pub fn c2_swerv_wrapper() -> Self {
+        Self::preset("swerv_wrapper", 148_407, 14_338, 0.40, 102, 3, 40)
+    }
+
+    /// C3 `ethmac`: 56 851 cells, 10 018 FFs, util 0.40.
+    pub fn c3_ethmac() -> Self {
+        Self::preset("ethmac", 56_851, 10_018, 0.40, 103, 2, 32)
+    }
+
+    /// C4 `riscv32i`: 11 579 cells, 1 056 FFs, util 0.50.
+    pub fn c4_riscv32i() -> Self {
+        Self::preset("riscv32i", 11_579, 1_056, 0.50, 104, 0, 8)
+    }
+
+    /// C5 `aes`: 29 306 cells, 2 072 FFs, util 0.50.
+    pub fn c5_aes() -> Self {
+        Self::preset("aes", 29_306, 2_072, 0.50, 105, 0, 12)
+    }
+
+    /// All five Table II benchmarks, in order.
+    pub fn all() -> Vec<Self> {
+        vec![
+            Self::c1_jpeg(),
+            Self::c2_swerv_wrapper(),
+            Self::c3_ethmac(),
+            Self::c4_riscv32i(),
+            Self::c5_aes(),
+        ]
+    }
+
+    fn preset(
+        name: &str,
+        num_cells: usize,
+        num_ffs: usize,
+        utilization: f64,
+        seed: u64,
+        macro_count: usize,
+        bank_count: usize,
+    ) -> Self {
+        BenchmarkSpec {
+            name: name.to_owned(),
+            num_cells,
+            num_ffs,
+            utilization,
+            seed,
+            macro_count,
+            bank_fraction: 0.7,
+            bank_count,
+            sink_cap_ff: 1.1,
+        }
+    }
+
+    /// Synthesizes the placed design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (zero FFs or non-positive
+    /// utilization).
+    pub fn generate(&self) -> Design {
+        assert!(self.num_ffs > 0, "benchmark needs at least one FF");
+        assert!(
+            self.utilization > 0.0 && self.utilization <= 1.0,
+            "utilization must be in (0, 1]"
+        );
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+
+        // Core area from cell count and utilization; die adds a 2 µm halo.
+        let core_area = self.num_cells as f64 * AVG_CELL_AREA_NM2 / self.utilization;
+        let side = core_area.sqrt().round() as i64;
+        let halo = 2_000;
+        let core = Rect::new(0, 0, side, side);
+        let die = core.expanded(halo);
+
+        // Macros: tall blocks along the left/top edges, each ~8% of core.
+        let mut macros = Vec::new();
+        for m in 0..self.macro_count {
+            let w = side / 5;
+            let h = side / 3;
+            let (x, y) = if m % 2 == 0 {
+                (0, (m as i64 / 2) * (h + side / 10))
+            } else {
+                (side - w, side - h - (m as i64 / 2) * (h + side / 10))
+            };
+            let rect = Rect::new(
+                x.clamp(0, side - w),
+                y.clamp(0, side - h),
+                (x + w).min(side),
+                (y + h).min(side),
+            );
+            macros.push(Macro {
+                name: format!("macro_{m}"),
+                rect,
+            });
+        }
+
+        let in_macro = |p: Point, macros: &[Macro]| macros.iter().any(|m| m.rect.contains(p));
+
+        // Register banks: Gaussian blobs with σ ≈ 4 % of the core side.
+        let n_banked = (self.num_ffs as f64 * self.bank_fraction) as usize;
+        let banks: Vec<Point> = (0..self.bank_count.max(1))
+            .map(|_| {
+                loop {
+                    let p = Point::new(rng.random_range(0..=side), rng.random_range(0..=side));
+                    if !in_macro(p, &macros) {
+                        return p;
+                    }
+                }
+            })
+            .collect();
+        let sigma = (side as f64 * 0.04).max(1.0);
+
+        let mut sinks = Vec::with_capacity(self.num_ffs);
+        let place = |rng: &mut SmallRng, banked: bool, idx: usize, banks: &[Point]| -> Point {
+            loop {
+                let p = if banked {
+                    let b = banks[idx % banks.len()];
+                    let gauss = |rng: &mut SmallRng| {
+                        // Box–Muller from two uniforms.
+                        let u1: f64 = rng.random_range(1e-9..1.0);
+                        let u2: f64 = rng.random_range(0.0..1.0);
+                        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+                    };
+                    Point::new(
+                        (b.x as f64 + gauss(rng) * sigma).round() as i64,
+                        (b.y as f64 + gauss(rng) * sigma).round() as i64,
+                    )
+                } else {
+                    Point::new(rng.random_range(0..=side), rng.random_range(0..=side))
+                };
+                let p = core.clamp_point(p);
+                if !in_macro(p, &macros) {
+                    return p;
+                }
+            }
+        };
+        for i in 0..self.num_ffs {
+            let banked = i < n_banked;
+            let pos = place(&mut rng, banked, i, &banks);
+            sinks.push(Sink {
+                name: format!("ff_{i:05}"),
+                pos,
+                cap_ff: self.sink_cap_ff,
+            });
+        }
+
+        // Clock enters at the bottom-centre of the core, as typical for an
+        // external clock pad.
+        let clock_root = Point::new(side / 2, 0);
+
+        let d = Design {
+            name: self.name.clone(),
+            die,
+            core,
+            clock_root,
+            sinks,
+            macros,
+            num_cells: self.num_cells,
+            utilization: self.utilization,
+        };
+        debug_assert_eq!(d.validate(), Ok(()));
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_statistics_are_exact() {
+        let specs = BenchmarkSpec::all();
+        let expect = [
+            ("jpeg", 54_973, 4_380, 0.50),
+            ("swerv_wrapper", 148_407, 14_338, 0.40),
+            ("ethmac", 56_851, 10_018, 0.40),
+            ("riscv32i", 11_579, 1_056, 0.50),
+            ("aes", 29_306, 2_072, 0.50),
+        ];
+        for (spec, (name, cells, ffs, util)) in specs.iter().zip(expect) {
+            assert_eq!(spec.name, name);
+            assert_eq!(spec.num_cells, cells);
+            assert_eq!(spec.num_ffs, ffs);
+            assert_eq!(spec.utilization, util);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = BenchmarkSpec::c4_riscv32i().generate();
+        let b = BenchmarkSpec::c4_riscv32i().generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generated_designs_validate() {
+        for spec in BenchmarkSpec::all() {
+            let d = spec.generate();
+            assert_eq!(d.validate(), Ok(()), "{} invalid", d.name);
+            assert_eq!(d.sink_count(), spec.num_ffs);
+        }
+    }
+
+    #[test]
+    fn floorplan_size_is_plausible() {
+        // C1 jpeg: ~55k cells at util 0.5 and 0.135 µm²/cell ≈ 122 µm side.
+        let d = BenchmarkSpec::c1_jpeg().generate();
+        let side_um = d.core.width() as f64 / 1000.0;
+        assert!(
+            (100.0..150.0).contains(&side_um),
+            "unexpected core side {side_um} µm"
+        );
+    }
+
+    #[test]
+    fn sinks_avoid_macros() {
+        let d = BenchmarkSpec::c1_jpeg().generate();
+        assert!(!d.macros.is_empty());
+        for s in &d.sinks {
+            for m in &d.macros {
+                assert!(!m.rect.contains(s.pos));
+            }
+        }
+    }
+
+    #[test]
+    fn banked_placement_is_clumpy() {
+        // The banked fraction should give a much smaller mean
+        // nearest-bank distance than uniform would.
+        let d = BenchmarkSpec::c3_ethmac().generate();
+        let side = d.core.width() as f64;
+        // Crude clumpiness signal: mean distance to design centroid should
+        // be well below the uniform expectation (~0.52 * side for L1).
+        let cx = d.sinks.iter().map(|s| s.pos.x).sum::<i64>() / d.sinks.len() as i64;
+        let cy = d.sinks.iter().map(|s| s.pos.y).sum::<i64>() / d.sinks.len() as i64;
+        let c = Point::new(cx, cy);
+        let mean: f64 = d
+            .sinks
+            .iter()
+            .map(|s| s.pos.manhattan(c) as f64)
+            .sum::<f64>()
+            / d.sinks.len() as f64;
+        assert!(mean < 0.52 * side, "mean {mean} vs side {side}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one FF")]
+    fn zero_ffs_rejected() {
+        let mut s = BenchmarkSpec::c5_aes();
+        s.num_ffs = 0;
+        let _ = s.generate();
+    }
+}

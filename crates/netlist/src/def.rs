@@ -1,0 +1,338 @@
+//! Reader/writer for the placed-DEF subset used by this workspace.
+//!
+//! The paper's flow exchanges `post-place` and `post-cts` DEF files between
+//! OpenROAD and the CTS tool ([37]). This module implements the subset those
+//! steps need: `DESIGN`, `UNITS`, `DIEAREA`, `ROW` (core box), `COMPONENTS`
+//! (flip-flops, and optionally inserted clock cells), and the clock `PINS`
+//! entry. Workspace-specific metadata that stock DEF cannot carry (cell
+//! count, utilization, macro outlines) travels in `# dscts ...` comment
+//! lines, which standard tools ignore and [`parse_def`] understands.
+//!
+//! One database unit is one nanometre (`UNITS DISTANCE MICRONS 1000`).
+
+use crate::{Design, Macro, Sink};
+use dscts_geom::{Point, Rect};
+use std::fmt;
+
+/// Error from [`parse_def`], with the offending line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for DefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DEF parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DefError {}
+
+/// An extra placed component to emit (used for post-CTS DEFs carrying the
+/// inserted buffers and nTSVs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtraComponent {
+    /// Instance name.
+    pub name: String,
+    /// Cell (master) name.
+    pub cell: String,
+    /// Placement (nm).
+    pub pos: Point,
+}
+
+/// Serializes a placed design to DEF.
+pub fn write_def(design: &Design) -> String {
+    write_def_with_extras(design, &[])
+}
+
+/// Serializes a placed design plus extra clock cells (post-CTS view).
+pub fn write_def_with_extras(design: &Design, extras: &[ExtraComponent]) -> String {
+    let mut s = String::with_capacity(64 * (design.sinks.len() + extras.len()) + 4096);
+    s.push_str("VERSION 5.8 ;\nDIVIDERCHAR \"/\" ;\nBUSBITCHARS \"[]\" ;\n");
+    s.push_str(&format!("DESIGN {} ;\n", design.name));
+    s.push_str("UNITS DISTANCE MICRONS 1000 ;\n");
+    s.push_str(&format!("# dscts numCells {}\n", design.num_cells));
+    s.push_str(&format!("# dscts utilization {}\n", design.utilization));
+    for m in &design.macros {
+        s.push_str(&format!(
+            "# dscts macro {} {} {} {} {}\n",
+            m.name, m.rect.xlo, m.rect.ylo, m.rect.xhi, m.rect.yhi
+        ));
+    }
+    s.push_str(&format!(
+        "DIEAREA ( {} {} ) ( {} {} ) ;\n",
+        design.die.xlo, design.die.ylo, design.die.xhi, design.die.yhi
+    ));
+    // Core rows (height 270 nm), from which the parser recovers the core box.
+    let row_h = 270;
+    let mut y = design.core.ylo;
+    let mut row = 0usize;
+    while y + row_h <= design.core.yhi {
+        s.push_str(&format!(
+            "ROW ROW_{row} coreSite {} {} N DO {} BY 1 STEP 270 0 ;\n",
+            design.core.xlo,
+            y,
+            (design.core.width() / 270).max(1)
+        ));
+        y += row_h;
+        row += 1;
+    }
+    let ncomp = design.sinks.len() + extras.len();
+    s.push_str(&format!("COMPONENTS {ncomp} ;\n"));
+    for sink in &design.sinks {
+        s.push_str(&format!(
+            "- {} DFFHQNx1_ASAP7_75t_R + PLACED ( {} {} ) N ;\n",
+            sink.name, sink.pos.x, sink.pos.y
+        ));
+    }
+    for e in extras {
+        s.push_str(&format!(
+            "- {} {} + PLACED ( {} {} ) N ;\n",
+            e.name, e.cell, e.pos.x, e.pos.y
+        ));
+    }
+    s.push_str("END COMPONENTS\n");
+    s.push_str("PINS 1 ;\n");
+    s.push_str(&format!(
+        "- clk + NET clk + DIRECTION INPUT + USE CLOCK + PLACED ( {} {} ) N ;\n",
+        design.clock_root.x, design.clock_root.y
+    ));
+    s.push_str("END PINS\n");
+    s.push_str("END DESIGN\n");
+    s
+}
+
+/// Parses the DEF subset produced by [`write_def`] (and by OpenROAD for the
+/// constructs this subset covers).
+///
+/// # Errors
+///
+/// Returns [`DefError`] on malformed statements or when mandatory sections
+/// (`DESIGN`, `DIEAREA`) are missing.
+pub fn parse_def(text: &str) -> Result<Design, DefError> {
+    let mut name = None;
+    let mut die = None;
+    let mut core: Option<Rect> = None;
+    let mut clock_root = None;
+    let mut sinks = Vec::new();
+    let mut macros = Vec::new();
+    let mut num_cells = 0usize;
+    let mut utilization = 0.0f64;
+    let mut in_components = false;
+    let mut in_pins = false;
+
+    let err = |line: usize, msg: &str| DefError {
+        line,
+        message: msg.to_owned(),
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if line.starts_with("# dscts ") {
+            match toks.get(2) {
+                Some(&"numCells") => {
+                    num_cells = toks
+                        .get(3)
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(lineno, "bad numCells"))?;
+                }
+                Some(&"utilization") => {
+                    utilization = toks
+                        .get(3)
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(lineno, "bad utilization"))?;
+                }
+                Some(&"macro") => {
+                    if toks.len() < 8 {
+                        return Err(err(lineno, "bad macro comment"));
+                    }
+                    let nums: Vec<i64> = toks[4..8]
+                        .iter()
+                        .map(|t| t.parse())
+                        .collect::<Result<_, _>>()
+                        .map_err(|_| err(lineno, "bad macro coordinates"))?;
+                    macros.push(Macro {
+                        name: toks[3].to_owned(),
+                        rect: Rect::new(nums[0], nums[1], nums[2], nums[3]),
+                    });
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        match toks[0] {
+            "DESIGN" => {
+                name = Some(
+                    toks.get(1)
+                        .ok_or_else(|| err(lineno, "DESIGN missing name"))?
+                        .to_string(),
+                );
+            }
+            "DIEAREA" => {
+                let nums: Vec<i64> = toks
+                    .iter()
+                    .filter_map(|t| t.parse().ok())
+                    .collect();
+                if nums.len() < 4 {
+                    return Err(err(lineno, "DIEAREA needs two points"));
+                }
+                die = Some(Rect::new(
+                    nums[0].min(nums[2]),
+                    nums[1].min(nums[3]),
+                    nums[0].max(nums[2]),
+                    nums[1].max(nums[3]),
+                ));
+            }
+            "ROW" => {
+                // ROW name site x y N DO n BY 1 STEP sx sy ;
+                if toks.len() < 9 {
+                    return Err(err(lineno, "short ROW statement"));
+                }
+                let x: i64 = toks[3].parse().map_err(|_| err(lineno, "bad ROW x"))?;
+                let y: i64 = toks[4].parse().map_err(|_| err(lineno, "bad ROW y"))?;
+                let n: i64 = toks[7].parse().map_err(|_| err(lineno, "bad ROW count"))?;
+                let step: i64 = toks
+                    .get(10)
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or(270);
+                let row = Rect::new(x, y, x + n * step, y + 270);
+                core = Some(match core {
+                    None => row,
+                    Some(c) => c.union(&row),
+                });
+            }
+            "COMPONENTS" => in_components = true,
+            "PINS" => in_pins = true,
+            "END" => match toks.get(1) {
+                Some(&"COMPONENTS") => in_components = false,
+                Some(&"PINS") => in_pins = false,
+                _ => {}
+            },
+            "-" if in_components => {
+                // - name cell + PLACED ( x y ) N ;
+                let cell = *toks.get(2).ok_or_else(|| err(lineno, "component missing cell"))?;
+                let (x, y) = parse_placed(&toks).ok_or_else(|| err(lineno, "component missing PLACED"))?;
+                if cell.contains("DFF") {
+                    sinks.push(Sink {
+                        name: toks[1].to_owned(),
+                        pos: Point::new(x, y),
+                        cap_ff: 1.1,
+                    });
+                }
+                // Buffers/nTSVs in post-CTS DEFs are accepted and skipped:
+                // the tree structure itself is not representable in DEF.
+            }
+            "-" if in_pins => {
+                if toks.get(1) == Some(&"clk") || line.contains("USE CLOCK") {
+                    if let Some((x, y)) = parse_placed(&toks) {
+                        clock_root = Some(Point::new(x, y));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let die = die.ok_or_else(|| err(0, "missing DIEAREA"))?;
+    let name = name.ok_or_else(|| err(0, "missing DESIGN"))?;
+    let core = core.unwrap_or(die);
+    let clock_root = clock_root.unwrap_or_else(|| Point::new(core.center().x, core.ylo));
+    Ok(Design {
+        name,
+        die,
+        core,
+        clock_root,
+        sinks,
+        macros,
+        num_cells,
+        utilization,
+    })
+}
+
+fn parse_placed(toks: &[&str]) -> Option<(i64, i64)> {
+    let i = toks.iter().position(|&t| t == "PLACED" || t == "FIXED")?;
+    // ... PLACED ( x y ) ...
+    let x = toks.get(i + 2)?.parse().ok()?;
+    let y = toks.get(i + 3)?.parse().ok()?;
+    Some((x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BenchmarkSpec;
+
+    #[test]
+    fn roundtrip_preserves_everything_we_model() {
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let text = write_def(&d);
+        let back = parse_def(&text).unwrap();
+        assert_eq!(back.name, d.name);
+        assert_eq!(back.die, d.die);
+        assert_eq!(back.clock_root, d.clock_root);
+        assert_eq!(back.sinks.len(), d.sinks.len());
+        assert_eq!(back.num_cells, d.num_cells);
+        assert_eq!(back.utilization, d.utilization);
+        assert_eq!(back.macros, d.macros);
+        for (a, b) in back.sinks.iter().zip(&d.sinks) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.pos, b.pos);
+        }
+        // Core box recovered from rows is within one row of the original.
+        assert!((back.core.ylo - d.core.ylo).abs() <= 270);
+        assert!((back.core.yhi - d.core.yhi).abs() <= 270);
+    }
+
+    #[test]
+    fn extras_are_emitted_and_skipped_on_parse() {
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let extras = vec![ExtraComponent {
+            name: "clkbuf_0".into(),
+            cell: "BUFx4_ASAP7_75t_R".into(),
+            pos: Point::new(100, 200),
+        }];
+        let text = write_def_with_extras(&d, &extras);
+        assert!(text.contains("clkbuf_0 BUFx4_ASAP7_75t_R"));
+        let back = parse_def(&text).unwrap();
+        assert_eq!(back.sinks.len(), d.sinks.len()); // buffer not a sink
+    }
+
+    #[test]
+    fn missing_diearea_is_an_error() {
+        let e = parse_def("DESIGN x ;\n").unwrap_err();
+        assert!(e.message.contains("DIEAREA"));
+    }
+
+    #[test]
+    fn missing_design_is_an_error() {
+        let e = parse_def("DIEAREA ( 0 0 ) ( 5 5 ) ;\n").unwrap_err();
+        assert!(e.message.contains("DESIGN"));
+    }
+
+    #[test]
+    fn bad_component_line_reports_line_number() {
+        let text = "DESIGN x ;\nDIEAREA ( 0 0 ) ( 9 9 ) ;\nCOMPONENTS 1 ;\n- ff1 DFF_X1 ;\nEND COMPONENTS\n";
+        let e = parse_def(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn foreign_statements_are_ignored() {
+        let text = "VERSION 5.8 ;\nDESIGN y ;\nTRACKS X 0 DO 10 STEP 100 LAYER M1 ;\nDIEAREA ( 0 0 ) ( 100 100 ) ;\nGCELLGRID X 0 DO 5 STEP 20 ;\n";
+        let d = parse_def(text).unwrap();
+        assert_eq!(d.name, "y");
+        assert_eq!(d.sinks.len(), 0);
+    }
+}

@@ -1,0 +1,136 @@
+use dscts_geom::{Point, Rect};
+
+/// A clock sink: a flip-flop clock pin to be driven by the tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sink {
+    /// Instance name (e.g. `"ff_01234"`).
+    pub name: String,
+    /// Placed location of the clock pin (nm).
+    pub pos: Point,
+    /// Clock-pin input capacitance (fF).
+    pub cap_ff: f64,
+}
+
+/// A placed macro block; clock cells and sinks avoid its area.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Macro {
+    /// Instance name.
+    pub name: String,
+    /// Occupied area (nm).
+    pub rect: Rect,
+}
+
+/// A placed design, as consumed by every CTS flow in this workspace.
+///
+/// This is the post-placement view: standard cells are summarised by count
+/// (they matter only for floorplan sizing), while clock sinks are explicit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    /// Design name (e.g. `"jpeg"`).
+    pub name: String,
+    /// Die area (nm).
+    pub die: Rect,
+    /// Core placement area (nm).
+    pub core: Rect,
+    /// Location of the clock entry point (root driver output).
+    pub clock_root: Point,
+    /// All clock sinks.
+    pub sinks: Vec<Sink>,
+    /// Macro keep-outs.
+    pub macros: Vec<Macro>,
+    /// Total standard-cell count (Table II `#Cells`).
+    pub num_cells: usize,
+    /// Placement utilization (Table II `Util.`).
+    pub utilization: f64,
+}
+
+impl Design {
+    /// Positions of all sinks, in sink order.
+    pub fn sink_positions(&self) -> Vec<Point> {
+        self.sinks.iter().map(|s| s.pos).collect()
+    }
+
+    /// Number of clock sinks (Table II `#FFs`).
+    pub fn sink_count(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Validates structural invariants: sinks inside the core, macros
+    /// inside the die, sinks outside macros. Returns the first violation
+    /// as text.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.die.contains(self.clock_root) {
+            return Err(format!("clock root {} outside die", self.clock_root));
+        }
+        for s in &self.sinks {
+            if !self.core.contains(s.pos) {
+                return Err(format!("sink {} at {} outside core", s.name, s.pos));
+            }
+            if s.cap_ff <= 0.0 {
+                return Err(format!("sink {} has non-positive cap", s.name));
+            }
+            for m in &self.macros {
+                if m.rect.contains(s.pos) {
+                    return Err(format!("sink {} at {} inside macro {}", s.name, s.pos, m.name));
+                }
+            }
+        }
+        for m in &self.macros {
+            if !self.die.intersects(&m.rect) {
+                return Err(format!("macro {} outside die", m.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Design {
+        Design {
+            name: "t".into(),
+            die: Rect::new(0, 0, 1000, 1000),
+            core: Rect::new(100, 100, 900, 900),
+            clock_root: Point::new(500, 100),
+            sinks: vec![Sink {
+                name: "ff0".into(),
+                pos: Point::new(400, 400),
+                cap_ff: 1.0,
+            }],
+            macros: vec![],
+            num_cells: 10,
+            utilization: 0.5,
+        }
+    }
+
+    #[test]
+    fn valid_design_passes() {
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn sink_outside_core_fails() {
+        let mut d = tiny();
+        d.sinks[0].pos = Point::new(50, 50);
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn sink_in_macro_fails() {
+        let mut d = tiny();
+        d.macros.push(Macro {
+            name: "m".into(),
+            rect: Rect::new(300, 300, 500, 500),
+        });
+        assert!(d.validate().unwrap_err().contains("inside macro"));
+    }
+
+    #[test]
+    fn zero_cap_sink_fails() {
+        let mut d = tiny();
+        d.sinks[0].cap_ff = 0.0;
+        assert!(d.validate().is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Design database, DEF/LEF subset I/O, and synthetic benchmark generation.
+//!
+//! The paper evaluates on five OpenROAD designs (Table II: `jpeg`,
+//! `swerv_wrapper`, `ethmac`, `riscv32i`, `aes`), running the OpenROAD
+//! backend to obtain placed DEF files. Those flows (and the designs'
+//! RTL) are outside this repository, so [`benchgen`] synthesizes placed
+//! designs with the **same statistics** — cell count, flip-flop count and
+//! utilization — on an ASAP7-like floorplan. Every CTS algorithm in this
+//! workspace consumes only the data modelled here: sink locations and
+//! capacitances, the clock root, the die box, and macro keep-outs.
+//!
+//! A lightweight reader/writer for the placed-DEF subset ([`def`]) and a
+//! LEF subset ([`lef`]) make the substrate round-trippable, mirroring how
+//! the paper's flow passes `post-place`/`post-cts` DEFs between tools.
+//!
+//! # Example
+//!
+//! ```
+//! use dscts_netlist::BenchmarkSpec;
+//!
+//! let design = BenchmarkSpec::c4_riscv32i().generate();
+//! assert_eq!(design.sinks.len(), 1056); // #FFs from Table II
+//! let def = dscts_netlist::def::write_def(&design);
+//! let back = dscts_netlist::def::parse_def(&def).unwrap();
+//! assert_eq!(back.sinks.len(), design.sinks.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchgen;
+pub mod def;
+mod design;
+pub mod lef;
+
+pub use benchgen::BenchmarkSpec;
+pub use design::{Design, Macro, Sink};

@@ -1,0 +1,156 @@
+use std::fmt;
+
+/// Per-nm wire parasitics of a routing layer.
+///
+/// The product `res_per_nm * cap_per_nm * L²` is the classic distributed-RC
+/// figure of merit; the L-type Elmore model used throughout this workspace
+/// charges the *full* segment capacitance through the full segment
+/// resistance (see `dscts-timing`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireRc {
+    /// Wire resistance per nanometre (kΩ/nm).
+    pub res_per_nm: f64,
+    /// Wire capacitance per nanometre (fF/nm).
+    pub cap_per_nm: f64,
+}
+
+impl WireRc {
+    /// Resistance of a segment of `len_nm` nanometres (kΩ).
+    pub fn res(&self, len_nm: i64) -> f64 {
+        self.res_per_nm * len_nm as f64
+    }
+
+    /// Capacitance of a segment of `len_nm` nanometres (fF).
+    pub fn cap(&self, len_nm: i64) -> f64 {
+        self.cap_per_nm * len_nm as f64
+    }
+}
+
+/// A metal routing layer with Table I unit parasitics (entered per µm).
+///
+/// ```
+/// use dscts_tech::Layer;
+/// let m3 = Layer::new("M3", 0.024222, 0.12918);
+/// assert_eq!(m3.name(), "M3");
+/// // Per-nm accessors divide by 1000:
+/// assert!((m3.rc().res_per_nm - 0.024222e-3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    name: String,
+    res_kohm_per_um: f64,
+    cap_ff_per_um: f64,
+}
+
+impl Layer {
+    /// Creates a layer from its Table-I-style unit parasitics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parasitic is not positive and finite.
+    pub fn new(name: impl Into<String>, res_kohm_per_um: f64, cap_ff_per_um: f64) -> Self {
+        assert!(
+            res_kohm_per_um > 0.0 && res_kohm_per_um.is_finite(),
+            "unit resistance must be positive"
+        );
+        assert!(
+            cap_ff_per_um > 0.0 && cap_ff_per_um.is_finite(),
+            "unit capacitance must be positive"
+        );
+        Layer {
+            name: name.into(),
+            res_kohm_per_um,
+            cap_ff_per_um,
+        }
+    }
+
+    /// Layer name (e.g. `"M3"`, `"BM1~BM3"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Unit resistance as given in Table I (kΩ/µm).
+    pub fn res_kohm_per_um(&self) -> f64 {
+        self.res_kohm_per_um
+    }
+
+    /// Unit capacitance as given in Table I (fF/µm).
+    pub fn cap_ff_per_um(&self) -> f64 {
+        self.cap_ff_per_um
+    }
+
+    /// Per-nm parasitics used by the timing engine.
+    pub fn rc(&self) -> WireRc {
+        WireRc {
+            res_per_nm: self.res_kohm_per_um * 1e-3,
+            cap_per_nm: self.cap_ff_per_um * 1e-3,
+        }
+    }
+
+    /// The full Table I of the paper: the ASAP7 front-side stack M1–M9 plus
+    /// the merged back-side entry BM1~BM3 (Chen et al., IEDM 2021).
+    pub fn asap7_table() -> Vec<Layer> {
+        vec![
+            Layer::new("M1", 0.138890, 0.11368),
+            Layer::new("M2", 0.024222, 0.13426),
+            Layer::new("M3", 0.024222, 0.12918),
+            Layer::new("M4", 0.016778, 0.11396),
+            Layer::new("M5", 0.014677, 0.13323),
+            Layer::new("M6", 0.010371, 0.11575),
+            Layer::new("M7", 0.009672, 0.13293),
+            Layer::new("M8", 0.007431, 0.11822),
+            Layer::new("M9", 0.006874, 0.13497),
+            Layer::new("BM1~BM3", 0.000384, 0.116264),
+        ]
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} kΩ/µm, {} fF/µm",
+            self.name, self.res_kohm_per_um, self.cap_ff_per_um
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_parasitics_scale_linearly() {
+        let rc = Layer::new("M3", 0.024222, 0.12918).rc();
+        let r20 = rc.res(20_000); // 20 µm
+        assert!((r20 - 0.024222 * 20.0).abs() < 1e-9);
+        let c20 = rc.cap(20_000);
+        assert!((c20 - 0.12918 * 20.0).abs() < 1e-9);
+        assert_eq!(rc.res(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit resistance")]
+    fn rejects_zero_resistance() {
+        let _ = Layer::new("bad", 0.0, 0.1);
+    }
+
+    #[test]
+    fn table_ordering_front_to_back() {
+        let t = Layer::asap7_table();
+        assert_eq!(t.first().unwrap().name(), "M1");
+        assert_eq!(t.last().unwrap().name(), "BM1~BM3");
+        // Back-side resistance is the lowest in the table.
+        let min = t
+            .iter()
+            .map(|l| l.res_kohm_per_um())
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(min, t.last().unwrap().res_kohm_per_um());
+    }
+
+    #[test]
+    fn display_contains_name() {
+        let l = Layer::new("M5", 0.014677, 0.13323);
+        assert!(l.to_string().contains("M5"));
+    }
+}

@@ -1,0 +1,429 @@
+//! Technology (PDK) modelling for double-side clock tree synthesis.
+//!
+//! The paper evaluates on the ASAP7 predictive PDK with back-side metal
+//! layers (`BM1`–`BM3`) and nano-TSV parameters taken from Chen et al.
+//! (IEDM 2021). This crate captures everything the synthesis and timing
+//! engines need to know about the process:
+//!
+//! * [`Layer`] — per-unit wire resistance/capacitance (Table I of the paper).
+//! * [`BufferModel`] — the clock buffer (`BUFx4_ASAP7_75t_R`-like): input
+//!   capacitance, linearised drive model, and a synthesized [`NldmTable`]
+//!   for table-lookup evaluation.
+//! * [`NtsvModel`] — the nano-TSV resistance/capacitance and footprint.
+//! * [`Technology`] — the bundle consumed by every downstream crate, with
+//!   the [`Technology::asap7`] preset reproducing the paper's setup and a
+//!   [`TechnologyBuilder`] for custom processes.
+//!
+//! # Units
+//!
+//! Length **nm**, resistance **kΩ**, capacitance **fF**, time **ps**
+//! (kΩ·fF = ps). Layer data is entered per-µm (as in Table I) and converted
+//! internally.
+//!
+//! # Example
+//!
+//! ```
+//! use dscts_tech::{Side, Technology};
+//!
+//! let tech = Technology::asap7();
+//! // Back-side metal is ~63x less resistive than front-side M3:
+//! let front = tech.rc(Side::Front);
+//! let back = tech.rc(Side::Back);
+//! assert!(front.res_per_nm / back.res_per_nm > 60.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod layer;
+mod nldm;
+mod ntsv;
+
+pub use buffer::BufferModel;
+pub use layer::{Layer, WireRc};
+pub use nldm::NldmTable;
+pub use ntsv::NtsvModel;
+
+use std::fmt;
+
+/// Which side of the die a wire (or pin) lives on.
+///
+/// Standard cells — and therefore all buffer pins and clock sink pins — are
+/// on the [`Side::Front`]; back-side metal is reachable only through nTSVs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Side {
+    /// Front side (conventional BEOL metal stack).
+    Front,
+    /// Back side (backside metal stack, reached through nTSVs).
+    Back,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn flipped(self) -> Side {
+        match self {
+            Side::Front => Side::Back,
+            Side::Back => Side::Front,
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Front => write!(f, "F"),
+            Side::Back => write!(f, "B"),
+        }
+    }
+}
+
+/// Error raised when assembling an inconsistent [`Technology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TechError {
+    /// A layer name referenced by the builder does not exist.
+    UnknownLayer(String),
+    /// No layers were registered.
+    NoLayers,
+    /// A numeric parameter was non-positive where positivity is required.
+    NonPositive(&'static str),
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechError::UnknownLayer(n) => write!(f, "unknown layer name `{n}`"),
+            TechError::NoLayers => write!(f, "technology has no layers"),
+            TechError::NonPositive(what) => write!(f, "parameter `{what}` must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for TechError {}
+
+/// A complete process description for double-side CTS.
+///
+/// Obtain one from [`Technology::asap7`] (the paper's setup) or via
+/// [`Technology::builder`].
+#[derive(Debug, Clone)]
+pub struct Technology {
+    name: String,
+    layers: Vec<Layer>,
+    front_idx: usize,
+    back_idx: usize,
+    buffer: BufferModel,
+    ntsv: NtsvModel,
+    sink_cap_ff: f64,
+    max_load_ff: f64,
+    row_height_nm: i64,
+}
+
+impl Technology {
+    /// Starts building a custom technology.
+    pub fn builder() -> TechnologyBuilder {
+        TechnologyBuilder::default()
+    }
+
+    /// The ASAP7-like technology used throughout the paper's evaluation:
+    /// Table I layer RC values, M3 as the front-side clock layer, BM1–BM3
+    /// as the back-side layer, nTSV R/C of 0.020 kΩ / 0.004 fF, and a
+    /// `BUFx4_ASAP7_75t_R`-like clock buffer.
+    pub fn asap7() -> Technology {
+        let layers = Layer::asap7_table();
+        Technology {
+            name: "asap7-backside".to_owned(),
+            front_idx: 2, // M3, following OpenROAD's convention
+            back_idx: 9,  // BM1~BM3 (single merged entry, as in Table I)
+            layers,
+            buffer: BufferModel::asap7_bufx4(),
+            ntsv: NtsvModel::iedm21(),
+            sink_cap_ff: 1.1,
+            max_load_ff: 80.0,
+            row_height_nm: 270,
+        }
+    }
+
+    /// Technology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All registered layers (front stack then back stack).
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// The layer used for front-side clock routing.
+    pub fn front_layer(&self) -> &Layer {
+        &self.layers[self.front_idx]
+    }
+
+    /// The layer used for back-side clock routing.
+    pub fn back_layer(&self) -> &Layer {
+        &self.layers[self.back_idx]
+    }
+
+    /// Per-nm wire RC for the routing layer of `side`.
+    pub fn rc(&self, side: Side) -> WireRc {
+        match side {
+            Side::Front => self.front_layer().rc(),
+            Side::Back => self.back_layer().rc(),
+        }
+    }
+
+    /// The clock buffer model.
+    pub fn buffer(&self) -> &BufferModel {
+        &self.buffer
+    }
+
+    /// The nano-TSV model.
+    pub fn ntsv(&self) -> &NtsvModel {
+        &self.ntsv
+    }
+
+    /// Default clock-pin capacitance of a sink (fF).
+    pub fn sink_cap_ff(&self) -> f64 {
+        self.sink_cap_ff
+    }
+
+    /// Maximum capacitance any driver is allowed to see (fF); the DP prunes
+    /// candidates that violate it.
+    pub fn max_load_ff(&self) -> f64 {
+        self.max_load_ff
+    }
+
+    /// Standard-cell row height (nm); used by the benchmark generator.
+    pub fn row_height_nm(&self) -> i64 {
+        self.row_height_nm
+    }
+
+    /// Looks a layer up by name.
+    pub fn layer_by_name(&self, name: &str) -> Option<&Layer> {
+        self.layers.iter().find(|l| l.name() == name)
+    }
+}
+
+/// Builder for [`Technology`] (see [`Technology::builder`]).
+///
+/// ```
+/// use dscts_tech::{BufferModel, Layer, NtsvModel, Technology};
+///
+/// let tech = Technology::builder()
+///     .name("toy")
+///     .layer(Layer::new("MF", 0.02, 0.13))
+///     .layer(Layer::new("MB", 0.0005, 0.11))
+///     .front_layer("MF")
+///     .back_layer("MB")
+///     .buffer(BufferModel::asap7_bufx4())
+///     .ntsv(NtsvModel::iedm21())
+///     .build()
+///     .expect("valid technology");
+/// assert_eq!(tech.front_layer().name(), "MF");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TechnologyBuilder {
+    name: String,
+    layers: Vec<Layer>,
+    front: Option<String>,
+    back: Option<String>,
+    buffer: Option<BufferModel>,
+    ntsv: Option<NtsvModel>,
+    sink_cap_ff: Option<f64>,
+    max_load_ff: Option<f64>,
+    row_height_nm: Option<i64>,
+}
+
+impl TechnologyBuilder {
+    /// Sets the technology name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Registers a layer.
+    pub fn layer(mut self, layer: Layer) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Selects the front-side clock routing layer by name.
+    pub fn front_layer(mut self, name: impl Into<String>) -> Self {
+        self.front = Some(name.into());
+        self
+    }
+
+    /// Selects the back-side clock routing layer by name.
+    pub fn back_layer(mut self, name: impl Into<String>) -> Self {
+        self.back = Some(name.into());
+        self
+    }
+
+    /// Sets the clock buffer model.
+    pub fn buffer(mut self, buffer: BufferModel) -> Self {
+        self.buffer = Some(buffer);
+        self
+    }
+
+    /// Sets the nTSV model.
+    pub fn ntsv(mut self, ntsv: NtsvModel) -> Self {
+        self.ntsv = Some(ntsv);
+        self
+    }
+
+    /// Sets the default sink clock-pin capacitance (fF).
+    pub fn sink_cap_ff(mut self, cap: f64) -> Self {
+        self.sink_cap_ff = Some(cap);
+        self
+    }
+
+    /// Sets the maximum driven capacitance (fF).
+    pub fn max_load_ff(mut self, cap: f64) -> Self {
+        self.max_load_ff = Some(cap);
+        self
+    }
+
+    /// Sets the standard-cell row height (nm).
+    pub fn row_height_nm(mut self, h: i64) -> Self {
+        self.row_height_nm = Some(h);
+        self
+    }
+
+    /// Validates and assembles the [`Technology`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError`] when no layers were registered, a referenced
+    /// layer name is unknown, or a parameter is non-positive.
+    pub fn build(self) -> Result<Technology, TechError> {
+        if self.layers.is_empty() {
+            return Err(TechError::NoLayers);
+        }
+        let find = |name: &Option<String>, default: usize| -> Result<usize, TechError> {
+            match name {
+                None => Ok(default),
+                Some(n) => self
+                    .layers
+                    .iter()
+                    .position(|l| l.name() == n)
+                    .ok_or_else(|| TechError::UnknownLayer(n.clone())),
+            }
+        };
+        let front_idx = find(&self.front, 0)?;
+        let back_idx = find(&self.back, self.layers.len() - 1)?;
+        let sink_cap_ff = self.sink_cap_ff.unwrap_or(1.1);
+        let max_load_ff = self.max_load_ff.unwrap_or(80.0);
+        let row_height_nm = self.row_height_nm.unwrap_or(270);
+        if sink_cap_ff <= 0.0 {
+            return Err(TechError::NonPositive("sink_cap_ff"));
+        }
+        if max_load_ff <= 0.0 {
+            return Err(TechError::NonPositive("max_load_ff"));
+        }
+        if row_height_nm <= 0 {
+            return Err(TechError::NonPositive("row_height_nm"));
+        }
+        Ok(Technology {
+            name: if self.name.is_empty() {
+                "custom".to_owned()
+            } else {
+                self.name
+            },
+            layers: self.layers,
+            front_idx,
+            back_idx,
+            buffer: self.buffer.unwrap_or_else(BufferModel::asap7_bufx4),
+            ntsv: self.ntsv.unwrap_or_else(NtsvModel::iedm21),
+            sink_cap_ff,
+            max_load_ff,
+            row_height_nm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asap7_table_values_match_paper() {
+        let t = Technology::asap7();
+        // Table I: M3 unit res 0.024222 kΩ/µm, cap 0.12918 fF/µm.
+        let m3 = t.layer_by_name("M3").unwrap();
+        assert!((m3.res_kohm_per_um() - 0.024222).abs() < 1e-9);
+        assert!((m3.cap_ff_per_um() - 0.12918).abs() < 1e-9);
+        // BM1~BM3: 0.000384 / 0.116264.
+        let bm = t.layer_by_name("BM1~BM3").unwrap();
+        assert!((bm.res_kohm_per_um() - 0.000384).abs() < 1e-9);
+        assert!((bm.cap_ff_per_um() - 0.116264).abs() < 1e-9);
+        assert_eq!(t.front_layer().name(), "M3");
+        assert_eq!(t.back_layer().name(), "BM1~BM3");
+    }
+
+    #[test]
+    fn asap7_has_all_ten_table_rows() {
+        let t = Technology::asap7();
+        for name in ["M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8", "M9", "BM1~BM3"] {
+            assert!(t.layer_by_name(name).is_some(), "missing layer {name}");
+        }
+        assert_eq!(t.layers().len(), 10);
+    }
+
+    #[test]
+    fn rc_conversion_is_per_nm() {
+        let t = Technology::asap7();
+        let rc = t.rc(Side::Front);
+        // 0.024222 kΩ/µm = 2.4222e-5 kΩ/nm
+        assert!((rc.res_per_nm - 0.024222e-3).abs() < 1e-12);
+        assert!((rc.cap_per_nm - 0.12918e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn side_flip_is_involution() {
+        assert_eq!(Side::Front.flipped(), Side::Back);
+        assert_eq!(Side::Back.flipped().flipped(), Side::Back);
+        assert_eq!(Side::Front.to_string(), "F");
+        assert_eq!(Side::Back.to_string(), "B");
+    }
+
+    #[test]
+    fn builder_rejects_unknown_layer() {
+        let err = Technology::builder()
+            .layer(Layer::new("MX", 0.01, 0.1))
+            .front_layer("NOPE")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TechError::UnknownLayer("NOPE".to_owned()));
+        assert!(err.to_string().contains("NOPE"));
+    }
+
+    #[test]
+    fn builder_rejects_empty() {
+        assert_eq!(
+            Technology::builder().build().unwrap_err(),
+            TechError::NoLayers
+        );
+    }
+
+    #[test]
+    fn builder_rejects_nonpositive() {
+        let err = Technology::builder()
+            .layer(Layer::new("MX", 0.01, 0.1))
+            .sink_cap_ff(0.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TechError::NonPositive("sink_cap_ff"));
+    }
+
+    #[test]
+    fn builder_defaults_are_sane() {
+        let t = Technology::builder()
+            .layer(Layer::new("MF", 0.02, 0.13))
+            .layer(Layer::new("MB", 0.0005, 0.11))
+            .build()
+            .unwrap();
+        assert_eq!(t.front_layer().name(), "MF");
+        assert_eq!(t.back_layer().name(), "MB");
+        assert!(t.sink_cap_ff() > 0.0);
+        assert!(t.max_load_ff() > 0.0);
+    }
+}

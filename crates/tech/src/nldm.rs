@@ -1,0 +1,192 @@
+/// A two-dimensional non-linear delay model (NLDM) lookup table.
+///
+/// Liberty-style cell timing: rows indexed by input slew (ps), columns by
+/// output load (fF), values in ps. Lookups bilinearly interpolate and clamp
+/// to the table envelope (standard Liberty evaluation semantics).
+///
+/// The ASAP7 Liberty files themselves are not redistributable here, so
+/// [`crate::BufferModel::asap7_bufx4`] synthesizes a table calibrated to the
+/// linearised drive model `d = d_intr + R_drv·C_load` at nominal slew, with
+/// a mild slew-dependent term — preserving the shape the DP and the final
+/// evaluation care about.
+///
+/// ```
+/// use dscts_tech::NldmTable;
+/// let t = NldmTable::new(
+///     vec![10.0, 50.0],
+///     vec![5.0, 50.0],
+///     vec![vec![10.0, 30.0], vec![14.0, 34.0]],
+/// ).unwrap();
+/// // Exact grid point:
+/// assert_eq!(t.lookup(10.0, 5.0), 10.0);
+/// // Interpolated midpoint:
+/// assert!((t.lookup(30.0, 27.5) - 22.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NldmTable {
+    slew_axis: Vec<f64>,
+    load_axis: Vec<f64>,
+    values: Vec<Vec<f64>>, // [slew][load]
+}
+
+/// Error constructing an [`NldmTable`] from inconsistent data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NldmError {
+    /// An axis is empty or not strictly increasing.
+    BadAxis(&'static str),
+    /// The value matrix shape does not match the axes.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for NldmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NldmError::BadAxis(which) => {
+                write!(f, "axis `{which}` must be non-empty and strictly increasing")
+            }
+            NldmError::ShapeMismatch => write!(f, "value matrix shape does not match axes"),
+        }
+    }
+}
+
+impl std::error::Error for NldmError {}
+
+impl NldmTable {
+    /// Builds a table from its axes and value matrix (`values[i][j]` is the
+    /// value at `slew_axis[i]`, `load_axis[j]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NldmError`] if an axis is empty or not strictly increasing,
+    /// or if the matrix shape disagrees with the axes.
+    pub fn new(
+        slew_axis: Vec<f64>,
+        load_axis: Vec<f64>,
+        values: Vec<Vec<f64>>,
+    ) -> Result<Self, NldmError> {
+        fn increasing(a: &[f64]) -> bool {
+            !a.is_empty() && a.windows(2).all(|w| w[0] < w[1])
+        }
+        if !increasing(&slew_axis) {
+            return Err(NldmError::BadAxis("slew"));
+        }
+        if !increasing(&load_axis) {
+            return Err(NldmError::BadAxis("load"));
+        }
+        if values.len() != slew_axis.len() || values.iter().any(|r| r.len() != load_axis.len()) {
+            return Err(NldmError::ShapeMismatch);
+        }
+        Ok(NldmTable {
+            slew_axis,
+            load_axis,
+            values,
+        })
+    }
+
+    /// Synthesizes a table from a generator function `f(slew, load)`.
+    pub fn from_fn(
+        slew_axis: Vec<f64>,
+        load_axis: Vec<f64>,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Self, NldmError> {
+        let values = slew_axis
+            .iter()
+            .map(|&s| load_axis.iter().map(|&l| f(s, l)).collect())
+            .collect();
+        NldmTable::new(slew_axis, load_axis, values)
+    }
+
+    /// Bilinearly interpolated lookup, clamped to the table envelope.
+    pub fn lookup(&self, slew_ps: f64, load_ff: f64) -> f64 {
+        let (i0, i1, ft) = Self::bracket(&self.slew_axis, slew_ps);
+        let (j0, j1, fl) = Self::bracket(&self.load_axis, load_ff);
+        let v00 = self.values[i0][j0];
+        let v01 = self.values[i0][j1];
+        let v10 = self.values[i1][j0];
+        let v11 = self.values[i1][j1];
+        let a = v00 + (v01 - v00) * fl;
+        let b = v10 + (v11 - v10) * fl;
+        a + (b - a) * ft
+    }
+
+    /// Index axes for reporting.
+    pub fn axes(&self) -> (&[f64], &[f64]) {
+        (&self.slew_axis, &self.load_axis)
+    }
+
+    fn bracket(axis: &[f64], x: f64) -> (usize, usize, f64) {
+        if axis.len() == 1 || x <= axis[0] {
+            return (0, 0, 0.0);
+        }
+        let last = axis.len() - 1;
+        if x >= axis[last] {
+            return (last, last, 0.0);
+        }
+        let hi = axis.partition_point(|&a| a <= x);
+        let lo = hi - 1;
+        let frac = (x - axis[lo]) / (axis[hi] - axis[lo]);
+        (lo, hi, frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> NldmTable {
+        NldmTable::new(
+            vec![5.0, 20.0, 80.0],
+            vec![1.0, 10.0, 100.0],
+            vec![
+                vec![8.0, 12.0, 40.0],
+                vec![9.0, 13.0, 41.0],
+                vec![12.0, 16.0, 44.0],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_grid_points() {
+        let t = table();
+        assert_eq!(t.lookup(5.0, 1.0), 8.0);
+        assert_eq!(t.lookup(80.0, 100.0), 44.0);
+        assert_eq!(t.lookup(20.0, 10.0), 13.0);
+    }
+
+    #[test]
+    fn clamps_outside_envelope() {
+        let t = table();
+        assert_eq!(t.lookup(0.0, 0.0), 8.0);
+        assert_eq!(t.lookup(1e9, 1e9), 44.0);
+    }
+
+    #[test]
+    fn interpolation_is_monotone_for_monotone_table() {
+        let t = table();
+        let mut prev = f64::NEG_INFINITY;
+        for load in [1.0, 3.0, 9.0, 30.0, 70.0, 100.0] {
+            let v = t.lookup(20.0, load);
+            assert!(v >= prev, "monotone in load");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn rejects_non_increasing_axis() {
+        let err = NldmTable::new(vec![1.0, 1.0], vec![1.0], vec![vec![0.0], vec![0.0]]);
+        assert_eq!(err.unwrap_err(), NldmError::BadAxis("slew"));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let err = NldmTable::new(vec![1.0, 2.0], vec![1.0], vec![vec![0.0]]);
+        assert_eq!(err.unwrap_err(), NldmError::ShapeMismatch);
+    }
+
+    #[test]
+    fn from_fn_matches_generator_on_grid() {
+        let t = NldmTable::from_fn(vec![1.0, 2.0], vec![3.0, 4.0], |s, l| s * 10.0 + l).unwrap();
+        assert_eq!(t.lookup(2.0, 3.0), 23.0);
+    }
+}

@@ -1,0 +1,82 @@
+/// A nano-Through-Silicon-Via model.
+///
+/// An nTSV connects a front-side wire to a back-side wire. Electrically it
+/// is a series resistance with a lumped capacitance (evaluated with the same
+/// L-type Elmore convention as wires — this reproduces the paper's Eq. (2)
+/// exactly, see `dscts-timing`). Unlike a buffer it provides **no load
+/// shielding**: all downstream capacitance remains visible upstream, which
+/// is the core electrical trade-off the concurrent DP navigates.
+///
+/// ```
+/// use dscts_tech::NtsvModel;
+/// let v = NtsvModel::iedm21();
+/// assert_eq!(v.res_kohm(), 0.020);
+/// assert_eq!(v.cap_ff(), 0.004);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NtsvModel {
+    res_kohm: f64,
+    cap_ff: f64,
+    width_nm: i64,
+    height_nm: i64,
+}
+
+impl NtsvModel {
+    /// Creates an nTSV model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if resistance or capacitance is not positive.
+    pub fn new(res_kohm: f64, cap_ff: f64, width_nm: i64, height_nm: i64) -> Self {
+        assert!(res_kohm > 0.0, "nTSV resistance must be positive");
+        assert!(cap_ff > 0.0, "nTSV capacitance must be positive");
+        NtsvModel {
+            res_kohm,
+            cap_ff,
+            width_nm,
+            height_nm,
+        }
+    }
+
+    /// The paper's nTSV: 0.020 kΩ, 0.004 fF, 270 nm × 270 nm footprint
+    /// (values from Chen et al., IEDM 2021, quoted in §IV-A).
+    pub fn iedm21() -> Self {
+        NtsvModel::new(0.020, 0.004, 270, 270)
+    }
+
+    /// Series resistance (kΩ).
+    pub fn res_kohm(&self) -> f64 {
+        self.res_kohm
+    }
+
+    /// Lumped capacitance (fF).
+    pub fn cap_ff(&self) -> f64 {
+        self.cap_ff
+    }
+
+    /// Cell footprint (nm).
+    pub fn footprint_nm(&self) -> (i64, i64) {
+        (self.width_nm, self.height_nm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let v = NtsvModel::iedm21();
+        assert_eq!(v.footprint_nm(), (270, 270));
+        // "The resistance and capacitance of one nTSV are 0.020 kΩ and
+        // 0.004 fF" (§IV-A).
+        assert_eq!(v.res_kohm(), 0.020);
+        assert_eq!(v.cap_ff(), 0.004);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance")]
+    fn rejects_zero_resistance() {
+        let _ = NtsvModel::new(0.0, 0.004, 270, 270);
+    }
+}

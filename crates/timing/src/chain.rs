@@ -1,0 +1,164 @@
+/// One series element of an RC chain: a resistance with its capacitance
+/// lumped at the far (downstream) end — the L-type convention of §II-B.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Element {
+    /// Series resistance (kΩ).
+    pub res: f64,
+    /// Capacitance lumped at the downstream end (fF).
+    pub cap: f64,
+}
+
+impl Element {
+    /// Creates an element.
+    pub const fn new(res: f64, cap: f64) -> Self {
+        Element { res, cap }
+    }
+}
+
+/// L-type Elmore delay through a straight chain of elements into a lumped
+/// load, ordered **from the driver toward the load**.
+///
+/// Returns `(delay_ps, total_cap_ff)` where `total_cap_ff` is the
+/// capacitance the chain presents to its driver (all element caps plus the
+/// load — no shielding, matching §II-B's observation that nTSVs, unlike
+/// buffers, cannot hide downstream capacitance).
+///
+/// ```
+/// use dscts_timing::{chain_delay, Element};
+/// // A single wire segment: delay = R·(C + C_load).
+/// let (d, c) = chain_delay(&[Element::new(2.0, 3.0)], 5.0);
+/// assert_eq!(d, 2.0 * (3.0 + 5.0));
+/// assert_eq!(c, 8.0);
+/// ```
+pub fn chain_delay(elements: &[Element], load_ff: f64) -> (f64, f64) {
+    let mut downstream = load_ff;
+    let mut delay = 0.0;
+    for e in elements.iter().rev() {
+        downstream += e.cap;
+        delay += e.res * downstream;
+    }
+    (delay, downstream)
+}
+
+/// Like [`chain_delay`], but also returns the cumulative delay at the far
+/// end of every element (driver side first), useful for placing taps.
+pub fn chain_delay_profile(elements: &[Element], load_ff: f64) -> (Vec<f64>, f64) {
+    // First pass: downstream cap at the far end of each element.
+    let mut caps = vec![0.0; elements.len()];
+    let mut downstream = load_ff;
+    for (i, e) in elements.iter().enumerate().rev() {
+        downstream += e.cap;
+        caps[i] = downstream;
+    }
+    let total_cap = downstream;
+    // Second pass: prefix sums of R_i * C_downstream(i).
+    let mut acc = 0.0;
+    let profile = elements
+        .iter()
+        .zip(caps)
+        .map(|(e, c)| {
+            acc += e.res * c;
+            acc
+        })
+        .collect();
+    (profile, total_cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Paper constants for the closed-form cross-checks.
+    const RF: f64 = 0.024222e-3; // M3, kΩ/nm
+    const CF: f64 = 0.12918e-3; // M3, fF/nm
+    const RB: f64 = 0.000384e-3; // BM1~BM3, kΩ/nm
+    const CB: f64 = 0.116264e-3; // BM1~BM3, fF/nm
+    const RT: f64 = 0.020; // nTSV, kΩ
+    const CT: f64 = 0.004; // nTSV, fF
+
+    #[test]
+    fn empty_chain_is_free() {
+        let (d, c) = chain_delay(&[], 7.0);
+        assert_eq!(d, 0.0);
+        assert_eq!(c, 7.0);
+    }
+
+    #[test]
+    fn eq1_buffer_wire_halves_closed_form() {
+        // Eq. (1) wire part: each half contributes rf·L/2·(cf·L/2 + C_end).
+        let l = 40_000.0; // 40 µm
+        let cb_in = 2.0; // buffer input cap
+        let cd = 9.0; // downstream load
+        let half = |c_end: f64| {
+            let (d, _) = chain_delay(&[Element::new(RF * l / 2.0, CF * l / 2.0)], c_end);
+            d
+        };
+        let up = half(cb_in);
+        let down = half(cd);
+        let expect_up = RF * l / 2.0 * (CF * l / 2.0 + cb_in);
+        let expect_down = RF * l / 2.0 * (CF * l / 2.0 + cd);
+        assert!((up - expect_up).abs() < 1e-9);
+        assert!((down - expect_down).abs() < 1e-9);
+        // Quadratic form of Eq. (1): rf·cf/2·L² + rf(Cb+Cd)/2·L.
+        let total_wire = up + down;
+        let closed = RF * CF / 2.0 * l * l + RF * (cb_in + cd) / 2.0 * l;
+        assert!((total_wire - closed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq2_two_ntsv_back_wire_closed_form() {
+        // Eq. (2): DnTSV_On = rb·cb·L² + (rb·C_T + rb·C_d + R_T·cb)·L
+        //                    + R_T·(3·C_T + 2·C_d)
+        let l = 120_000.0; // 120 µm
+        let cd = 14.0;
+        let chain = [
+            Element::new(RT, CT),
+            Element::new(RB * l, CB * l),
+            Element::new(RT, CT),
+        ];
+        let (d, cap) = chain_delay(&chain, cd);
+        let closed =
+            (RB * CB) * l * l + (RB * CT + RB * cd + RT * CB) * l + RT * (3.0 * CT + 2.0 * cd);
+        assert!(
+            (d - closed).abs() < 1e-9,
+            "chain {d} vs closed-form {closed}"
+        );
+        assert!((cap - (2.0 * CT + CB * l + cd)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_last_entry_equals_total_delay() {
+        let chain = [
+            Element::new(1.0, 2.0),
+            Element::new(3.0, 4.0),
+            Element::new(0.5, 1.0),
+        ];
+        let (d, c) = chain_delay(&chain, 6.0);
+        let (profile, cap) = chain_delay_profile(&chain, 6.0);
+        assert_eq!(profile.len(), 3);
+        assert!((profile[2] - d).abs() < 1e-12);
+        assert_eq!(cap, c);
+        // Profile is non-decreasing.
+        assert!(profile.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn back_side_beats_front_side_for_long_wires() {
+        // The motivating physics: rb·cb << rf·cf.
+        let l = 100_000.0;
+        let cd = 20.0;
+        let (front, _) = chain_delay(&[Element::new(RF * l, CF * l)], cd);
+        let (back, _) = chain_delay(
+            &[
+                Element::new(RT, CT),
+                Element::new(RB * l, CB * l),
+                Element::new(RT, CT),
+            ],
+            cd,
+        );
+        assert!(
+            back < front / 10.0,
+            "100 µm back-side path ({back:.2} ps) should be >10x faster than front ({front:.2} ps)"
+        );
+    }
+}

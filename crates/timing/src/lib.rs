@@ -1,0 +1,64 @@
+//! RC-tree timing engine for clock tree evaluation.
+//!
+//! The paper computes wire delays with the classic **L-type Elmore model**
+//! (§II-B): every element (wire segment, nTSV) is a series resistance with
+//! its capacitance lumped at the far end, so the delay through a path is
+//!
+//! ```text
+//! delay(n) = Σ over elements e on the path  R_e · C_downstream(far end of e)
+//! ```
+//!
+//! which reproduces the paper's Eq. (1) and Eq. (2) closed forms exactly
+//! (verified by unit and property tests in this crate). Slew is propagated
+//! with the PERI rule (`slew² = slew_in² + (ln 9 · elmore)²`), following the
+//! voltage-scaled clock network methodology the paper cites ([34]).
+//!
+//! Three layers of API:
+//!
+//! * [`RcTree`] — arena-based RC tree with downstream-capacitance, Elmore
+//!   and slew propagation passes;
+//! * [`chain_delay`] / [`Element`] — straight-line chains, used by the DP's
+//!   closed-form pattern delays and as their test oracle;
+//! * [`ArrivalStats`] — latency / skew summaries over per-sink arrivals.
+//!
+//! # Example
+//!
+//! ```
+//! use dscts_timing::{Element, chain_delay};
+//!
+//! // Eq. (2): two nTSVs around a back-side wire.
+//! let (r_t, c_t) = (0.020, 0.004);
+//! let (r_w, c_w) = (0.000384e-3 * 50_000.0, 0.116264e-3 * 50_000.0);
+//! let cd = 10.0;
+//! let chain = [Element::new(r_t, c_t), Element::new(r_w, c_w), Element::new(r_t, c_t)];
+//! let (delay, cap) = chain_delay(&chain, cd);
+//! assert!((cap - (2.0 * c_t + c_w + cd)).abs() < 1e-12);
+//! assert!(delay > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod metrics;
+mod rctree;
+
+pub use chain::{chain_delay, chain_delay_profile, Element};
+pub use metrics::ArrivalStats;
+pub use rctree::{NodeId, RcTree};
+
+/// `ln 9` — converts an Elmore time constant to a 10–90 % transition time.
+pub const LN9: f64 = 2.197224577336220;
+
+/// PERI slew composition: the output transition of a stage with input slew
+/// `slew_in` and internal Elmore delay `elmore` (both ps).
+///
+/// ```
+/// use dscts_timing::wire_slew;
+/// assert_eq!(wire_slew(0.0, 0.0), 0.0);
+/// assert!(wire_slew(10.0, 5.0) > 10.0);
+/// ```
+pub fn wire_slew(slew_in: f64, elmore: f64) -> f64 {
+    let w = LN9 * elmore;
+    (slew_in * slew_in + w * w).sqrt()
+}

@@ -1,0 +1,125 @@
+use std::fmt;
+
+/// Latency / skew summary over a set of per-sink arrival times.
+///
+/// * **latency** — the maximum source-to-sink delay (the paper's "Latency"
+///   column);
+/// * **skew** — the difference between the latest and earliest arrivals
+///   (global skew, the paper's "Skew" column).
+///
+/// ```
+/// use dscts_timing::ArrivalStats;
+/// let s = ArrivalStats::from_arrivals([10.0, 14.0, 12.0]).unwrap();
+/// assert_eq!(s.latency(), 14.0);
+/// assert_eq!(s.skew(), 4.0);
+/// assert_eq!(s.min_arrival(), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalStats {
+    min: f64,
+    max: f64,
+    mean: f64,
+    count: usize,
+}
+
+impl ArrivalStats {
+    /// Summarises a non-empty arrival set; `None` when empty or when any
+    /// arrival is not finite.
+    pub fn from_arrivals<I: IntoIterator<Item = f64>>(arrivals: I) -> Option<Self> {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for a in arrivals {
+            if !a.is_finite() {
+                return None;
+            }
+            min = min.min(a);
+            max = max.max(a);
+            sum += a;
+            count += 1;
+        }
+        if count == 0 {
+            return None;
+        }
+        Some(ArrivalStats {
+            min,
+            max,
+            mean: sum / count as f64,
+            count,
+        })
+    }
+
+    /// Maximum arrival (clock latency, ps).
+    pub fn latency(&self) -> f64 {
+        self.max
+    }
+
+    /// Global skew `max − min` (ps).
+    pub fn skew(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Earliest arrival (ps).
+    pub fn min_arrival(&self) -> f64 {
+        self.min
+    }
+
+    /// Mean arrival (ps).
+    pub fn mean_arrival(&self) -> f64 {
+        self.mean
+    }
+
+    /// Number of sinks summarised.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+impl fmt::Display for ArrivalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "latency {:.3} ps, skew {:.3} ps over {} sinks",
+            self.latency(),
+            self.skew(),
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(ArrivalStats::from_arrivals(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn non_finite_is_none() {
+        assert!(ArrivalStats::from_arrivals([1.0, f64::NAN]).is_none());
+        assert!(ArrivalStats::from_arrivals([1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn single_sink_zero_skew() {
+        let s = ArrivalStats::from_arrivals([42.0]).unwrap();
+        assert_eq!(s.skew(), 0.0);
+        assert_eq!(s.latency(), 42.0);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn mean_is_arithmetic() {
+        let s = ArrivalStats::from_arrivals([1.0, 2.0, 3.0, 6.0]).unwrap();
+        assert_eq!(s.mean_arrival(), 3.0);
+    }
+
+    #[test]
+    fn display_mentions_latency() {
+        let s = ArrivalStats::from_arrivals([5.0, 7.0]).unwrap();
+        assert!(s.to_string().contains("latency"));
+    }
+}

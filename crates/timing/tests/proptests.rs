@@ -1,0 +1,99 @@
+//! Property tests: the RC-tree engine agrees with closed forms and behaves
+//! monotonically.
+
+use dscts_timing::{chain_delay, chain_delay_profile, ArrivalStats, Element, RcTree};
+use proptest::prelude::*;
+
+fn elem() -> impl Strategy<Value = Element> {
+    (0.0f64..10.0, 0.0f64..50.0).prop_map(|(r, c)| Element::new(r, c))
+}
+
+proptest! {
+    #[test]
+    fn chain_matches_rctree(elems in prop::collection::vec(elem(), 0..12), load in 0.0f64..100.0) {
+        let (cd, cc) = chain_delay(&elems, load);
+        let mut t = RcTree::new(0.0);
+        let mut cur = t.root();
+        for e in &elems {
+            cur = t.add_node(cur, e.res, e.cap);
+        }
+        t.add_cap(cur, load);
+        let delay = t.elmore();
+        prop_assert!((delay[cur.index()] - cd).abs() < 1e-9);
+        prop_assert!((t.total_cap() - cc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_monotone_in_load(elems in prop::collection::vec(elem(), 1..12),
+                              load in 0.0f64..100.0, extra in 0.0f64..100.0) {
+        let (d1, c1) = chain_delay(&elems, load);
+        let (d2, c2) = chain_delay(&elems, load + extra);
+        prop_assert!(d2 >= d1);
+        prop_assert!((c2 - c1 - extra).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_monotone_in_length(r in 0.001f64..1.0, c in 0.001f64..1.0,
+                                l1 in 1.0f64..100_000.0, l2 in 1.0f64..100_000.0,
+                                load in 0.0f64..100.0) {
+        // A longer wire of the same stock is never faster.
+        let (ls, ll) = (l1.min(l2), l1.max(l2));
+        let mk = |l: f64| chain_delay(&[Element::new(r * l * 1e-3, c * l * 1e-3)], load).0;
+        prop_assert!(mk(ll) >= mk(ls));
+    }
+
+    #[test]
+    fn profile_is_nondecreasing_and_ends_at_total(
+        elems in prop::collection::vec(elem(), 1..12), load in 0.0f64..100.0)
+    {
+        let (profile, cap) = chain_delay_profile(&elems, load);
+        let (d, c) = chain_delay(&elems, load);
+        prop_assert!((profile.last().unwrap() - d).abs() < 1e-9);
+        prop_assert!((cap - c).abs() < 1e-9);
+        for w in profile.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn splitting_a_wire_preserves_delay(r in 0.0f64..5.0, c in 0.0f64..20.0,
+                                        frac in 0.01f64..0.99, load in 0.0f64..100.0) {
+        // L-model subtlety: splitting R,C (lumped at far end) into two L
+        // sections moves capacitance closer to the driver, so delay can only
+        // decrease (never increase), and total cap is conserved.
+        let (whole, cap1) = chain_delay(&[Element::new(r, c)], load);
+        let (split, cap2) = chain_delay(&[
+            Element::new(r * frac, c * frac),
+            Element::new(r * (1.0 - frac), c * (1.0 - frac)),
+        ], load);
+        prop_assert!(split <= whole + 1e-9);
+        prop_assert!((cap1 - cap2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elmore_increases_along_root_to_leaf_paths(
+        caps in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..30))
+    {
+        // Random path tree: each node hangs off the previous one.
+        let mut t = RcTree::new(0.0);
+        let mut cur = t.root();
+        let mut ids = vec![cur];
+        for (r, c) in caps {
+            cur = t.add_node(cur, r, c);
+            ids.push(cur);
+        }
+        let d = t.elmore();
+        for w in ids.windows(2) {
+            prop_assert!(d[w[1].index()] >= d[w[0].index()]);
+        }
+    }
+
+    #[test]
+    fn arrival_stats_bounds(arrivals in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        let s = ArrivalStats::from_arrivals(arrivals.iter().copied()).unwrap();
+        prop_assert!(s.skew() >= 0.0);
+        prop_assert!(s.latency() >= s.mean_arrival());
+        prop_assert!(s.mean_arrival() >= s.min_arrival());
+        prop_assert_eq!(s.count(), arrivals.len());
+    }
+}

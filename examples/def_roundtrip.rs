@@ -1,0 +1,59 @@
+//! Substrate tour: write a placed design to DEF, parse it back, synthesize
+//! a clock tree for the parsed design, and emit a post-CTS DEF carrying the
+//! inserted buffers and nTSVs — the file exchange the paper's flow performs
+//! around OpenROAD ([37]).
+//!
+//! Run with `cargo run --release --example def_roundtrip`.
+
+use dscts::netlist::def::{parse_def, write_def, write_def_with_extras, ExtraComponent};
+use dscts::netlist::lef::write_lef;
+use dscts::{BenchmarkSpec, DsCts, Technology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::asap7();
+
+    // Post-placement DEF out, and back in.
+    let design = BenchmarkSpec::c4_riscv32i().generate();
+    let def_text = write_def(&design);
+    println!(
+        "post-place DEF: {} lines, {} bytes",
+        def_text.lines().count(),
+        def_text.len()
+    );
+    let parsed = parse_def(&def_text)?;
+    assert_eq!(parsed.sinks.len(), design.sinks.len());
+    println!("parsed back {} sinks from DEF", parsed.sinks.len());
+
+    // Synthesize on the parsed design (proving the DEF carries everything
+    // the flow needs).
+    let outcome = DsCts::new(tech.clone()).run(&parsed);
+    println!("synthesized: {}", outcome.metrics);
+
+    // Emit the post-CTS DEF with clock cells placed.
+    let mut extras = Vec::new();
+    for (i, pos) in outcome.tree.buffer_sites().into_iter().enumerate() {
+        extras.push(ExtraComponent {
+            name: format!("clkbuf_{i}"),
+            cell: tech.buffer().name().to_owned(),
+            pos,
+        });
+    }
+    for (i, pos) in outcome.tree.ntsv_sites().into_iter().enumerate() {
+        extras.push(ExtraComponent {
+            name: format!("ntsv_{i}"),
+            cell: "NTSV".to_owned(),
+            pos,
+        });
+    }
+    let post_cts = write_def_with_extras(&parsed, &extras);
+    println!(
+        "post-CTS DEF: {} lines ({} clock cells added)",
+        post_cts.lines().count(),
+        extras.len()
+    );
+
+    // The matching LEF snippet for the clock cells.
+    let lef = write_lef(&tech);
+    println!("LEF: {} lines (buffer, nTSV, DFF macros)", lef.lines().count());
+    Ok(())
+}

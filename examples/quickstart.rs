@@ -1,0 +1,38 @@
+//! Quickstart: synthesize a double-side clock tree for a Table II design
+//! and print its quality metrics next to the front-side-only flow.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use dscts::{BenchmarkSpec, DsCts, Technology};
+
+fn main() {
+    // The ASAP7-like technology from the paper's Table I, with back-side
+    // metal (BM1~BM3) and the IEDM'21 nTSV.
+    let tech = Technology::asap7();
+
+    // C5 (aes): 29 306 cells, 2 072 flip-flops, utilization 0.5.
+    let design = BenchmarkSpec::c5_aes().generate();
+    println!(
+        "design {}: {} sinks on a {:.0} x {:.0} um core",
+        design.name,
+        design.sink_count(),
+        design.core.width() as f64 / 1000.0,
+        design.core.height() as f64 / 1000.0
+    );
+
+    // Full double-side flow: hierarchical routing, concurrent buffer+nTSV
+    // insertion, skew refinement.
+    let double = DsCts::new(tech.clone()).run(&design);
+    println!("double-side : {}", double.metrics);
+
+    // Same pipeline restricted to the front side.
+    let single = DsCts::new(tech).single_side(true).run(&design);
+    println!("front-only  : {}", single.metrics);
+
+    let speedup = single.metrics.latency_ps / double.metrics.latency_ps;
+    println!(
+        "back-side metal improves clock latency by {speedup:.2}x \
+         using {} nTSVs",
+        double.metrics.ntsvs
+    );
+}

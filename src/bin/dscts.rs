@@ -1,0 +1,171 @@
+//! `dscts` — command-line double-side CTS driver.
+//!
+//! Reads a placed DEF (or generates a named Table II benchmark), runs the
+//! selected flow, prints the quality report, and optionally writes the
+//! post-CTS DEF with the inserted clock cells.
+//!
+//! ```text
+//! USAGE:
+//!   dscts --design <c1|c2|c3|c4|c5>          run a built-in benchmark
+//!   dscts --def <placed.def>                 run on a placed DEF file
+//!
+//! OPTIONS:
+//!   --flow <ours|front|openroad|flip2|flip7|flip6>   flow to run   [ours]
+//!   --fanout <N>       DSE fanout threshold (full/intra mode split)
+//!   --out <file.def>   write the post-CTS DEF
+//!   --nldm             evaluate with NLDM + slew instead of Elmore
+//!   --size             run the post-CTS buffer-sizing pass
+//! ```
+
+use dscts::baseline::{flip_backside, FlipMethod, HTreeCts};
+use dscts::core::sizing::{resize_for_skew, SizingConfig};
+use dscts::netlist::def::{parse_def, write_def_with_extras, ExtraComponent};
+use dscts::{BenchmarkSpec, Design, DsCts, EvalModel, ModeRule, Technology};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run with --help for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", USAGE);
+        return Ok(());
+    }
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+
+    let design = load_design(get("--design"), get("--def"))?;
+    let tech = Technology::asap7();
+    let model = if has("--nldm") {
+        EvalModel::Nldm
+    } else {
+        EvalModel::Elmore
+    };
+    let flow = get("--flow").unwrap_or_else(|| "ours".to_owned());
+
+    println!(
+        "design {}: {} sinks, core {:.0} x {:.0} um",
+        design.name,
+        design.sink_count(),
+        design.core.width() as f64 / 1000.0,
+        design.core.height() as f64 / 1000.0
+    );
+
+    let mut pipeline = DsCts::new(tech.clone()).eval_model(model);
+    if let Some(f) = get("--fanout") {
+        let t: u32 = f.parse().map_err(|_| format!("bad --fanout value `{f}`"))?;
+        pipeline = pipeline.mode_rule(ModeRule::FanoutThreshold(t));
+    }
+
+    let mut tree = match flow.as_str() {
+        "ours" => pipeline.run(&design).tree,
+        "front" => pipeline.single_side(true).run(&design).tree,
+        "openroad" => HTreeCts::default().synthesize(&design, &tech),
+        "flip2" | "flip7" | "flip6" => {
+            let bct = pipeline.single_side(true).run(&design).tree;
+            let method = match flow.as_str() {
+                "flip2" => FlipMethod::Latency,
+                "flip7" => FlipMethod::Fanout { threshold: 100 },
+                _ => FlipMethod::Criticality { fraction: 0.5 },
+            };
+            flip_backside(&bct, &tech, method).tree
+        }
+        other => return Err(format!("unknown flow `{other}`")),
+    };
+
+    if has("--size") {
+        let report = resize_for_skew(&mut tree, &tech, model, &SizingConfig::default());
+        println!(
+            "sizing: {} buffers resized, skew {:.3} -> {:.3} ps",
+            report.resized, report.before.skew_ps, report.after.skew_ps
+        );
+    }
+
+    let m = tree.evaluate(&tech, model);
+    println!("{m}");
+    println!(
+        "trunk WL {:.3}e6 nm | switched cap {:.1} fF | cell area {:.1} um^2 | worst sink slew {:.1} ps",
+        m.trunk_wirelength_nm as f64 / 1e6,
+        m.switched_cap_ff,
+        m.cell_area_nm2 as f64 / 1e6,
+        m.max_sink_slew_ps
+    );
+    println!(
+        "clock power at 2 GHz, 0.7 V: {:.1} uW",
+        m.clock_power_uw(0.7, 2.0)
+    );
+
+    if let Some(out) = get("--out") {
+        let mut extras = Vec::new();
+        for (i, pos) in tree.buffer_sites().into_iter().enumerate() {
+            extras.push(ExtraComponent {
+                name: format!("clkbuf_{i}"),
+                cell: tech.buffer().name().to_owned(),
+                pos,
+            });
+        }
+        for (i, pos) in tree.ntsv_sites().into_iter().enumerate() {
+            extras.push(ExtraComponent {
+                name: format!("ntsv_{i}"),
+                cell: "NTSV".to_owned(),
+                pos,
+            });
+        }
+        std::fs::write(&out, write_def_with_extras(&design, &extras))
+            .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+        println!("post-CTS DEF written to {out}");
+    }
+    Ok(())
+}
+
+fn load_design(named: Option<String>, def_path: Option<String>) -> Result<Design, String> {
+    match (named, def_path) {
+        (Some(name), None) => {
+            let spec = match name.to_lowercase().as_str() {
+                "c1" | "jpeg" => BenchmarkSpec::c1_jpeg(),
+                "c2" | "swerv" | "swerv_wrapper" => BenchmarkSpec::c2_swerv_wrapper(),
+                "c3" | "ethmac" => BenchmarkSpec::c3_ethmac(),
+                "c4" | "riscv32i" => BenchmarkSpec::c4_riscv32i(),
+                "c5" | "aes" => BenchmarkSpec::c5_aes(),
+                other => return Err(format!("unknown design `{other}`")),
+            };
+            Ok(spec.generate())
+        }
+        (None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            parse_def(&text).map_err(|e| e.to_string())
+        }
+        (None, None) => Err("one of --design or --def is required".to_owned()),
+        (Some(_), Some(_)) => Err("--design and --def are mutually exclusive".to_owned()),
+    }
+}
+
+const USAGE: &str = "\
+dscts - systematic multi-objective double-side clock tree synthesis
+
+USAGE:
+  dscts --design <c1|c2|c3|c4|c5> [options]   run a built-in benchmark
+  dscts --def <placed.def> [options]          run on a placed DEF file
+
+OPTIONS:
+  --flow <ours|front|openroad|flip2|flip7|flip6>   flow to run (default ours)
+  --fanout <N>     DSE fanout threshold (nodes above it are intra-side)
+  --out <file>     write the post-CTS DEF with inserted clock cells
+  --nldm           evaluate with NLDM tables + slew propagation
+  --size           run the post-CTS buffer-sizing pass
+  -h, --help       show this help
+";

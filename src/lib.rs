@@ -1,0 +1,54 @@
+//! **dscts** — systematic multi-objective double-side clock tree synthesis.
+//!
+//! A Rust implementation of *"A Systematic Approach for Multi-objective
+//! Double-side Clock Tree Synthesis"* (Jiang et al., DAC 2025): clock trees
+//! that use back-side metal layers through nano-TSVs, designed
+//! *concurrently* (routing, buffers and nTSVs in one multi-objective
+//! dynamic program) instead of flipping nets of a finished front-side tree.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`geom`] | `dscts-geom` | Manhattan geometry, tilted-rectangle regions |
+//! | [`tech`] | `dscts-tech` | ASAP7-like PDK, buffer / nTSV / NLDM models |
+//! | [`netlist`] | `dscts-netlist` | design DB, DEF/LEF subset, Table II benchmarks |
+//! | [`timing`] | `dscts-timing` | L-type Elmore engine, slew, arrival stats |
+//! | [`cluster`] | `dscts-cluster` | capacity-bounded k-means, dual-level hierarchy |
+//! | [`dme`] | `dscts-dme` | zero-skew deferred-merge embedding |
+//! | [`vanginneken`] | `dscts-buffer` | classic single-side buffer insertion |
+//! | [`core`] | `dscts-core` | the paper: patterns, DP, skew refinement, DSE, baselines |
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dscts::{BenchmarkSpec, DsCts, Technology};
+//!
+//! let design = BenchmarkSpec::c4_riscv32i().generate();
+//! let outcome = DsCts::new(Technology::asap7()).run(&design);
+//! println!("{}", outcome.metrics);
+//! assert!(outcome.metrics.ntsvs > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dscts_cluster as cluster;
+pub use dscts_core as core;
+pub use dscts_dme as dme;
+pub use dscts_geom as geom;
+pub use dscts_netlist as netlist;
+pub use dscts_tech as tech;
+pub use dscts_timing as timing;
+
+/// Classic van Ginneken single-side buffer insertion (oracle / baseline).
+pub use dscts_buffer as vanginneken;
+
+pub use dscts_core::{
+    baseline, dse, skew, DsCts, EvalModel, HierarchicalRouter, Mode, ModeRule, MoesWeights,
+    Outcome, Pattern, PatternSet, PruneMode, RootCand, RoutingStyle, SynthesizedTree, TreeMetrics,
+};
+pub use dscts_netlist::{BenchmarkSpec, Design};
+pub use dscts_tech::{BufferModel, Layer, NtsvModel, Side, Technology};

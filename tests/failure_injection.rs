@@ -1,0 +1,107 @@
+//! Failure-injection tests: malformed inputs must fail loudly and
+//! precisely, not corrupt results downstream.
+
+use dscts::netlist::def::parse_def;
+use dscts::netlist::lef::parse_lef;
+use dscts::{BenchmarkSpec, DsCts, Technology};
+
+#[test]
+fn def_parser_rejects_garbage_inputs() {
+    // Truncated / corrupt DEFs produce errors, never panics.
+    for text in [
+        "",
+        "VERSION 5.8 ;",
+        "DESIGN x ;\nDIEAREA ( a b ) ( c d ) ;",
+        "DESIGN x ;\nDIEAREA ( 0 0 ) ;",
+        "DIEAREA ( 0 0 ) ( 5 5 ) ;\nCOMPONENTS 1 ;\n- broken",
+    ] {
+        assert!(parse_def(text).is_err(), "accepted: {text:?}");
+    }
+}
+
+#[test]
+fn def_parser_survives_binary_noise() {
+    let design = BenchmarkSpec::c4_riscv32i().generate();
+    let mut text = dscts::netlist::def::write_def(&design);
+    // Splice noise into the middle of the component section; the parser
+    // must either error or skip cleanly — never panic.
+    let mid = text.len() / 2;
+    text.insert_str(mid, "\n@@@@ \u{FFFD}\u{FFFD} ;;; \n");
+    let _ = parse_def(&text);
+}
+
+#[test]
+fn lef_parser_reports_bad_size_line() {
+    let err = parse_lef("MACRO M\n SIZE x BY y ;\nEND M").unwrap_err();
+    assert_eq!(err.line, 2);
+}
+
+#[test]
+#[should_panic(expected = "no clock sinks")]
+fn router_rejects_empty_designs() {
+    let mut design = BenchmarkSpec::c4_riscv32i().generate();
+    design.sinks.clear();
+    let _ = DsCts::new(Technology::asap7()).run(&design);
+}
+
+#[test]
+fn sink_heavy_design_stays_feasible() {
+    // Sinks with 20x the usual pin cap: the load budget must force tiny
+    // clusters rather than producing an infeasible DP.
+    let mut spec = BenchmarkSpec::c4_riscv32i();
+    spec.num_ffs = 200;
+    spec.sink_cap_ff = 22.0;
+    let design = spec.generate();
+    let outcome = DsCts::new(Technology::asap7()).run(&design);
+    assert_eq!(outcome.tree.validate_sides(), Ok(()));
+    // Max three sinks fit under the 0.85 * 80 fF budget.
+    assert!(outcome.tree.topo.stars.iter().all(|s| s.sinks.len() <= 3));
+}
+
+#[test]
+fn degenerate_single_sink_design_works() {
+    let mut spec = BenchmarkSpec::c4_riscv32i();
+    spec.num_ffs = 1;
+    spec.num_cells = 100;
+    let design = spec.generate();
+    let outcome = DsCts::new(Technology::asap7()).run(&design);
+    assert_eq!(outcome.metrics.arrivals.len(), 1);
+    assert_eq!(outcome.metrics.skew_ps, 0.0);
+}
+
+#[test]
+fn coincident_sinks_do_not_break_dme() {
+    let mut design = BenchmarkSpec::c4_riscv32i().generate();
+    // Pile 50 sinks onto one point.
+    let p = design.sinks[0].pos;
+    for s in design.sinks.iter_mut().take(50) {
+        s.pos = p;
+    }
+    let outcome = DsCts::new(Technology::asap7()).run(&design);
+    assert_eq!(outcome.tree.validate_sides(), Ok(()));
+}
+
+#[test]
+fn tiny_max_load_panics_with_clear_message() {
+    // A max load below a single sink's capacitance is unsatisfiable; the
+    // DP must say so rather than emit an illegal tree.
+    let tech = Technology::builder()
+        .layer(dscts::Layer::new("MF", 0.024222, 0.12918))
+        .layer(dscts::Layer::new("MB", 0.000384, 0.116264))
+        .max_load_ff(0.5)
+        .build()
+        .unwrap();
+    let mut spec = BenchmarkSpec::c4_riscv32i();
+    spec.num_ffs = 16;
+    let design = spec.generate();
+    let result = std::panic::catch_unwind(|| DsCts::new(tech).run(&design));
+    let err = result.expect_err("must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        msg.contains("feasible") || msg.contains("infeasible"),
+        "unhelpful panic message: {msg}"
+    );
+}

@@ -1,0 +1,188 @@
+//! End-to-end integration tests across the whole workspace: every flow on
+//! generated designs, with legality, determinism and metric-ordering
+//! invariants.
+
+use dscts::baseline::{flip_backside, FlipMethod, HTreeCts};
+use dscts::core::skew::SkewConfig;
+use dscts::{BenchmarkSpec, DsCts, EvalModel, ModeRule, Side, Technology};
+
+fn small_design() -> dscts::Design {
+    BenchmarkSpec::c4_riscv32i().generate()
+}
+
+#[test]
+fn full_flow_produces_legal_tree_on_every_benchmark_spec() {
+    // C4 and C5 keep debug-mode runtime reasonable; table3 covers all five
+    // in release mode.
+    let tech = Technology::asap7();
+    for spec in [BenchmarkSpec::c4_riscv32i(), BenchmarkSpec::c5_aes()] {
+        let design = spec.generate();
+        let outcome = DsCts::new(tech.clone()).run(&design);
+        assert_eq!(outcome.tree.topo.validate(), Ok(()), "{}", design.name);
+        assert_eq!(outcome.tree.validate_sides(), Ok(()), "{}", design.name);
+        assert_eq!(outcome.metrics.arrivals.len(), design.sink_count());
+        assert!(outcome.metrics.latency_ps > 0.0);
+        assert!(outcome.metrics.skew_ps >= 0.0);
+        assert!(outcome.metrics.skew_ps <= outcome.metrics.latency_ps);
+    }
+}
+
+#[test]
+fn flows_order_as_in_table3() {
+    // The paper's headline ordering on any design:
+    //   ours < our-bct + flip < our-bct   (latency)
+    let tech = Technology::asap7();
+    let design = small_design();
+    let ours = DsCts::new(tech.clone()).run(&design);
+    let bct = DsCts::new(tech.clone()).single_side(true).run(&design);
+    let flipped = flip_backside(&bct.tree, &tech, FlipMethod::Latency);
+    let flipped_m = flipped.tree.evaluate(&tech, EvalModel::Elmore);
+
+    assert!(
+        ours.metrics.latency_ps < bct.metrics.latency_ps,
+        "double-side {} must beat front-only {}",
+        ours.metrics.latency_ps,
+        bct.metrics.latency_ps
+    );
+    assert!(
+        flipped_m.latency_ps < bct.metrics.latency_ps,
+        "flipping must improve the front-side tree"
+    );
+    assert!(
+        ours.metrics.latency_ps < flipped_m.latency_ps,
+        "concurrent insertion {} must beat post-CTS flipping {}",
+        ours.metrics.latency_ps,
+        flipped_m.latency_ps
+    );
+}
+
+#[test]
+fn openroad_like_baseline_is_weaker_than_ours() {
+    let tech = Technology::asap7();
+    let design = small_design();
+    let htree = HTreeCts::default()
+        .synthesize(&design, &tech)
+        .evaluate(&tech, EvalModel::Elmore);
+    let ours = DsCts::new(tech).run(&design);
+    assert!(ours.metrics.latency_ps < htree.latency_ps);
+}
+
+#[test]
+fn whole_pipeline_is_deterministic_across_runs() {
+    let tech = Technology::asap7();
+    let design = small_design();
+    let a = DsCts::new(tech.clone()).run(&design);
+    let b = DsCts::new(tech).run(&design);
+    assert_eq!(a.tree, b.tree);
+    assert_eq!(a.metrics.arrivals, b.metrics.arrivals);
+}
+
+#[test]
+fn dse_thresholds_interpolate_between_intra_and_full() {
+    let tech = Technology::asap7();
+    let design = small_design();
+    let intra = DsCts::new(tech.clone())
+        .mode_rule(ModeRule::AllIntraSide)
+        .run(&design);
+    let tight = DsCts::new(tech.clone())
+        .mode_rule(ModeRule::FanoutThreshold(1))
+        .run(&design);
+    let full = DsCts::new(tech.clone()).run(&design);
+    let mid = DsCts::new(tech)
+        .mode_rule(ModeRule::FanoutThreshold(100))
+        .run(&design);
+    // Strict intra-side uses no nTSVs; a tight threshold keeps only the
+    // designer-level top net flexible; full mode uses the most.
+    assert_eq!(intra.metrics.ntsvs, 0);
+    assert!(tight.metrics.ntsvs <= mid.metrics.ntsvs);
+    assert!(full.metrics.ntsvs > 0);
+    assert!(mid.metrics.ntsvs <= full.metrics.ntsvs.max(1) * 2);
+    // Full back-side freedom should not be slower than no back side.
+    assert!(full.metrics.latency_ps <= intra.metrics.latency_ps + 1e-9);
+}
+
+#[test]
+fn skew_refinement_never_hurts_latency_or_skew() {
+    let tech = Technology::asap7();
+    let design = small_design();
+    let without = DsCts::new(tech.clone()).skew_refinement(None).run(&design);
+    let with = DsCts::new(tech)
+        .skew_refinement(Some(SkewConfig {
+            trigger_percent: 0.0,
+            ..SkewConfig::default()
+        }))
+        .run(&design);
+    assert!(with.metrics.skew_ps <= without.metrics.skew_ps + 1e-9);
+    assert!(with.metrics.latency_ps <= without.metrics.latency_ps + 1e-9);
+    assert!(with.metrics.buffers >= without.metrics.buffers);
+}
+
+#[test]
+fn nldm_and_elmore_agree_on_structure() {
+    let tech = Technology::asap7();
+    let design = small_design();
+    let outcome = DsCts::new(tech.clone()).run(&design);
+    let elmore = outcome.tree.evaluate(&tech, EvalModel::Elmore);
+    let nldm = outcome.tree.evaluate(&tech, EvalModel::Nldm);
+    assert_eq!(elmore.buffers, nldm.buffers);
+    assert_eq!(elmore.ntsvs, nldm.ntsvs);
+    let rel = (elmore.latency_ps - nldm.latency_ps).abs() / elmore.latency_ps;
+    assert!(rel < 0.3, "Elmore {} vs NLDM {}", elmore.latency_ps, nldm.latency_ps);
+}
+
+#[test]
+fn pattern_sides_and_sites_are_consistent_everywhere() {
+    let tech = Technology::asap7();
+    let design = small_design();
+    let outcome = DsCts::new(tech.clone()).run(&design);
+    let tree = &outcome.tree;
+    // Roots and leaf stars live on the front side.
+    let children = tree.topo.children();
+    let first_edge = children[0][0] as usize;
+    assert_eq!(tree.patterns[first_edge].unwrap().root_side(), Side::Front);
+    for s in &tree.topo.stars {
+        assert_eq!(
+            tree.patterns[s.node as usize].unwrap().sink_side(),
+            Side::Front
+        );
+    }
+    // Buffer / nTSV site counts equal metric counts.
+    let m = &outcome.metrics;
+    assert_eq!(tree.buffer_sites().len() as u32, m.buffers);
+    assert_eq!(tree.ntsv_sites().len() as u32, m.ntsvs);
+}
+
+#[test]
+fn def_roundtrip_preserves_synthesis_inputs() {
+    let design = small_design();
+    let text = dscts::netlist::def::write_def(&design);
+    let parsed = dscts::netlist::def::parse_def(&text).expect("parse");
+    let tech = Technology::asap7();
+    let a = DsCts::new(tech.clone()).run(&design);
+    let b = DsCts::new(tech).run(&parsed);
+    // Same sinks and root -> identical synthesis result.
+    assert_eq!(a.metrics.latency_ps, b.metrics.latency_ps);
+    assert_eq!(a.metrics.buffers, b.metrics.buffers);
+}
+
+#[test]
+fn every_flip_method_preserves_wirelength_and_buffers() {
+    let tech = Technology::asap7();
+    let design = small_design();
+    let bct = DsCts::new(tech.clone()).single_side(true).run(&design);
+    for method in [
+        FlipMethod::Latency,
+        FlipMethod::Fanout { threshold: 50 },
+        FlipMethod::Criticality { fraction: 0.3 },
+        FlipMethod::CriticalityPdn {
+            fraction: 0.3,
+            pdn_ntsv_overhead: 0.15,
+        },
+    ] {
+        let f = flip_backside(&bct.tree, &tech, method);
+        assert_eq!(f.tree.validate_sides(), Ok(()));
+        let m = f.tree.evaluate(&tech, EvalModel::Elmore);
+        assert_eq!(m.buffers, bct.metrics.buffers);
+        assert_eq!(m.wirelength_nm, bct.metrics.wirelength_nm);
+    }
+}

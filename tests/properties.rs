@@ -1,0 +1,79 @@
+//! Cross-crate property tests: the full pipeline holds its invariants on
+//! randomly generated designs, not just the Table II presets.
+
+use dscts::{BenchmarkSpec, DsCts, EvalModel, Technology};
+use proptest::prelude::*;
+
+fn random_spec(ffs: usize, util_pct: u64, seed: u64, banks: usize) -> BenchmarkSpec {
+    let mut spec = BenchmarkSpec::c4_riscv32i();
+    spec.name = format!("rand-{seed}");
+    spec.num_ffs = ffs;
+    spec.num_cells = (ffs * 11).max(100);
+    spec.utilization = util_pct as f64 / 100.0;
+    spec.seed = seed;
+    spec.bank_count = banks;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pipeline_invariants_on_random_designs(
+        ffs in 40usize..400,
+        util in 30u64..70,
+        seed in 0u64..10_000,
+        banks in 1usize..6,
+    ) {
+        let design = random_spec(ffs, util, seed, banks).generate();
+        prop_assert_eq!(design.validate(), Ok(()));
+        let tech = Technology::asap7();
+        let outcome = DsCts::new(tech.clone()).run(&design);
+        // Structural legality.
+        prop_assert_eq!(outcome.tree.topo.validate(), Ok(()));
+        prop_assert_eq!(outcome.tree.validate_sides(), Ok(()));
+        // Every sink served exactly once.
+        prop_assert_eq!(outcome.metrics.arrivals.len(), ffs);
+        prop_assert!(outcome.metrics.arrivals.iter().all(|a| a.is_finite() && *a > 0.0));
+        // Skew is bounded by latency; resources are sane.
+        prop_assert!(outcome.metrics.skew_ps <= outcome.metrics.latency_ps);
+        prop_assert!(outcome.metrics.buffers >= 1);
+        prop_assert!(outcome.metrics.wirelength_nm > 0);
+    }
+
+    #[test]
+    fn double_side_never_slower_than_single_side(
+        ffs in 60usize..250,
+        seed in 0u64..5_000,
+    ) {
+        let design = random_spec(ffs, 50, seed, 3).generate();
+        let tech = Technology::asap7();
+        let ds = DsCts::new(tech.clone()).skew_refinement(None).run(&design);
+        let ss = DsCts::new(tech).single_side(true).skew_refinement(None).run(&design);
+        // The double-side design space strictly contains the single-side
+        // one; with latency-optimal pruning the MOES pick may differ, but
+        // the minimum-latency root candidate cannot be worse.
+        let min = |o: &dscts::Outcome| {
+            o.root_candidates
+                .iter()
+                .map(|c| c.latency_ps)
+                .fold(f64::INFINITY, f64::min)
+        };
+        prop_assert!(min(&ds) <= min(&ss) + 1e-6,
+            "double-side min {} vs single-side min {}", min(&ds), min(&ss));
+    }
+
+    #[test]
+    fn evaluation_models_stay_close(
+        ffs in 60usize..200,
+        seed in 0u64..5_000,
+    ) {
+        let design = random_spec(ffs, 50, seed, 2).generate();
+        let tech = Technology::asap7();
+        let outcome = DsCts::new(tech.clone()).run(&design);
+        let e = outcome.tree.evaluate(&tech, EvalModel::Elmore);
+        let n = outcome.tree.evaluate(&tech, EvalModel::Nldm);
+        let rel = (e.latency_ps - n.latency_ps).abs() / e.latency_ps;
+        prop_assert!(rel < 0.35, "Elmore {} vs NLDM {}", e.latency_ps, n.latency_ps);
+    }
+}
