@@ -44,10 +44,14 @@ fn bench_flows(c: &mut Criterion) {
                 });
             },
         );
-        group.bench_with_input(BenchmarkId::new("our_bct_front_only", id), design, |b, d| {
-            let pipe = DsCts::new(tech.clone()).single_side(true);
-            b.iter(|| black_box(pipe.run(d).metrics.latency_ps));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("our_bct_front_only", id),
+            design,
+            |b, d| {
+                let pipe = DsCts::new(tech.clone()).single_side(true);
+                b.iter(|| black_box(pipe.run(d).metrics.latency_ps));
+            },
+        );
     }
     group.finish();
 }

@@ -22,7 +22,14 @@ fn main() {
     let mut csv = Vec::new();
 
     let mut table = TextTable::new([
-        "Ablation", "Config", "Latency(ps)", "Skew(ps)", "Buffers", "nTSVs", "WL(e6)", "RT(s)",
+        "Ablation",
+        "Config",
+        "Latency(ps)",
+        "Skew(ps)",
+        "Buffers",
+        "nTSVs",
+        "WL(e6)",
+        "RT(s)",
     ]);
     let mut run = |ablation: &str, config: &str, pipe: DsCts| {
         let o = pipe.run(&design);
@@ -100,7 +107,14 @@ fn main() {
     let path = write_csv(
         "ablations.csv",
         &[
-            "ablation", "config", "latency_ps", "skew_ps", "buffers", "ntsvs", "wl_e6nm", "rt_s",
+            "ablation",
+            "config",
+            "latency_ps",
+            "skew_ps",
+            "buffers",
+            "ntsvs",
+            "wl_e6nm",
+            "rt_s",
         ],
         &csv,
     );

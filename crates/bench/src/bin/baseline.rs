@@ -1,0 +1,80 @@
+//! Records a performance + quality baseline for the C1–C5 designs.
+//!
+//! Runs the full staged pipeline (paper defaults) on every Table II
+//! design and writes `BENCH_baseline.json` at the workspace root: one
+//! record per design with per-stage wall clocks from
+//! [`dscts_core::Outcome::stages`] and the headline quality metrics.
+//! Subsequent PRs diff against this file to catch runtime or quality
+//! regressions per stage rather than per whole run.
+//!
+//! Run with `cargo run --release -p dscts-bench --bin baseline`.
+
+use dscts_bench::all_designs;
+use dscts_core::DsCts;
+use dscts_tech::Technology;
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn main() {
+    let tech = Technology::asap7();
+    let designs = all_designs();
+    let threads = rayon::current_num_threads();
+
+    let mut records = String::new();
+    println!("design   sinks   route(ms)  insert(ms)  refine(ms)  eval(ms)  total(ms)  latency(ps)  skew(ps)  bufs  nTSVs");
+    for (i, d) in designs.iter().enumerate() {
+        let o = DsCts::new(tech.clone()).run(d);
+        let ms = |name: &str| o.stage_seconds(name).unwrap_or(0.0) * 1e3;
+        println!(
+            "C{:<7} {:>6} {:>10.1} {:>11.1} {:>11.1} {:>9.1} {:>10.1} {:>12.3} {:>9.3} {:>5} {:>6}",
+            i + 1,
+            d.sink_count(),
+            ms("route"),
+            ms("insertion"),
+            ms("refine"),
+            ms("evaluate"),
+            o.runtime_s * 1e3,
+            o.metrics.latency_ps,
+            o.metrics.skew_ps,
+            o.metrics.buffers,
+            o.metrics.ntsvs,
+        );
+        if i > 0 {
+            records.push_str(",\n");
+        }
+        let stages: Vec<String> = o
+            .stages
+            .iter()
+            .map(|s| format!("{{\"name\": {:?}, \"seconds\": {:.6}}}", s.name, s.seconds))
+            .collect();
+        let _ = write!(
+            records,
+            "    {{\"design\": \"C{}\", \"name\": {:?}, \"sinks\": {}, \
+             \"stages\": [{}], \"runtime_s\": {:.6}, \
+             \"latency_ps\": {:.6}, \"skew_ps\": {:.6}, \"buffers\": {}, \
+             \"ntsvs\": {}, \"wirelength_nm\": {}, \"trunk_wirelength_nm\": {}}}",
+            i + 1,
+            d.name,
+            d.sink_count(),
+            stages.join(", "),
+            o.runtime_s,
+            o.metrics.latency_ps,
+            o.metrics.skew_ps,
+            o.metrics.buffers,
+            o.metrics.ntsvs,
+            o.metrics.wirelength_nm,
+            o.metrics.trunk_wirelength_nm,
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"flow\": \"ours_default\",\n  \"designs\": [\n{records}\n  ]\n}}\n"
+    );
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let path = root.join("BENCH_baseline.json");
+    std::fs::write(&path, json).expect("write baseline");
+    println!("\nbaseline written to {}", path.display());
+}

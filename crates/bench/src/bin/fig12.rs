@@ -52,7 +52,13 @@ fn main() {
     push("our_bct", bm.buffers + bm.ntsvs, bm.latency_ps, bm.skew_ps);
 
     for t in (20..=1000).step_by(fan_step) {
-        let f = flip_backside(&bct.tree, &tech, FlipMethod::Fanout { threshold: t as u32 });
+        let f = flip_backside(
+            &bct.tree,
+            &tech,
+            FlipMethod::Fanout {
+                threshold: t as u32,
+            },
+        );
         let m = f.tree.evaluate(&tech, model);
         push("bct_fanout7", m.buffers + m.ntsvs, m.latency_ps, m.skew_ps);
     }
@@ -65,11 +71,21 @@ fn main() {
     }
     let f2 = flip_backside(&bct.tree, &tech, FlipMethod::Latency);
     let m2 = f2.tree.evaluate(&tech, model);
-    push("bct_latency2", m2.buffers + m2.ntsvs, m2.latency_ps, m2.skew_ps);
+    push(
+        "bct_latency2",
+        m2.buffers + m2.ntsvs,
+        m2.latency_ps,
+        m2.skew_ps,
+    );
 
     let table3 = DsCts::new(tech.clone()).run(&design);
     let tm = &table3.metrics;
-    push("ours_table3", tm.buffers + tm.ntsvs, tm.latency_ps, tm.skew_ps);
+    push(
+        "ours_table3",
+        tm.buffers + tm.ntsvs,
+        tm.latency_ps,
+        tm.skew_ps,
+    );
 
     // --- Frontier summary. ---
     let mut t = TextTable::new([
@@ -103,8 +119,8 @@ fn main() {
             continue;
         }
         let range = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
-            let lo = pts.iter().map(|p| f(p)).fold(f64::INFINITY, f64::min);
-            let hi = pts.iter().map(|p| f(p)).fold(f64::NEG_INFINITY, f64::max);
+            let lo = pts.iter().map(f).fold(f64::INFINITY, f64::min);
+            let hi = pts.iter().map(f).fold(f64::NEG_INFINITY, f64::max);
             format!("{lo:.1}..{hi:.1}")
         };
         let frontier = dse::pareto_frontier(&pts, |p| (p.0, p.1));

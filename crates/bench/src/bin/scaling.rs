@@ -15,7 +15,13 @@ use std::time::Instant;
 fn main() {
     let tech = Technology::asap7();
     let mut table = TextTable::new([
-        "Sinks", "Flow", "Latency(ps)", "Skew(ps)", "Buf+nTSV", "Power@2GHz(uW)", "RT(s)",
+        "Sinks",
+        "Flow",
+        "Latency(ps)",
+        "Skew(ps)",
+        "Buf+nTSV",
+        "Power@2GHz(uW)",
+        "RT(s)",
     ]);
     let mut csv = Vec::new();
     for ffs in [250usize, 1_000, 4_000, 16_000] {
@@ -61,7 +67,15 @@ fn main() {
     println!("{}", table.render());
     let path = write_csv(
         "scaling.csv",
-        &["sinks", "flow", "latency_ps", "skew_ps", "resources", "power_uw", "rt_s"],
+        &[
+            "sinks",
+            "flow",
+            "latency_ps",
+            "skew_ps",
+            "resources",
+            "power_uw",
+            "rt_s",
+        ],
         &csv,
     );
     println!("CSV written to {}", path.display());

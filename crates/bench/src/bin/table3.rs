@@ -80,7 +80,14 @@ fn main() {
 
     // ---- Upper block. ----
     let mut t = TextTable::new([
-        "Design", "Flow", "Latency(ps)", "Skew(ps)", "Buffers", "ClkWL(e6)", "nTSVs", "RT(s)",
+        "Design",
+        "Flow",
+        "Latency(ps)",
+        "Skew(ps)",
+        "Buffers",
+        "ClkWL(e6)",
+        "nTSVs",
+        "RT(s)",
     ]);
     let mut csv_rows = Vec::new();
     for (i, id) in DESIGN_IDS.iter().enumerate() {
@@ -92,12 +99,23 @@ fn main() {
             push_row(&mut t, &mut csv_rows, id, name, row);
         }
     }
-    ratio_rows(&mut t, &[("OpenROAD BCT", &openroad), ("OpenROAD+[2]", &openroad2)], &ours);
+    ratio_rows(
+        &mut t,
+        &[("OpenROAD BCT", &openroad), ("OpenROAD+[2]", &openroad2)],
+        &ours,
+    );
     println!("{}", t.render());
 
     // ---- Lower block. ----
     let mut t = TextTable::new([
-        "Design", "Flow", "Latency(ps)", "Skew(ps)", "Buffers", "ClkWL(e6)", "nTSVs", "RT(s)",
+        "Design",
+        "Flow",
+        "Latency(ps)",
+        "Skew(ps)",
+        "Buffers",
+        "ClkWL(e6)",
+        "nTSVs",
+        "RT(s)",
     ]);
     for (i, id) in DESIGN_IDS.iter().enumerate() {
         for (name, row) in [
@@ -124,7 +142,14 @@ fn main() {
     let path = write_csv(
         "table3.csv",
         &[
-            "design", "flow", "latency_ps", "skew_ps", "buffers", "clk_wl_e6nm", "ntsvs", "rt_s",
+            "design",
+            "flow",
+            "latency_ps",
+            "skew_ps",
+            "buffers",
+            "clk_wl_e6nm",
+            "ntsvs",
+            "rt_s",
         ],
         &csv_rows,
     );
@@ -156,7 +181,7 @@ fn push_row(t: &mut TextTable, csv: &mut Vec<Vec<String>>, id: &str, flow: &str,
 }
 
 /// Appends geometric-mean ratio rows (flow / ours), the paper's last row.
-fn ratio_rows(t: &mut TextTable, flows: &[(&str, &Vec<FlowRow>)], ours: &Vec<FlowRow>) {
+fn ratio_rows(t: &mut TextTable, flows: &[(&str, &[FlowRow])], ours: &[FlowRow]) {
     for (name, rows) in flows {
         let r = |f: &dyn Fn(&TreeMetrics) -> f64| {
             geomean(

@@ -409,10 +409,26 @@ mod tests {
     #[test]
     fn pruning_keeps_min_delay() {
         let mut cands = vec![
-            Candidate { cap: 10.0, delay: 5.0, buffers: 1 },
-            Candidate { cap: 5.0, delay: 9.0, buffers: 0 },
-            Candidate { cap: 12.0, delay: 6.0, buffers: 0 }, // dominated by first
-            Candidate { cap: 3.0, delay: 20.0, buffers: 0 },
+            Candidate {
+                cap: 10.0,
+                delay: 5.0,
+                buffers: 1,
+            },
+            Candidate {
+                cap: 5.0,
+                delay: 9.0,
+                buffers: 0,
+            },
+            Candidate {
+                cap: 12.0,
+                delay: 6.0,
+                buffers: 0,
+            }, // dominated by first
+            Candidate {
+                cap: 3.0,
+                delay: 20.0,
+                buffers: 0,
+            },
         ];
         prune(&mut cands, |c| *c);
         assert!(cands.iter().any(|c| (c.delay - 5.0).abs() < 1e-12));

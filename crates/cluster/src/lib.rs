@@ -124,11 +124,7 @@ impl KMeans {
         };
         if let Some(cap) = self.cap {
             rebalance(points, &mut clustering, cap);
-            recentre(
-                points,
-                &clustering.assignment,
-                &mut clustering.centroids,
-            );
+            recentre(points, &clustering.assignment, &mut clustering.centroids);
         }
         clustering
     }
@@ -292,10 +288,10 @@ fn rebalance(points: &[Point], clustering: &mut Clustering, cap: usize) {
     for i in overflow {
         let p = points[i as usize];
         let mut best: Option<(i64, usize)> = None;
-        for c in 0..k {
-            if sizes[c] < cap {
+        for (c, &size) in sizes.iter().enumerate().take(k) {
+            if size < cap {
                 let d = p.manhattan(clustering.centroids[c]);
-                if best.map_or(true, |(bd, _)| d < bd) {
+                if best.is_none_or(|(bd, _)| d < bd) {
                     best = Some((d, c));
                 }
             }
@@ -337,10 +333,7 @@ impl DualHierarchy {
         assert!(!sinks.is_empty(), "cannot cluster zero sinks");
         assert!(hc > 0 && lc > 0, "cluster size bounds must be positive");
         let k_high = sinks.len().div_ceil(hc);
-        let high = KMeans::new(k_high)
-            .with_seed(seed)
-            .with_cap(hc)
-            .run(sinks);
+        let high = KMeans::new(k_high).with_seed(seed).with_cap(hc).run(sinks);
         let mut low = Vec::new();
         for (h, members) in high.members().into_iter().enumerate() {
             if members.is_empty() {
@@ -478,7 +471,11 @@ mod tests {
         let h = DualHierarchy::build(&pts, 80, 10, 1);
         let groups = h.low_by_high();
         assert_eq!(groups.len(), h.high.k());
-        let total: usize = groups.iter().flat_map(|g| g.iter()).map(|l| l.sinks.len()).sum();
+        let total: usize = groups
+            .iter()
+            .flat_map(|g| g.iter())
+            .map(|l| l.sinks.len())
+            .sum();
         assert_eq!(total, 200);
     }
 

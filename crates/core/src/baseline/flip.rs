@@ -64,11 +64,7 @@ pub struct FlipOutcome {
 ///
 /// Panics if `tree` contains back-side patterns already (the conventional
 /// flow starts from a single-side tree).
-pub fn flip_backside(
-    tree: &SynthesizedTree,
-    tech: &Technology,
-    method: FlipMethod,
-) -> FlipOutcome {
+pub fn flip_backside(tree: &SynthesizedTree, tech: &Technology, method: FlipMethod) -> FlipOutcome {
     for p in tree.patterns.iter().flatten() {
         assert!(
             !p.uses_back_side(),
@@ -82,21 +78,19 @@ pub fn flip_backside(
 
     // --- Select the wires to flip (never buffered edges). ---
     let mut flip = vec![false; n];
-    let flippable =
-        |i: usize| tree.patterns[i].map_or(false, |p| p.buffers() == 0);
+    let flippable = |i: usize| tree.patterns[i].is_some_and(|p| p.buffers() == 0);
     match method {
         FlipMethod::Latency => {
-            for i in 1..n {
-                flip[i] = flippable(i);
+            for (i, f) in flip.iter_mut().enumerate().skip(1) {
+                *f = flippable(i);
             }
         }
         FlipMethod::Fanout { threshold } => {
-            for i in 1..n {
-                flip[i] = flippable(i) && fanout[i] >= threshold;
+            for (i, f) in flip.iter_mut().enumerate().skip(1) {
+                *f = flippable(i) && fanout[i] >= threshold;
             }
         }
-        FlipMethod::Criticality { fraction }
-        | FlipMethod::CriticalityPdn { fraction, .. } => {
+        FlipMethod::Criticality { fraction } | FlipMethod::CriticalityPdn { fraction, .. } => {
             let fraction = fraction.clamp(0.0, 1.0);
             let metrics = tree.evaluate(tech, EvalModel::Elmore);
             // Rank leaf clusters by their worst sink arrival, most critical
@@ -155,7 +149,11 @@ pub fn flip_backside(
         } else {
             Side::Back
         };
-        let sink_side = if vertex_back[v] { Side::Back } else { Side::Front };
+        let sink_side = if vertex_back[v] {
+            Side::Back
+        } else {
+            Side::Front
+        };
         patterns[v] = Some(match (root_side, sink_side) {
             (Side::Front, Side::Front) => Pattern::Ntsv1,
             (Side::Back, Side::Front) => Pattern::Ntsv2,
@@ -210,7 +208,10 @@ mod tests {
             after.latency_ps
         );
         assert!(after.ntsvs > 0);
-        assert_eq!(after.buffers, before.buffers, "flipping never moves buffers");
+        assert_eq!(
+            after.buffers, before.buffers,
+            "flipping never moves buffers"
+        );
         assert_eq!(after.wirelength_nm, before.wirelength_nm);
     }
 
@@ -219,7 +220,13 @@ mod tests {
         let (tree, tech) = front_tree();
         let all = flip_backside(&tree, &tech, FlipMethod::Latency);
         let some = flip_backside(&tree, &tech, FlipMethod::Fanout { threshold: 100 });
-        let none = flip_backside(&tree, &tech, FlipMethod::Fanout { threshold: u32::MAX });
+        let none = flip_backside(
+            &tree,
+            &tech,
+            FlipMethod::Fanout {
+                threshold: u32::MAX,
+            },
+        );
         let (a, s, z) = (
             all.tree.evaluate(&tech, EvalModel::Elmore),
             some.tree.evaluate(&tech, EvalModel::Elmore),

@@ -74,7 +74,9 @@ impl HTreeCts {
                 .sum()
         };
         let mut idx: Vec<u32> = (0..sinks.len() as u32).collect();
-        let top = self.bisect(&mut idx, &sinks, &mut nodes, &mut stars, 0, &star_cap, cap_budget);
+        let top = self.bisect(
+            &mut idx, &sinks, &mut nodes, &mut stars, 0, &star_cap, cap_budget,
+        );
         // Connect the clock root to the top region center.
         nodes[top as usize].parent = Some(0);
         nodes[top as usize].edge_len = nodes[top as usize].pos.manhattan(design.clock_root);
@@ -183,7 +185,7 @@ impl HTreeCts {
         let horizontal = if bb.width() == 0 || bb.height() == 0 {
             bb.width() >= bb.height()
         } else {
-            depth % 2 == 0
+            depth.is_multiple_of(2)
         };
         if horizontal {
             idx.sort_by_key(|&i| (sinks[i as usize].x, sinks[i as usize].y));

@@ -25,9 +25,11 @@
 //! keeps the buffer/nTSV diversity that Fig. 10 shows is essential in the
 //! double-side design space.
 
+use crate::error::CtsError;
 use crate::pattern::{Mode, Pattern, PatternSet};
 use crate::tree::ClockTopo;
 use dscts_tech::{Side, Technology};
+use rayon::prelude::*;
 
 /// How DP nodes are assigned their insertion [`Mode`] (§III-E).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -184,20 +186,181 @@ struct Work {
 
 /// Runs the concurrent buffer-and-nTSV DP over a routed clock tree.
 ///
+/// Thin panicking wrapper over [`try_run_dp`], kept for callers that treat
+/// infeasibility as a bug (tests, benches, ablations).
+///
 /// # Panics
 ///
-/// Panics if the trunk root does not have exactly one child edge, or when
-/// the max-capacitance constraint makes every root candidate infeasible.
+/// Panics with the [`CtsError`] display text if the trunk is malformed or
+/// the max-capacitance constraint makes every candidate infeasible.
 pub fn run_dp(topo: &ClockTopo, tech: &Technology, cfg: &DpConfig) -> DpResult {
+    match try_run_dp(topo, tech, cfg) {
+        Ok(res) => res,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Read-only inputs shared by every per-node DP computation.
+struct DpCtx<'a> {
+    topo: &'a ClockTopo,
+    tech: &'a Technology,
+    cfg: &'a DpConfig,
+    patterns: &'a [Pattern],
+    children: &'a [Vec<u32>],
+    fanout: &'a [u32],
+}
+
+/// The merge + insert computation for one DP node. Reads only the
+/// candidate sets of the node's children, so all nodes of equal tree
+/// height are independent and safe to process in parallel.
+fn process_node(idu: usize, ctx: &DpCtx<'_>, sets: &[Vec<Work>]) -> Result<Vec<Work>, CtsError> {
+    let DpCtx {
+        topo,
+        tech,
+        cfg,
+        patterns,
+        children,
+        fanout,
+    } = *ctx;
+    let rc_front = tech.rc(Side::Front);
+    let max_load = tech.max_load_ff();
+    let node = &topo.nodes[idu];
+    // --- Merge step: aggregate the state below this edge's sink end. ---
+    let mut merged: Vec<Work> = match (children[idu].len(), node.star) {
+        (0, Some(star)) => {
+            let s = &topo.stars[star as usize];
+            let mut cap = 0.0;
+            let mut max_d = 0.0f64;
+            let mut min_d = f64::INFINITY;
+            for (&sk, &len) in s.sinks.iter().zip(&s.branch_len) {
+                cap += rc_front.cap(len) + topo.sink_cap[sk as usize];
+                let d = rc_front.res(len) * (rc_front.cap(len) + topo.sink_cap[sk as usize]);
+                max_d = max_d.max(d);
+                min_d = min_d.min(d);
+            }
+            vec![Work {
+                pattern: None,
+                side: Side::Front, // sinks live on the front side
+                cap,
+                max_d,
+                min_d,
+                bufs: 0,
+                ntsvs: 0,
+                child: [u32::MAX; 2],
+            }]
+        }
+        (1, None) => sets[children[idu][0] as usize]
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Work {
+                pattern: None,
+                side: c
+                    .pattern
+                    .expect("stored candidates have patterns")
+                    .root_side(),
+                cap: c.cap,
+                max_d: c.max_d,
+                min_d: c.min_d,
+                bufs: c.bufs,
+                ntsvs: c.ntsvs,
+                child: [i as u32, u32::MAX],
+            })
+            .collect(),
+        (2, None) => {
+            let (a, b) = (children[idu][0] as usize, children[idu][1] as usize);
+            let mut out = Vec::with_capacity(sets[a].len() * sets[b].len() / 2);
+            for (i, ca) in sets[a].iter().enumerate() {
+                let sa = ca.pattern.expect("stored").root_side();
+                for (j, cb) in sets[b].iter().enumerate() {
+                    // Connectivity constraint: the shared vertex must
+                    // have one side.
+                    if sa != cb.pattern.expect("stored").root_side() {
+                        continue;
+                    }
+                    out.push(Work {
+                        pattern: None,
+                        side: sa,
+                        cap: ca.cap + cb.cap,
+                        max_d: ca.max_d.max(cb.max_d),
+                        min_d: ca.min_d.min(cb.min_d),
+                        bufs: ca.bufs + cb.bufs,
+                        ntsvs: ca.ntsvs + cb.ntsvs,
+                        child: [i as u32, j as u32],
+                    });
+                }
+            }
+            out
+        }
+        (c, s) => {
+            return Err(CtsError::MalformedTrunk {
+                node: idu as u32,
+                children: c,
+                has_star: s.is_some(),
+            })
+        }
+    };
+    prune(&mut merged, cfg.prune, cfg.max_cands.max(4) * 2);
+
+    // --- Insert step: assign a pattern to this edge. ---
+    let mode = cfg.mode_rule.mode(fanout[idu], fanout[0]);
+    let mut cands: Vec<Work> = Vec::with_capacity(merged.len() * patterns.len());
+    for base in &merged {
+        for &p in patterns {
+            if !p.allowed_in(mode) || p.sink_side() != base.side {
+                continue;
+            }
+            let Some(ev) = p.eval(node.edge_len, base.cap, tech) else {
+                continue;
+            };
+            // Max driven capacitance prune (§III-C pruning technique).
+            if ev.up_cap_ff > max_load {
+                continue;
+            }
+            cands.push(Work {
+                pattern: Some(p),
+                side: p.root_side(),
+                cap: ev.up_cap_ff,
+                max_d: base.max_d + ev.delay_ps,
+                min_d: base.min_d + ev.delay_ps,
+                bufs: base.bufs + p.buffers(),
+                ntsvs: base.ntsvs + p.ntsvs(),
+                child: base.child,
+            });
+        }
+    }
+    prune(&mut cands, cfg.prune, cfg.max_cands);
+    if cands.is_empty() {
+        return Err(CtsError::NoFeasiblePattern {
+            node: idu as u32,
+            edge_len_nm: node.edge_len,
+        });
+    }
+    Ok(cands)
+}
+
+/// Runs the concurrent buffer-and-nTSV DP, reporting infeasibility as
+/// [`CtsError`] instead of panicking.
+///
+/// Candidate propagation is parallel across independent subtrees: nodes
+/// are grouped by tree height (leaves first), and every node within one
+/// height group is processed concurrently — a node depends only on its
+/// children, which all live in lower groups. The per-node computation is
+/// untouched and each node's candidate set is written back in node order,
+/// so the result is bit-identical at any thread count.
+pub fn try_run_dp(
+    topo: &ClockTopo,
+    tech: &Technology,
+    cfg: &DpConfig,
+) -> Result<DpResult, CtsError> {
     let children = topo.children();
-    assert_eq!(
-        children[0].len(),
-        1,
-        "clock root must feed exactly one trunk edge"
-    );
+    if children[0].len() != 1 {
+        return Err(CtsError::InvalidTopology(format!(
+            "clock root must feed exactly one trunk edge, not {}",
+            children[0].len()
+        )));
+    }
     let order = topo.topo_order();
     let fanout = topo.fanout();
-    let rc_front = tech.rc(Side::Front);
     let max_load = tech.max_load_ff();
 
     let patterns: &[Pattern] = if cfg.single_side {
@@ -209,116 +372,42 @@ pub fn run_dp(topo: &ClockTopo, tech: &Technology, cfg: &DpConfig) -> DpResult {
     let n = topo.nodes.len();
     let mut sets: Vec<Vec<Work>> = vec![Vec::new(); n];
 
+    // Group non-root nodes by height; children strictly precede parents.
+    let mut height = vec![0usize; n];
+    let mut max_height = 0usize;
     for &id in order.iter().rev() {
-        if id == 0 {
-            continue;
-        }
         let idu = id as usize;
-        let node = &topo.nodes[idu];
-        // --- Merge step: aggregate the state below this edge's sink end. ---
-        let mut merged: Vec<Work> = match (children[idu].len(), node.star) {
-            (0, Some(star)) => {
-                let s = &topo.stars[star as usize];
-                let mut cap = 0.0;
-                let mut max_d = 0.0f64;
-                let mut min_d = f64::INFINITY;
-                for (&sk, &len) in s.sinks.iter().zip(&s.branch_len) {
-                    cap += rc_front.cap(len) + topo.sink_cap[sk as usize];
-                    let d = rc_front.res(len)
-                        * (rc_front.cap(len) + topo.sink_cap[sk as usize]);
-                    max_d = max_d.max(d);
-                    min_d = min_d.min(d);
-                }
-                vec![Work {
-                    pattern: None,
-                    side: Side::Front, // sinks live on the front side
-                    cap,
-                    max_d,
-                    min_d,
-                    bufs: 0,
-                    ntsvs: 0,
-                    child: [u32::MAX; 2],
-                }]
-            }
-            (1, None) => sets[children[idu][0] as usize]
-                .iter()
-                .enumerate()
-                .map(|(i, c)| Work {
-                    pattern: None,
-                    side: c.pattern.expect("stored candidates have patterns").root_side(),
-                    cap: c.cap,
-                    max_d: c.max_d,
-                    min_d: c.min_d,
-                    bufs: c.bufs,
-                    ntsvs: c.ntsvs,
-                    child: [i as u32, u32::MAX],
-                })
-                .collect(),
-            (2, None) => {
-                let (a, b) = (children[idu][0] as usize, children[idu][1] as usize);
-                let mut out = Vec::with_capacity(sets[a].len() * sets[b].len() / 2);
-                for (i, ca) in sets[a].iter().enumerate() {
-                    let sa = ca.pattern.expect("stored").root_side();
-                    for (j, cb) in sets[b].iter().enumerate() {
-                        // Connectivity constraint: the shared vertex must
-                        // have one side.
-                        if sa != cb.pattern.expect("stored").root_side() {
-                            continue;
-                        }
-                        out.push(Work {
-                            pattern: None,
-                            side: sa,
-                            cap: ca.cap + cb.cap,
-                            max_d: ca.max_d.max(cb.max_d),
-                            min_d: ca.min_d.min(cb.min_d),
-                            bufs: ca.bufs + cb.bufs,
-                            ntsvs: ca.ntsvs + cb.ntsvs,
-                            child: [i as u32, j as u32],
-                        });
-                    }
-                }
-                out
-            }
-            (c, s) => panic!(
-                "trunk node {id} is malformed: {c} children, star {s:?} — leaves must be centroids"
-            ),
-        };
-        prune(&mut merged, cfg.prune, cfg.max_cands.max(4) * 2);
+        let h = children[idu]
+            .iter()
+            .map(|&c| height[c as usize] + 1)
+            .max()
+            .unwrap_or(0);
+        height[idu] = h;
+        max_height = max_height.max(h);
+    }
+    let mut by_height: Vec<Vec<u32>> = vec![Vec::new(); max_height + 1];
+    for id in 1..n {
+        by_height[height[id]].push(id as u32);
+    }
 
-        // --- Insert step: assign a pattern to this edge. ---
-        let mode = cfg.mode_rule.mode(fanout[idu], fanout[0]);
-        let mut cands: Vec<Work> = Vec::with_capacity(merged.len() * patterns.len());
-        for base in &merged {
-            for &p in patterns {
-                if !p.allowed_in(mode) || p.sink_side() != base.side {
-                    continue;
-                }
-                let Some(ev) = p.eval(node.edge_len, base.cap, tech) else {
-                    continue;
-                };
-                // Max driven capacitance prune (§III-C pruning technique).
-                if ev.up_cap_ff > max_load {
-                    continue;
-                }
-                cands.push(Work {
-                    pattern: Some(p),
-                    side: p.root_side(),
-                    cap: ev.up_cap_ff,
-                    max_d: base.max_d + ev.delay_ps,
-                    min_d: base.min_d + ev.delay_ps,
-                    bufs: base.bufs + p.buffers(),
-                    ntsvs: base.ntsvs + p.ntsvs(),
-                    child: base.child,
-                });
-            }
+    let ctx = DpCtx {
+        topo,
+        tech,
+        cfg,
+        patterns,
+        children: &children,
+        fanout: &fanout,
+    };
+    for group in &by_height {
+        let results: Vec<(u32, Result<Vec<Work>, CtsError>)> = group
+            .par_iter()
+            .map(|&id| (id, process_node(id as usize, &ctx, &sets)))
+            .collect();
+        // Write back (and surface errors) in node order: deterministic
+        // regardless of how the group was scheduled.
+        for (id, r) in results {
+            sets[id as usize] = r?;
         }
-        prune(&mut cands, cfg.prune, cfg.max_cands);
-        assert!(
-            !cands.is_empty(),
-            "DP node {id} has no feasible pattern (edge {} nm, load too heavy?)",
-            node.edge_len
-        );
-        sets[idu] = cands;
     }
 
     // --- Multi-objective selection at the root. ---
@@ -343,10 +432,9 @@ pub fn run_dp(topo: &ClockTopo, tech: &Technology, cfg: &DpConfig) -> DpResult {
         });
         root_index.push(i);
     }
-    assert!(
-        !root_candidates.is_empty(),
-        "no feasible front-side root candidate"
-    );
+    if root_candidates.is_empty() {
+        return Err(CtsError::NoRootCandidate);
+    }
     let chosen = root_candidates
         .iter()
         .enumerate()
@@ -368,11 +456,11 @@ pub fn run_dp(topo: &ClockTopo, tech: &Technology, cfg: &DpConfig) -> DpResult {
         }
     }
 
-    DpResult {
+    Ok(DpResult {
         assignment,
         root_candidates,
         chosen,
-    }
+    })
 }
 
 /// Per-side dominance pruning with diversity-preserving truncation.
@@ -446,7 +534,11 @@ fn prune(cands: &mut Vec<Work>, mode: PruneMode, max_cands: usize) {
                 let mut pick: Vec<Work> = Vec::with_capacity(budget);
                 let mut last = usize::MAX;
                 for i in 0..budget {
-                    let j = if budget == 1 { 0 } else { i * (m - 1) / (budget - 1) };
+                    let j = if budget == 1 {
+                        0
+                    } else {
+                        i * (m - 1) / (budget - 1)
+                    };
                     if j != last {
                         pick.push(v[j]);
                         last = j;

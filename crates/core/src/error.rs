@@ -1,0 +1,103 @@
+//! Structured errors for the staged CTS engine.
+//!
+//! The seed implementation panicked on every unsatisfiable input; the
+//! staged pipeline reports [`CtsError`] through
+//! [`DsCts::try_run`](crate::DsCts::try_run) instead, so callers (the
+//! CLI, the DSE sweep, service embeddings) can distinguish *which*
+//! constraint failed and on which element. [`DsCts::run`](crate::DsCts::run)
+//! remains a thin wrapper that panics with the error's display text,
+//! preserving the seed's messages for existing `should_panic` consumers.
+
+use std::fmt;
+
+/// Everything that can make the double-side CTS pipeline fail.
+///
+/// Display texts are stable API: tooling greps them, and the
+/// failure-injection tests pin the key phrases (`no clock sinks`,
+/// `feasible`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtsError {
+    /// The design has no clock sinks to route.
+    EmptyDesign,
+    /// A routed trunk node violates the binary-trunk/leaf-star shape the
+    /// DP requires.
+    MalformedTrunk {
+        /// The offending trunk node id.
+        node: u32,
+        /// Its child count.
+        children: usize,
+        /// Whether it claims to host a leaf star.
+        has_star: bool,
+    },
+    /// A DP node admits no pattern under the max-capacitance budget.
+    NoFeasiblePattern {
+        /// The DP (trunk) node id.
+        node: u32,
+        /// Electrical length of its incoming edge (nm).
+        edge_len_nm: i64,
+    },
+    /// Every root candidate is infeasible (front side, max load).
+    NoRootCandidate,
+    /// The synthesized tree breaks the side-consistency constraint
+    /// (§III-C); carries the violation description.
+    IllegalSides(String),
+    /// The routed topology failed structural validation; carries the
+    /// violation description.
+    InvalidTopology(String),
+}
+
+impl fmt::Display for CtsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtsError::EmptyDesign => write!(f, "design has no clock sinks"),
+            CtsError::MalformedTrunk {
+                node,
+                children,
+                has_star,
+            } => write!(
+                f,
+                "trunk node {node} is malformed: {children} children, star {has_star:?} — \
+                 leaves must be centroids"
+            ),
+            CtsError::NoFeasiblePattern { node, edge_len_nm } => write!(
+                f,
+                "DP node {node} has no feasible pattern (edge {edge_len_nm} nm, load too heavy?)"
+            ),
+            CtsError::NoRootCandidate => {
+                write!(f, "no feasible front-side root candidate")
+            }
+            CtsError::IllegalSides(why) => {
+                write!(f, "synthesized tree violates side-consistency: {why}")
+            }
+            CtsError::InvalidTopology(why) => {
+                write!(f, "routed topology is invalid: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CtsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_pinned_phrases() {
+        // Consumed by should_panic(expected = ...) in the workspace tests.
+        assert!(CtsError::EmptyDesign.to_string().contains("no clock sinks"));
+        assert!(CtsError::NoFeasiblePattern {
+            node: 3,
+            edge_len_nm: 40_000
+        }
+        .to_string()
+        .contains("feasible"));
+        assert!(CtsError::NoRootCandidate.to_string().contains("feasible"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(CtsError::NoRootCandidate);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -19,6 +19,12 @@
 //! flipping flows of refs. [2] (latency-driven), [7] (fanout-driven) and
 //! [6] (timing-criticality-driven).
 //!
+//! The pipeline is a *staged engine*: each phase is a [`Stage`] over a
+//! [`PipelineCtx`] blackboard, individually wall-clocked into
+//! [`Outcome::stages`], with data-dependent failures reported as
+//! [`CtsError`] through [`DsCts::try_run`]. Routing and DP hot paths run
+//! rayon-parallel with bit-identical results at any thread count.
+//!
 //! Most users want the [`DsCts`] pipeline builder:
 //!
 //! ```
@@ -38,6 +44,7 @@
 pub mod baseline;
 mod dp;
 pub mod dse;
+mod error;
 mod pattern;
 mod pipeline;
 mod route;
@@ -46,9 +53,13 @@ pub mod skew;
 mod synth;
 mod tree;
 
-pub use dp::{run_dp, DpConfig, DpResult, ModeRule, MoesWeights, PruneMode, RootCand};
+pub use dp::{run_dp, try_run_dp, DpConfig, DpResult, ModeRule, MoesWeights, PruneMode, RootCand};
+pub use error::CtsError;
 pub use pattern::{BufferStage, Mode, Pattern, PatternEval, PatternSet};
-pub use pipeline::{DsCts, Outcome};
+pub use pipeline::{
+    DsCts, EvalStage, InsertionStage, Outcome, PipelineCtx, RefineStage, RouteStage, Stage,
+    StageTiming,
+};
 pub use route::{HierarchicalRouter, RoutingStyle};
 pub use synth::{EvalModel, SynthesizedTree, TreeMetrics};
 pub use tree::{ClockTopo, LeafStar, TrunkNode};

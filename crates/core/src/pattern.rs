@@ -111,7 +111,10 @@ impl Pattern {
     /// Side of the root-end vertex.
     pub fn root_side(self) -> Side {
         match self {
-            Pattern::Buffer | Pattern::WiringF | Pattern::Ntsv1 | Pattern::Ntsv3
+            Pattern::Buffer
+            | Pattern::WiringF
+            | Pattern::Ntsv1
+            | Pattern::Ntsv3
             | Pattern::BufNtsv => Side::Front,
             Pattern::WiringB | Pattern::Ntsv2 | Pattern::NtsvBuf => Side::Back,
         }
@@ -120,7 +123,10 @@ impl Pattern {
     /// Side of the sink-end vertex.
     pub fn sink_side(self) -> Side {
         match self {
-            Pattern::Buffer | Pattern::WiringF | Pattern::Ntsv1 | Pattern::Ntsv2
+            Pattern::Buffer
+            | Pattern::WiringF
+            | Pattern::Ntsv1
+            | Pattern::Ntsv2
             | Pattern::NtsvBuf => Side::Front,
             Pattern::WiringB | Pattern::Ntsv3 | Pattern::BufNtsv => Side::Back,
         }

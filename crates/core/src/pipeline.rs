@@ -1,15 +1,37 @@
-//! The end-to-end double-side CTS pipeline (Fig. 4).
+//! The end-to-end double-side CTS pipeline (Fig. 4), as a staged engine.
 //!
-//! [`DsCts`] chains hierarchical clock routing, concurrent buffer & nTSV
-//! insertion, and skew refinement behind a builder API. Configured with
-//! [`DsCts::single_side`], the same pipeline produces the paper's
-//! "Our Buffered Clock Tree" front-side flow.
+//! [`DsCts`] is the builder; a run executes a sequence of [`Stage`]s over
+//! a shared [`PipelineCtx`] blackboard:
+//!
+//! | stage | name | reads | writes |
+//! |-------|------|-------|--------|
+//! | [`RouteStage`] | `route` | design, tech | `topo` (routed [`ClockTopo`](crate::ClockTopo)) |
+//! | [`InsertionStage`] | `insertion` | `topo`, tech | `dp`, `tree` (side-validated) |
+//! | [`RefineStage`] | `refine` | `tree`, tech | `refinement` (optional stage) |
+//! | [`EvalStage`] | `evaluate` | `tree`, tech | `metrics` |
+//!
+//! Each stage is timed individually; [`Outcome::stages`] carries the
+//! per-stage wall clock so regressions can be pinned to a phase instead
+//! of a whole run. Data-dependent failures (no sinks, infeasible DP,
+//! side-inconsistent tree) surface as [`CtsError`] from
+//! [`DsCts::try_run`]; [`DsCts::run`] is a thin wrapper that panics with
+//! the same message, preserving the original API.
+//!
+//! The hot paths behind the stages — per-cluster DME routing and
+//! per-height DP candidate propagation — are parallelized with rayon and
+//! produce bit-identical results at any thread count (order-preserving
+//! reductions everywhere); `RAYON_NUM_THREADS=1` reproduces the serial
+//! engine exactly. Configured with [`DsCts::single_side`], the same
+//! pipeline produces the paper's "Our Buffered Clock Tree" front-side
+//! flow.
 
-use crate::dp::{run_dp, DpConfig, ModeRule, MoesWeights, PruneMode, RootCand};
+use crate::dp::{try_run_dp, DpConfig, DpResult, ModeRule, MoesWeights, PruneMode, RootCand};
+use crate::error::CtsError;
 use crate::pattern::PatternSet;
 use crate::route::{HierarchicalRouter, RoutingStyle};
 use crate::skew::{refine, RefineReport, SkewConfig};
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
+use crate::tree::ClockTopo;
 use dscts_netlist::Design;
 use dscts_tech::Technology;
 use std::time::Instant;
@@ -30,6 +52,15 @@ pub struct DsCts {
     eval: EvalModel,
 }
 
+/// Wall-clock measurement of one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageTiming {
+    /// The stage's [`Stage::name`].
+    pub name: &'static str,
+    /// Elapsed wall-clock seconds.
+    pub seconds: f64,
+}
+
 /// Everything a pipeline run produces.
 #[derive(Debug, Clone)]
 pub struct Outcome {
@@ -43,8 +74,170 @@ pub struct Outcome {
     pub chosen: usize,
     /// Skew-refinement report when the stage ran.
     pub refinement: Option<RefineReport>,
+    /// Per-stage wall-clock timings, in execution order.
+    pub stages: Vec<StageTiming>,
     /// Wall-clock runtime of the whole pipeline (seconds).
     pub runtime_s: f64,
+}
+
+impl Outcome {
+    /// Wall-clock seconds of the named stage, when it ran.
+    pub fn stage_seconds(&self, name: &str) -> Option<f64> {
+        self.stages
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.seconds)
+    }
+}
+
+/// The shared blackboard a pipeline run threads through its stages.
+///
+/// Earlier stages deposit artifacts that later stages consume; a stage
+/// that reaches for an artifact its predecessors did not produce is a
+/// stage-ordering bug and panics (the engine constructs orders that
+/// cannot do this). Data-dependent failures use [`CtsError`] instead.
+#[derive(Debug)]
+pub struct PipelineCtx<'a> {
+    /// The design under synthesis.
+    pub design: &'a Design,
+    /// The target technology.
+    pub tech: &'a Technology,
+    /// Delay model for refinement and final metrics.
+    pub eval: EvalModel,
+    /// Routed clock topology (deposited by [`RouteStage`], consumed by
+    /// [`InsertionStage`]).
+    pub topo: Option<ClockTopo>,
+    /// DP result (deposited by [`InsertionStage`]).
+    pub dp: Option<DpResult>,
+    /// Synthesized, side-validated tree (deposited by
+    /// [`InsertionStage`], refined in place by [`RefineStage`]).
+    pub tree: Option<SynthesizedTree>,
+    /// Skew-refinement report (deposited by [`RefineStage`]).
+    pub refinement: Option<RefineReport>,
+    /// Final metrics (deposited by [`EvalStage`]).
+    pub metrics: Option<TreeMetrics>,
+}
+
+impl<'a> PipelineCtx<'a> {
+    /// An empty blackboard over `design` and `tech`.
+    pub fn new(design: &'a Design, tech: &'a Technology, eval: EvalModel) -> Self {
+        PipelineCtx {
+            design,
+            tech,
+            eval,
+            topo: None,
+            dp: None,
+            tree: None,
+            refinement: None,
+            metrics: None,
+        }
+    }
+}
+
+/// One phase of the CTS engine, individually instrumented and
+/// restartable over a [`PipelineCtx`].
+pub trait Stage {
+    /// Stable identifier used in [`StageTiming`] and logs.
+    fn name(&self) -> &'static str;
+    /// Executes the stage, reading and writing [`PipelineCtx`] artifacts.
+    fn run(&self, ctx: &mut PipelineCtx<'_>) -> Result<(), CtsError>;
+}
+
+/// Hierarchical clock routing (§III-B): dual-level clustering, parallel
+/// per-cluster DME, trunk subdivision to the DP granularity.
+#[derive(Debug, Clone)]
+pub struct RouteStage {
+    hc: usize,
+    lc: usize,
+    seed: u64,
+    style: RoutingStyle,
+    max_seg_len: i64,
+}
+
+impl Stage for RouteStage {
+    fn name(&self) -> &'static str {
+        "route"
+    }
+
+    fn run(&self, ctx: &mut PipelineCtx<'_>) -> Result<(), CtsError> {
+        let mut topo = HierarchicalRouter::new()
+            .hc(self.hc)
+            .lc(self.lc)
+            .seed(self.seed)
+            .style(self.style)
+            .try_route(ctx.design, ctx.tech)?;
+        topo.subdivide(self.max_seg_len);
+        ctx.topo = Some(topo);
+        Ok(())
+    }
+}
+
+/// Concurrent buffer & nTSV insertion (§III-C): the multi-objective DP
+/// plus construction and side-validation of the synthesized tree.
+#[derive(Debug, Clone)]
+pub struct InsertionStage {
+    dp: DpConfig,
+}
+
+impl Stage for InsertionStage {
+    fn name(&self) -> &'static str {
+        "insertion"
+    }
+
+    fn run(&self, ctx: &mut PipelineCtx<'_>) -> Result<(), CtsError> {
+        let topo = ctx.topo.take().expect("route stage deposits the topology");
+        let dp = try_run_dp(&topo, ctx.tech, &self.dp)?;
+        let tree = SynthesizedTree::new(topo, dp.assignment.clone());
+        // Always-on legality gate: the seed only checked sides under
+        // debug_assert, silently skipping it in release builds.
+        tree.validate_sides().map_err(CtsError::IllegalSides)?;
+        ctx.dp = Some(dp);
+        ctx.tree = Some(tree);
+        Ok(())
+    }
+}
+
+/// Resource-aware end-point skew refinement (§III-D). Optional: present
+/// only when [`DsCts::skew_refinement`] is configured.
+#[derive(Debug, Clone)]
+pub struct RefineStage {
+    cfg: SkewConfig,
+}
+
+impl Stage for RefineStage {
+    fn name(&self) -> &'static str {
+        "refine"
+    }
+
+    fn run(&self, ctx: &mut PipelineCtx<'_>) -> Result<(), CtsError> {
+        let eval = ctx.eval;
+        let tech = ctx.tech;
+        let tree = ctx
+            .tree
+            .as_mut()
+            .expect("insertion stage deposits the tree");
+        ctx.refinement = Some(refine(tree, tech, eval, &self.cfg));
+        Ok(())
+    }
+}
+
+/// Final metric extraction under the configured delay model.
+#[derive(Debug, Clone)]
+pub struct EvalStage;
+
+impl Stage for EvalStage {
+    fn name(&self) -> &'static str {
+        "evaluate"
+    }
+
+    fn run(&self, ctx: &mut PipelineCtx<'_>) -> Result<(), CtsError> {
+        let tree = ctx
+            .tree
+            .as_ref()
+            .expect("insertion stage deposits the tree");
+        ctx.metrics = Some(tree.evaluate(ctx.tech, ctx.eval));
+        Ok(())
+    }
 }
 
 impl DsCts {
@@ -148,36 +341,69 @@ impl DsCts {
         &self.tech
     }
 
+    /// The stage sequence this configuration will execute, in order.
+    pub fn stages(&self) -> Vec<Box<dyn Stage>> {
+        let mut stages: Vec<Box<dyn Stage>> = vec![
+            Box::new(RouteStage {
+                hc: self.hc,
+                lc: self.lc,
+                seed: self.seed,
+                style: self.style,
+                max_seg_len: self.max_seg_len,
+            }),
+            Box::new(InsertionStage {
+                dp: self.dp.clone(),
+            }),
+        ];
+        if let Some(cfg) = self.skew {
+            stages.push(Box::new(RefineStage { cfg }));
+        }
+        stages.push(Box::new(EvalStage));
+        stages
+    }
+
+    /// Runs the full pipeline on `design`, timing each stage.
+    ///
+    /// Returns [`CtsError`] when the design is unroutable (no sinks), the
+    /// DP is infeasible under the configured constraints, or the
+    /// synthesized tree fails side validation.
+    pub fn try_run(&self, design: &Design) -> Result<Outcome, CtsError> {
+        let start = Instant::now();
+        let mut ctx = PipelineCtx::new(design, &self.tech, self.eval);
+        let mut timings = Vec::new();
+        for stage in self.stages() {
+            let t0 = Instant::now();
+            stage.run(&mut ctx)?;
+            timings.push(StageTiming {
+                name: stage.name(),
+                seconds: t0.elapsed().as_secs_f64(),
+            });
+        }
+        let dp = ctx.dp.expect("insertion stage ran");
+        Ok(Outcome {
+            tree: ctx.tree.expect("insertion stage ran"),
+            metrics: ctx.metrics.expect("evaluation stage ran"),
+            root_candidates: dp.root_candidates,
+            chosen: dp.chosen,
+            refinement: ctx.refinement,
+            stages: timings,
+            runtime_s: start.elapsed().as_secs_f64(),
+        })
+    }
+
     /// Runs the full pipeline on `design`.
+    ///
+    /// Thin panicking wrapper over [`DsCts::try_run`].
     ///
     /// # Panics
     ///
-    /// Panics if the design has no sinks or the DP finds no feasible
-    /// solution under the configured constraints.
+    /// Panics with the [`CtsError`] display text if the design has no
+    /// sinks or the DP finds no feasible solution under the configured
+    /// constraints.
     pub fn run(&self, design: &Design) -> Outcome {
-        let start = Instant::now();
-        let mut topo = HierarchicalRouter::new()
-            .hc(self.hc)
-            .lc(self.lc)
-            .seed(self.seed)
-            .style(self.style)
-            .route(design, &self.tech);
-        topo.subdivide(self.max_seg_len);
-        let dp = run_dp(&topo, &self.tech, &self.dp);
-        let mut tree = SynthesizedTree::new(topo, dp.assignment);
-        debug_assert_eq!(tree.validate_sides(), Ok(()));
-        let refinement = self
-            .skew
-            .as_ref()
-            .map(|cfg| refine(&mut tree, &self.tech, self.eval, cfg));
-        let metrics = tree.evaluate(&self.tech, self.eval);
-        Outcome {
-            tree,
-            metrics,
-            root_candidates: dp.root_candidates,
-            chosen: dp.chosen,
-            refinement,
-            runtime_s: start.elapsed().as_secs_f64(),
+        match self.try_run(design) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -189,9 +415,7 @@ mod tests {
 
     fn run(single: bool) -> Outcome {
         let d = BenchmarkSpec::c4_riscv32i().generate();
-        DsCts::new(Technology::asap7())
-            .single_side(single)
-            .run(&d)
+        DsCts::new(Technology::asap7()).single_side(single).run(&d)
     }
 
     #[test]
@@ -228,6 +452,90 @@ mod tests {
         assert_eq!(a.metrics.buffers, b.metrics.buffers);
         assert_eq!(a.metrics.ntsvs, b.metrics.ntsvs);
         assert_eq!(a.tree, b.tree);
+    }
+
+    #[test]
+    fn pipeline_is_thread_count_invariant() {
+        // The parallel engine must be bit-identical to serial execution:
+        // same tree, same metrics, to the last ulp. (The rayon shim
+        // re-reads RAYON_NUM_THREADS on every parallel call, so flipping
+        // it between runs flips the engine's thread count in-process.
+        // Results are thread-count-invariant by construction, so a
+        // concurrently running test observing the temporary value is
+        // unaffected.)
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let previous = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let serial = DsCts::new(Technology::asap7()).run(&d);
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let parallel = DsCts::new(Technology::asap7()).run(&d);
+        // Restore the caller's pin (e.g. CI's RAYON_NUM_THREADS=1 run)
+        // rather than unconditionally deleting it.
+        match previous {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+        assert_eq!(serial.metrics, parallel.metrics);
+        assert_eq!(serial.tree, parallel.tree);
+        assert_eq!(serial.root_candidates, parallel.root_candidates);
+        assert_eq!(serial.chosen, parallel.chosen);
+    }
+
+    #[test]
+    fn outcome_reports_per_stage_timings() {
+        let o = run(false);
+        let names: Vec<&str> = o.stages.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["route", "insertion", "refine", "evaluate"]);
+        assert!(o.stages.iter().all(|s| s.seconds >= 0.0));
+        // Stage wall clocks are disjoint slices of the total runtime.
+        let sum: f64 = o.stages.iter().map(|s| s.seconds).sum();
+        assert!(sum <= o.runtime_s + 1e-6, "{sum} vs {}", o.runtime_s);
+        assert_eq!(o.stage_seconds("insertion"), Some(o.stages[1].seconds));
+        assert_eq!(o.stage_seconds("nonexistent"), None);
+    }
+
+    #[test]
+    fn disabling_refinement_drops_the_stage() {
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let o = DsCts::new(Technology::asap7())
+            .skew_refinement(None)
+            .run(&d);
+        assert!(o.stage_seconds("refine").is_none());
+        assert!(o.refinement.is_none());
+        assert_eq!(o.stages.len(), 3);
+    }
+
+    #[test]
+    fn try_run_reports_empty_design() {
+        let mut d = BenchmarkSpec::c4_riscv32i().generate();
+        d.sinks.clear();
+        let err = DsCts::new(Technology::asap7())
+            .try_run(&d)
+            .expect_err("no sinks");
+        assert_eq!(err, CtsError::EmptyDesign);
+    }
+
+    #[test]
+    fn try_run_reports_infeasible_dp_without_panicking() {
+        use dscts_tech::Layer;
+        // A max load below a single sink's capacitance is unsatisfiable.
+        let tech = Technology::builder()
+            .layer(Layer::new("MF", 0.024222, 0.12918))
+            .layer(Layer::new("MB", 0.000384, 0.116264))
+            .max_load_ff(0.5)
+            .build()
+            .unwrap();
+        let mut spec = BenchmarkSpec::c4_riscv32i();
+        spec.num_ffs = 16;
+        let design = spec.generate();
+        let err = DsCts::new(tech).try_run(&design).expect_err("infeasible");
+        assert!(
+            matches!(
+                err,
+                CtsError::NoFeasiblePattern { .. } | CtsError::NoRootCandidate
+            ),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -11,11 +11,13 @@
 //! centroids — is available as [`RoutingStyle::FlatMatching`] and is used
 //! by the ablation benches to reproduce the paper's wirelength argument.
 
+use crate::error::CtsError;
 use crate::tree::{ClockTopo, LeafStar, TrunkNode};
 use dscts_cluster::DualHierarchy;
 use dscts_dme::{RoutedTree, Terminal, Topology, ZstDme};
 use dscts_netlist::Design;
 use dscts_tech::{Side, Technology};
+use rayon::prelude::*;
 
 /// Trunk construction style.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -94,11 +96,29 @@ impl HierarchicalRouter {
 
     /// Routes the clock tree for `design`.
     ///
+    /// Thin panicking wrapper over [`HierarchicalRouter::try_route`].
+    ///
     /// # Panics
     ///
-    /// Panics if the design has no sinks.
+    /// Panics with the [`CtsError`] display text if the design has no
+    /// sinks or the routed topology fails validation.
     pub fn route(&self, design: &Design, tech: &Technology) -> ClockTopo {
-        assert!(!design.sinks.is_empty(), "design has no clock sinks");
+        match self.try_route(design, tech) {
+            Ok(topo) => topo,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Routes the clock tree for `design`, reporting unroutable inputs as
+    /// [`CtsError`] instead of panicking.
+    ///
+    /// The per-high-cluster DME runs are independent of each other and
+    /// execute in parallel; subtrees are grafted back in cluster order, so
+    /// the resulting topology is bit-identical at any thread count.
+    pub fn try_route(&self, design: &Design, tech: &Technology) -> Result<ClockTopo, CtsError> {
+        if design.sinks.is_empty() {
+            return Err(CtsError::EmptyDesign);
+        }
         let sinks = design.sink_positions();
         let hier = DualHierarchy::build(&sinks, self.hc, self.lc, self.seed);
         let rc = tech.rc(Side::Front);
@@ -163,8 +183,9 @@ impl HierarchicalRouter {
         clusters.sort_by_key(|(h, c, _)| (*h, c.x, c.y)); // determinism
 
         // Summarise each low cluster as a DME terminal (star load + delay).
+        // Clusters are independent; the collect preserves cluster order.
         let star_info: Vec<(Terminal, LeafStar)> = clusters
-            .iter()
+            .par_iter()
             .map(|(_, centroid, members)| {
                 let mut cap = 0.0;
                 let mut max_d = 0.0f64;
@@ -203,29 +224,35 @@ impl HierarchicalRouter {
                 for (i, (high, _, _)) in clusters.iter().enumerate() {
                     groups[*high as usize].push(i);
                 }
-                // Route each high cluster from its centroid.
-                let mut subtrees: Vec<(RoutedTree, Vec<usize>, Terminal)> = Vec::new();
-                for (h, group) in groups.iter().enumerate() {
-                    if group.is_empty() {
-                        continue;
-                    }
-                    let terms: Vec<Terminal> =
-                        group.iter().map(|&i| star_info[i].0).collect();
-                    let topo = Topology::matching(&terms);
-                    let source = hier.high.centroid(h);
-                    let tree = dme.run(&topo, &terms, source);
-                    // Summarise the routed subtree for the top-level DME.
-                    // The tapping delay is deliberately *not* propagated:
-                    // unbuffered-wire delays at this scale are quadratic in
-                    // distance and would be balanced with enormous snaking
-                    // wire, which the following buffer insertion invalidates
-                    // anyway (§III-B: post-routing stages make latency and
-                    // skew resilient to topology; routing should optimise
-                    // wirelength).
-                    let cap: f64 = terms.iter().map(|t| t.cap).sum::<f64>()
-                        + rc.cap(tree.total_wirelength());
-                    subtrees.push((tree, group.clone(), Terminal::with_delay(source, cap, 0.0)));
-                }
+                // Route each high cluster from its centroid. Every
+                // cluster's DME run is independent — this is the routing
+                // stage's hot path — and the order-preserving collect
+                // keeps grafting (below) in deterministic cluster order.
+                let occupied: Vec<(usize, &Vec<usize>)> = groups
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| !g.is_empty())
+                    .collect();
+                let subtrees: Vec<(RoutedTree, Vec<usize>, Terminal)> = occupied
+                    .par_iter()
+                    .map(|&(h, group)| {
+                        let terms: Vec<Terminal> = group.iter().map(|&i| star_info[i].0).collect();
+                        let topo = Topology::matching(&terms);
+                        let source = hier.high.centroid(h);
+                        let tree = dme.run(&topo, &terms, source);
+                        // Summarise the routed subtree for the top-level DME.
+                        // The tapping delay is deliberately *not* propagated:
+                        // unbuffered-wire delays at this scale are quadratic in
+                        // distance and would be balanced with enormous snaking
+                        // wire, which the following buffer insertion invalidates
+                        // anyway (§III-B: post-routing stages make latency and
+                        // skew resilient to topology; routing should optimise
+                        // wirelength).
+                        let cap: f64 = terms.iter().map(|t| t.cap).sum::<f64>()
+                            + rc.cap(tree.total_wirelength());
+                        (tree, group.clone(), Terminal::with_delay(source, cap, 0.0))
+                    })
+                    .collect();
                 // Top-level DME over the high centroids.
                 let top_terms: Vec<Terminal> = subtrees.iter().map(|(_, _, t)| *t).collect();
                 let top_topo = Topology::matching(&top_terms);
@@ -239,8 +266,10 @@ impl HierarchicalRouter {
             }
         }
         let topo = builder.finish(star_info);
-        debug_assert_eq!(topo.validate(), Ok(()));
-        topo
+        // Always-on structural validation: a malformed trunk must fail
+        // loudly in release builds too, not only under debug_assert.
+        topo.validate().map_err(CtsError::InvalidTopology)?;
+        Ok(topo)
     }
 }
 
@@ -392,10 +421,7 @@ mod tests {
             .route(&d, &tech());
         let h = hier.total_wirelength();
         let f = flat.total_wirelength();
-        assert!(
-            (h as f64) < 1.3 * f as f64,
-            "hierarchical {h} vs flat {f}"
-        );
+        assert!((h as f64) < 1.3 * f as f64, "hierarchical {h} vs flat {f}");
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub struct SizingConfig {
     /// ascending). Defaults to `[0.5, 1.0, 2.0]` (x2 / x4 / x8 for the
     /// BUFx4 base cell).
     pub scales: Vec<f64>,
-    /// Greedy sweep rounds.
+    /// Safety cap on greedy sweep rounds. Every accepted move strictly
+    /// reduces skew, so the sweep terminates on its own (a round with no
+    /// accepted move is a fixed point and `resize_for_skew` is then
+    /// idempotent); the cap only bounds pathological inputs. The default
+    /// is high enough that real designs converge well before hitting it.
     pub max_rounds: usize,
 }
 
@@ -28,7 +32,7 @@ impl Default for SizingConfig {
     fn default() -> Self {
         SizingConfig {
             scales: vec![0.5, 1.0, 2.0],
-            max_rounds: 2,
+            max_rounds: 64,
         }
     }
 }
@@ -73,7 +77,7 @@ pub fn resize_for_skew(
         .map(|s| {
             let mut v = s.node;
             loop {
-                if tree.patterns[v as usize].map_or(false, |p| p.buffers() > 0) {
+                if tree.patterns[v as usize].is_some_and(|p| p.buffers() > 0) {
                     return Some(v as usize);
                 }
                 match tree.topo.nodes[v as usize].parent {
@@ -100,7 +104,9 @@ pub fn resize_for_skew(
                 .total_cmp(&star_arrival(&current, &tree.topo.stars[b]))
         });
         for si in order {
-            let Some(edge) = last_buffered[si] else { continue };
+            let Some(edge) = last_buffered[si] else {
+                continue;
+            };
             let old_scale = tree.buffer_scales[edge];
             let mut best = (current.skew_ps, old_scale);
             for &s in &cfg.scales {
@@ -168,9 +174,12 @@ fn probe_load(tree: &SynthesizedTree, tech: &Technology, edge: usize) -> f64 {
         for &c in &children[vu] {
             let cu = c as usize;
             let p = tree.patterns[cu].expect("assigned");
-            if let Some(ev) =
-                p.eval_scaled(topo.nodes[cu].edge_len, cap[cu], tech, tree.buffer_scales[cu])
-            {
+            if let Some(ev) = p.eval_scaled(
+                topo.nodes[cu].edge_len,
+                cap[cu],
+                tech,
+                tree.buffer_scales[cu],
+            ) {
                 cap[vu] += ev.up_cap_ff;
             } else {
                 // Infeasible under a trial scale: report an over-limit load
@@ -246,13 +255,21 @@ mod tests {
     fn scaled_eval_shields_more_with_bigger_buffers() {
         use crate::pattern::Pattern;
         let tech = Technology::asap7();
-        let small = Pattern::Buffer.eval_scaled(40_000, 25.0, &tech, 0.5).unwrap();
-        let big = Pattern::Buffer.eval_scaled(40_000, 25.0, &tech, 2.0).unwrap();
+        let small = Pattern::Buffer
+            .eval_scaled(40_000, 25.0, &tech, 0.5)
+            .unwrap();
+        let big = Pattern::Buffer
+            .eval_scaled(40_000, 25.0, &tech, 2.0)
+            .unwrap();
         // Bigger buffer: faster stage, heavier input pin.
         assert!(big.delay_ps < small.delay_ps);
         assert!(big.up_cap_ff > small.up_cap_ff);
         // A half-size buffer cannot drive what the double-size one can.
-        assert!(Pattern::Buffer.eval_scaled(40_000, 60.0, &tech, 0.5).is_none());
-        assert!(Pattern::Buffer.eval_scaled(40_000, 60.0, &tech, 2.0).is_some());
+        assert!(Pattern::Buffer
+            .eval_scaled(40_000, 60.0, &tech, 0.5)
+            .is_none());
+        assert!(Pattern::Buffer
+            .eval_scaled(40_000, 60.0, &tech, 2.0)
+            .is_some());
     }
 }

@@ -139,7 +139,7 @@ impl SynthesizedTree {
     pub fn buffer_sites(&self) -> Vec<Point> {
         let mut sites = vec![self.topo.nodes[0].pos];
         for (i, p) in self.patterns.iter().enumerate() {
-            if p.map_or(false, |p| p.buffers() > 0) {
+            if p.is_some_and(|p| p.buffers() > 0) {
                 let n = &self.topo.nodes[i];
                 let ppos = self.topo.nodes[n.parent.expect("non-root") as usize].pos;
                 let half = ppos.manhattan(n.pos) / 2;
@@ -249,7 +249,12 @@ impl SynthesizedTree {
                 let cu = c as usize;
                 let p = self.patterns[cu].expect("assigned pattern");
                 let ev = p
-                    .eval_scaled(topo.nodes[cu].edge_len, cap[cu], tech, self.buffer_scales[cu])
+                    .eval_scaled(
+                        topo.nodes[cu].edge_len,
+                        cap[cu],
+                        tech,
+                        self.buffer_scales[cu],
+                    )
                     .expect("chosen pattern feasible");
                 cap[vu] += ev.up_cap_ff;
             }
@@ -270,7 +275,12 @@ impl SynthesizedTree {
                 let cu = c as usize;
                 let p = self.patterns[cu].expect("assigned pattern");
                 let ev = p
-                    .eval_scaled(topo.nodes[cu].edge_len, cap[cu], tech, self.buffer_scales[cu])
+                    .eval_scaled(
+                        topo.nodes[cu].edge_len,
+                        cap[cu],
+                        tech,
+                        self.buffer_scales[cu],
+                    )
                     .expect("chosen pattern feasible");
                 match (model, ev.stage) {
                     (EvalModel::Elmore, _) => {
@@ -321,8 +331,8 @@ impl SynthesizedTree {
         let buffers = 1 + self.inserted_buffers();
         let ntsvs = self.inserted_ntsvs();
         let cell_area_nm2 = buffers as i64 * bw * bh + ntsvs as i64 * vw * vh;
-        switched_cap += f64::from(buffers - 1) * buf.input_cap_ff()
-            + f64::from(ntsvs) * tech.ntsv().cap_ff();
+        switched_cap +=
+            f64::from(buffers - 1) * buf.input_cap_ff() + f64::from(ntsvs) * tech.ntsv().cap_ff();
         for (i, p) in self.patterns.iter().enumerate() {
             if let Some(p) = p {
                 switched_cap += p.wire_cap_ff(topo.nodes[i].edge_len, tech);
@@ -411,7 +421,12 @@ mod tests {
         let e = tree.evaluate(&tech, EvalModel::Elmore);
         let n = tree.evaluate(&tech, EvalModel::Nldm);
         let rel = (e.latency_ps - n.latency_ps).abs() / e.latency_ps;
-        assert!(rel < 0.25, "Elmore {} vs NLDM {}", e.latency_ps, n.latency_ps);
+        assert!(
+            rel < 0.25,
+            "Elmore {} vs NLDM {}",
+            e.latency_ps,
+            n.latency_ps
+        );
         assert_eq!(e.buffers, n.buffers);
     }
 
@@ -450,9 +465,7 @@ mod tests {
     fn validate_sides_catches_corruption() {
         let (mut tree, _) = synth(false);
         // Force a back-side wire directly under the (front) root vertex.
-        let root_child = tree
-            .topo
-            .children()[0][0] as usize;
+        let root_child = tree.topo.children()[0][0] as usize;
         tree.patterns[root_child] = Some(Pattern::WiringB);
         assert!(tree.validate_sides().is_err());
     }

@@ -79,10 +79,7 @@ impl ClockTopo {
 
     /// Total leaf-star wirelength (nm).
     pub fn star_wirelength(&self) -> i64 {
-        self.stars
-            .iter()
-            .flat_map(|s| s.branch_len.iter())
-            .sum()
+        self.stars.iter().flat_map(|s| s.branch_len.iter()).sum()
     }
 
     /// Total clock wirelength (nm) — the paper's "Clk WL" metric.
@@ -128,7 +125,7 @@ impl ClockTopo {
             let total = self.nodes[i].edge_len;
             let geom = ppos.manhattan(cpos);
             let k = (total + max_len - 1) / max_len; // number of segments
-            // Geometric waypoints along the L-path, one per cut.
+                                                     // Geometric waypoints along the L-path, one per cut.
             let mut prev = parent;
             for s in 1..k {
                 let frac_num = s;
@@ -197,7 +194,9 @@ impl ClockTopo {
                 }
                 let d = self.sink_pos[sk].manhattan(self.nodes[s.node as usize].pos);
                 if bl < d {
-                    return Err(format!("star {si}: branch to sink {sk} shorter than geometry"));
+                    return Err(format!(
+                        "star {si}: branch to sink {sk} shorter than geometry"
+                    ));
                 }
             }
         }

@@ -122,18 +122,13 @@ impl RoutedTree {
         for (i, n) in self.nodes.iter().enumerate() {
             match n.parent {
                 None if i != 0 => return Err(format!("non-root node {i} without parent")),
-                Some(p) if p as usize >= i => {
-                    return Err(format!("node {i} has later parent {p}"))
-                }
+                Some(p) if p as usize >= i => return Err(format!("node {i} has later parent {p}")),
                 _ => {}
             }
             if let Some(p) = n.parent {
                 let d = n.pos.manhattan(self.nodes[p as usize].pos);
                 if n.edge_len < d {
-                    return Err(format!(
-                        "node {i}: edge_len {} < manhattan {d}",
-                        n.edge_len
-                    ));
+                    return Err(format!("node {i}: edge_len {} < manhattan {d}", n.edge_len));
                 }
             }
             if let Some(t) = n.terminal {

@@ -50,7 +50,10 @@ impl Topology {
     ///
     /// Panics if `terminals` is empty.
     pub fn matching(terminals: &[Terminal]) -> Topology {
-        assert!(!terminals.is_empty(), "topology needs at least one terminal");
+        assert!(
+            !terminals.is_empty(),
+            "topology needs at least one terminal"
+        );
         let mut nodes: Vec<TopologyNode> = (0..terminals.len())
             .map(|i| TopologyNode {
                 children: None,
@@ -105,7 +108,10 @@ impl Topology {
     ///
     /// Panics if `terminals` is empty.
     pub fn bisection(terminals: &[Terminal]) -> Topology {
-        assert!(!terminals.is_empty(), "topology needs at least one terminal");
+        assert!(
+            !terminals.is_empty(),
+            "topology needs at least one terminal"
+        );
         let mut nodes = Vec::with_capacity(2 * terminals.len());
         let mut idx: Vec<u32> = (0..terminals.len() as u32).collect();
         let root = Self::bisect(&mut idx, terminals, &mut nodes);
@@ -199,11 +205,7 @@ mod tests {
         let t = terms(&[(0, 0), (1, 0), (100, 100), (101, 100)]);
         let topo = Topology::matching(&t);
         assert!(topo.validate(4).is_ok());
-        let pairs: Vec<(u32, u32)> = topo
-            .nodes()
-            .iter()
-            .filter_map(|n| n.children)
-            .collect();
+        let pairs: Vec<(u32, u32)> = topo.nodes().iter().filter_map(|n| n.children).collect();
         // First two merges must combine the tight pairs (in some order).
         let leaf_pairs: Vec<(u32, u32)> = pairs
             .iter()
@@ -213,7 +215,10 @@ mod tests {
         assert_eq!(leaf_pairs.len(), 2);
         for (a, b) in leaf_pairs {
             let (a, b) = (a.min(b), a.max(b));
-            assert!(((a, b) == (0, 1)) || ((a, b) == (2, 3)), "bad pair ({a},{b})");
+            assert!(
+                ((a, b) == (0, 1)) || ((a, b) == (2, 3)),
+                "bad pair ({a},{b})"
+            );
         }
     }
 

@@ -90,15 +90,8 @@ impl ZstDme {
                 }
                 (Some((a, b)), None) => {
                     let (sa, sb) = (&st[a as usize], &st[b as usize]);
-                    let (ea, eb) = balance_split(
-                        r,
-                        c,
-                        sa.ms.dist(&sb.ms),
-                        sa.delay,
-                        sa.cap,
-                        sb.delay,
-                        sb.cap,
-                    );
+                    let (ea, eb) =
+                        balance_split(r, c, sa.ms.dist(&sb.ms), sa.delay, sa.cap, sb.delay, sb.cap);
                     let ms = sa
                         .ms
                         .expanded(ea)
@@ -185,15 +178,7 @@ impl ZstDme {
 /// Splits the merge distance `d` into `(ea, eb)` equalising Elmore delay,
 /// snaking (detour > `d`) on the faster side when balancing inside `d` is
 /// impossible.
-fn balance_split(
-    r: f64,
-    c: f64,
-    d: i64,
-    ta: f64,
-    ca: f64,
-    tb: f64,
-    cb: f64,
-) -> (i64, i64) {
+fn balance_split(r: f64, c: f64, d: i64, ta: f64, ca: f64, tb: f64, cb: f64) -> (i64, i64) {
     let df = d as f64;
     let denom = 2.0 * r * c * df + r * (ca + cb);
     let x = if denom > 0.0 {
@@ -288,7 +273,7 @@ mod tests {
         assert!(skew(&tree, rc()) < 0.6, "skew {}", skew(&tree, rc()));
         // Some edge must be longer than its Manhattan span.
         let snaked = tree.nodes().iter().enumerate().any(|(i, n)| {
-            n.parent.map_or(false, |p| {
+            n.parent.is_some_and(|p| {
                 let d = n.pos.manhattan(tree.nodes()[p as usize].pos);
                 let _ = i;
                 n.edge_len > d

@@ -147,12 +147,10 @@ impl BenchmarkSpec {
         // Register banks: Gaussian blobs with σ ≈ 4 % of the core side.
         let n_banked = (self.num_ffs as f64 * self.bank_fraction) as usize;
         let banks: Vec<Point> = (0..self.bank_count.max(1))
-            .map(|_| {
-                loop {
-                    let p = Point::new(rng.random_range(0..=side), rng.random_range(0..=side));
-                    if !in_macro(p, &macros) {
-                        return p;
-                    }
+            .map(|_| loop {
+                let p = Point::new(rng.random_range(0..=side), rng.random_range(0..=side));
+                if !in_macro(p, &macros) {
+                    return p;
                 }
             })
             .collect();

@@ -180,10 +180,7 @@ pub fn parse_def(text: &str) -> Result<Design, DefError> {
                 );
             }
             "DIEAREA" => {
-                let nums: Vec<i64> = toks
-                    .iter()
-                    .filter_map(|t| t.parse().ok())
-                    .collect();
+                let nums: Vec<i64> = toks.iter().filter_map(|t| t.parse().ok()).collect();
                 if nums.len() < 4 {
                     return Err(err(lineno, "DIEAREA needs two points"));
                 }
@@ -202,10 +199,7 @@ pub fn parse_def(text: &str) -> Result<Design, DefError> {
                 let x: i64 = toks[3].parse().map_err(|_| err(lineno, "bad ROW x"))?;
                 let y: i64 = toks[4].parse().map_err(|_| err(lineno, "bad ROW y"))?;
                 let n: i64 = toks[7].parse().map_err(|_| err(lineno, "bad ROW count"))?;
-                let step: i64 = toks
-                    .get(10)
-                    .and_then(|t| t.parse().ok())
-                    .unwrap_or(270);
+                let step: i64 = toks.get(10).and_then(|t| t.parse().ok()).unwrap_or(270);
                 let row = Rect::new(x, y, x + n * step, y + 270);
                 core = Some(match core {
                     None => row,
@@ -221,8 +215,11 @@ pub fn parse_def(text: &str) -> Result<Design, DefError> {
             },
             "-" if in_components => {
                 // - name cell + PLACED ( x y ) N ;
-                let cell = *toks.get(2).ok_or_else(|| err(lineno, "component missing cell"))?;
-                let (x, y) = parse_placed(&toks).ok_or_else(|| err(lineno, "component missing PLACED"))?;
+                let cell = *toks
+                    .get(2)
+                    .ok_or_else(|| err(lineno, "component missing cell"))?;
+                let (x, y) =
+                    parse_placed(&toks).ok_or_else(|| err(lineno, "component missing PLACED"))?;
                 if cell.contains("DFF") {
                     sinks.push(Sink {
                         name: toks[1].to_owned(),
@@ -233,11 +230,9 @@ pub fn parse_def(text: &str) -> Result<Design, DefError> {
                 // Buffers/nTSVs in post-CTS DEFs are accepted and skipped:
                 // the tree structure itself is not representable in DEF.
             }
-            "-" if in_pins => {
-                if toks.get(1) == Some(&"clk") || line.contains("USE CLOCK") {
-                    if let Some((x, y)) = parse_placed(&toks) {
-                        clock_root = Some(Point::new(x, y));
-                    }
+            "-" if in_pins && (toks.get(1) == Some(&"clk") || line.contains("USE CLOCK")) => {
+                if let Some((x, y)) = parse_placed(&toks) {
+                    clock_root = Some(Point::new(x, y));
                 }
             }
             _ => {}

@@ -71,7 +71,10 @@ impl Design {
             }
             for m in &self.macros {
                 if m.rect.contains(s.pos) {
-                    return Err(format!("sink {} at {} inside macro {}", s.name, s.pos, m.name));
+                    return Err(format!(
+                        "sink {} at {} inside macro {}",
+                        s.name, s.pos, m.name
+                    ));
                 }
             }
         }

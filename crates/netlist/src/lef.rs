@@ -107,10 +107,8 @@ pub fn parse_lef(text: &str) -> Result<BTreeMap<String, LefMacro>, LefError> {
                     }
                 }
             }
-            Some(&"END") => {
-                if toks.get(1).map(|s| s.to_string()) == current {
-                    current = None;
-                }
+            Some(&"END") if toks.get(1).map(|s| s.to_string()) == current => {
+                current = None;
             }
             _ => {}
         }
@@ -128,15 +126,9 @@ mod tests {
         let text = write_lef(&tech);
         let macros = parse_lef(&text).unwrap();
         let buf = macros.get(tech.buffer().name()).unwrap();
-        assert_eq!(
-            (buf.width_nm, buf.height_nm),
-            tech.buffer().footprint_nm()
-        );
+        assert_eq!((buf.width_nm, buf.height_nm), tech.buffer().footprint_nm());
         let ntsv = macros.get("NTSV").unwrap();
-        assert_eq!(
-            (ntsv.width_nm, ntsv.height_nm),
-            tech.ntsv().footprint_nm()
-        );
+        assert_eq!((ntsv.width_nm, ntsv.height_nm), tech.ntsv().footprint_nm());
         assert!(macros.contains_key("DFFHQNx1_ASAP7_75t_R"));
     }
 

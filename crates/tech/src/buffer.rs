@@ -2,7 +2,7 @@ use crate::nldm::NldmTable;
 
 /// The natural log of 9, relating the Elmore time constant of an RC stage to
 /// its 10–90 % transition time (`slew ≈ ln(9)·RC`).
-pub const LN9: f64 = 2.197224577336220;
+pub const LN9: f64 = 2.197_224_577_336_22;
 
 /// A clock buffer model.
 ///

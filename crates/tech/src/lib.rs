@@ -362,7 +362,9 @@ mod tests {
     #[test]
     fn asap7_has_all_ten_table_rows() {
         let t = Technology::asap7();
-        for name in ["M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8", "M9", "BM1~BM3"] {
+        for name in [
+            "M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8", "M9", "BM1~BM3",
+        ] {
             assert!(t.layer_by_name(name).is_some(), "missing layer {name}");
         }
         assert_eq!(t.layers().len(), 10);

@@ -42,7 +42,10 @@ impl std::fmt::Display for NldmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NldmError::BadAxis(which) => {
-                write!(f, "axis `{which}` must be non-empty and strictly increasing")
+                write!(
+                    f,
+                    "axis `{which}` must be non-empty and strictly increasing"
+                )
             }
             NldmError::ShapeMismatch => write!(f, "value matrix shape does not match axes"),
         }

@@ -48,7 +48,7 @@ pub use metrics::ArrivalStats;
 pub use rctree::{NodeId, RcTree};
 
 /// `ln 9` — converts an Elmore time constant to a 10–90 % transition time.
-pub const LN9: f64 = 2.197224577336220;
+pub const LN9: f64 = 2.197_224_577_336_22;
 
 /// PERI slew composition: the output transition of a stage with input slew
 /// `slew_in` and internal Elmore delay `elmore` (both ps).

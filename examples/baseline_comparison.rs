@@ -12,7 +12,10 @@ fn main() {
     let design = BenchmarkSpec::c5_aes().generate();
     let model = EvalModel::Elmore;
 
-    println!("{:<28} {:>12} {:>9} {:>8} {:>6}", "flow", "latency(ps)", "skew(ps)", "buffers", "nTSVs");
+    println!(
+        "{:<28} {:>12} {:>9} {:>8} {:>6}",
+        "flow", "latency(ps)", "skew(ps)", "buffers", "nTSVs"
+    );
     let row = |name: &str, m: &dscts::TreeMetrics| {
         println!(
             "{:<28} {:>12.2} {:>9.2} {:>8} {:>6}",
@@ -24,15 +27,24 @@ fn main() {
     let htree = HTreeCts::default().synthesize(&design, &tech);
     row("openroad-like h-tree", &htree.evaluate(&tech, model));
     let flipped = flip_backside(&htree, &tech, FlipMethod::Latency);
-    row("  + [2] latency-driven", &flipped.tree.evaluate(&tech, model));
+    row(
+        "  + [2] latency-driven",
+        &flipped.tree.evaluate(&tech, model),
+    );
 
     // Our front-side buffered tree and the three flippers on it.
     let bct = DsCts::new(tech.clone()).single_side(true).run(&design);
     row("our buffered clock tree", &bct.metrics);
     for (name, method) in [
         ("  + [2] latency-driven", FlipMethod::Latency),
-        ("  + [7] fanout >= 100", FlipMethod::Fanout { threshold: 100 }),
-        ("  + [6] criticality 0.5", FlipMethod::Criticality { fraction: 0.5 }),
+        (
+            "  + [7] fanout >= 100",
+            FlipMethod::Fanout { threshold: 100 },
+        ),
+        (
+            "  + [6] criticality 0.5",
+            FlipMethod::Criticality { fraction: 0.5 },
+        ),
     ] {
         let f = flip_backside(&bct.tree, &tech, method);
         row(name, &f.tree.evaluate(&tech, model));

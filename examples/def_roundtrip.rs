@@ -54,6 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The matching LEF snippet for the clock cells.
     let lef = write_lef(&tech);
-    println!("LEF: {} lines (buffer, nTSV, DFF macros)", lef.lines().count());
+    println!(
+        "LEF: {} lines (buffer, nTSV, DFF macros)",
+        lef.lines().count()
+    );
     Ok(())
 }

@@ -31,10 +31,7 @@ fn main() {
         let p = &points[i];
         println!(
             "  threshold {:>4}: {} buffers + {} nTSVs -> {:.2} ps",
-            p.threshold,
-            p.buffers,
-            p.ntsvs,
-            p.latency_ps
+            p.threshold, p.buffers, p.ntsvs, p.latency_ps
         );
     }
     println!(

@@ -70,12 +70,41 @@ fn run() -> Result<(), String> {
         pipeline = pipeline.mode_rule(ModeRule::FanoutThreshold(t));
     }
 
+    // Staged flows report which phase failed via CtsError instead of
+    // panicking; per-stage wall clocks come along for free.
+    let report_stages = |o: &dscts::Outcome| {
+        let cells: Vec<String> = o
+            .stages
+            .iter()
+            .map(|s| format!("{} {:.1} ms", s.name, s.seconds * 1e3))
+            .collect();
+        println!(
+            "stages: {} | total {:.1} ms",
+            cells.join(" | "),
+            o.runtime_s * 1e3
+        );
+    };
     let mut tree = match flow.as_str() {
-        "ours" => pipeline.run(&design).tree,
-        "front" => pipeline.single_side(true).run(&design).tree,
+        "ours" => {
+            let o = pipeline.try_run(&design).map_err(|e| e.to_string())?;
+            report_stages(&o);
+            o.tree
+        }
+        "front" => {
+            let o = pipeline
+                .single_side(true)
+                .try_run(&design)
+                .map_err(|e| e.to_string())?;
+            report_stages(&o);
+            o.tree
+        }
         "openroad" => HTreeCts::default().synthesize(&design, &tech),
         "flip2" | "flip7" | "flip6" => {
-            let bct = pipeline.single_side(true).run(&design).tree;
+            let bct = pipeline
+                .single_side(true)
+                .try_run(&design)
+                .map_err(|e| e.to_string())?
+                .tree;
             let method = match flow.as_str() {
                 "flip2" => FlipMethod::Latency,
                 "flip7" => FlipMethod::Fanout { threshold: 100 },

@@ -17,7 +17,16 @@
 //! | [`cluster`] | `dscts-cluster` | capacity-bounded k-means, dual-level hierarchy |
 //! | [`dme`] | `dscts-dme` | zero-skew deferred-merge embedding |
 //! | [`vanginneken`] | `dscts-buffer` | classic single-side buffer insertion |
-//! | [`core`] | `dscts-core` | the paper: patterns, DP, skew refinement, DSE, baselines |
+//! | [`core`] | `dscts-core` | the staged CTS engine: stages, patterns, DP, skew refinement, DSE, baselines, errors |
+//!
+//! The synthesis flow itself is a **staged engine**: [`DsCts`] executes
+//! `route → insertion → refine → evaluate`, where each phase is a
+//! [`Stage`] over a shared [`PipelineCtx`] blackboard and is wall-clocked
+//! individually into [`Outcome::stages`]. Unsatisfiable inputs surface as
+//! [`CtsError`] from [`DsCts::try_run`] (the panicking [`DsCts::run`]
+//! wrapper remains for callers that treat them as bugs). Routing and DP
+//! hot paths are rayon-parallel and bit-identical at any thread count;
+//! set `RAYON_NUM_THREADS=1` to reproduce the serial engine exactly.
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -30,6 +39,19 @@
 //! let outcome = DsCts::new(Technology::asap7()).run(&design);
 //! println!("{}", outcome.metrics);
 //! assert!(outcome.metrics.ntsvs > 0);
+//! // Per-stage wall clock: route, insertion, refine, evaluate.
+//! assert_eq!(outcome.stages.len(), 4);
+//! ```
+//!
+//! Fallible embedding (services, sweeps) goes through [`DsCts::try_run`]:
+//!
+//! ```
+//! use dscts::{BenchmarkSpec, CtsError, DsCts, Technology};
+//!
+//! let mut design = BenchmarkSpec::c4_riscv32i().generate();
+//! design.sinks.clear();
+//! let err = DsCts::new(Technology::asap7()).try_run(&design);
+//! assert_eq!(err.unwrap_err(), CtsError::EmptyDesign);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,8 +69,9 @@ pub use dscts_timing as timing;
 pub use dscts_buffer as vanginneken;
 
 pub use dscts_core::{
-    baseline, dse, skew, DsCts, EvalModel, HierarchicalRouter, Mode, ModeRule, MoesWeights,
-    Outcome, Pattern, PatternSet, PruneMode, RootCand, RoutingStyle, SynthesizedTree, TreeMetrics,
+    baseline, dse, skew, CtsError, DsCts, EvalModel, HierarchicalRouter, Mode, ModeRule,
+    MoesWeights, Outcome, Pattern, PatternSet, PipelineCtx, PruneMode, RootCand, RoutingStyle,
+    Stage, StageTiming, SynthesizedTree, TreeMetrics,
 };
 pub use dscts_netlist::{BenchmarkSpec, Design};
 pub use dscts_tech::{BufferModel, Layer, NtsvModel, Side, Technology};

@@ -96,10 +96,7 @@ fn tiny_max_load_panics_with_clear_message() {
     let design = spec.generate();
     let result = std::panic::catch_unwind(|| DsCts::new(tech).run(&design));
     let err = result.expect_err("must panic");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(
         msg.contains("feasible") || msg.contains("infeasible"),
         "unhelpful panic message: {msg}"

@@ -127,7 +127,12 @@ fn nldm_and_elmore_agree_on_structure() {
     assert_eq!(elmore.buffers, nldm.buffers);
     assert_eq!(elmore.ntsvs, nldm.ntsvs);
     let rel = (elmore.latency_ps - nldm.latency_ps).abs() / elmore.latency_ps;
-    assert!(rel < 0.3, "Elmore {} vs NLDM {}", elmore.latency_ps, nldm.latency_ps);
+    assert!(
+        rel < 0.3,
+        "Elmore {} vs NLDM {}",
+        elmore.latency_ps,
+        nldm.latency_ps
+    );
 }
 
 #[test]

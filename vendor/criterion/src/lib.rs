@@ -1,0 +1,298 @@
+//! Offline shim of the `criterion` API surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small wall-clock benchmarking harness with the same call
+//! shapes: [`Criterion::bench_function`], benchmark groups with
+//! `sample_size` / `bench_with_input`, [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (benches are built
+//! with `harness = false`, exactly as with real criterion).
+//!
+//! Statistics are deliberately simple: each benchmark runs one warm-up
+//! iteration plus `sample_size` timed samples and reports min / median /
+//! max. Every result is also appended to
+//! `target/criterion-shim/<bench>.json` so baselines can be recorded and
+//! diffed without parsing stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// One benchmark result (exposed for the JSON dump).
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Full benchmark id (`group/function/param`).
+    pub id: String,
+    /// Per-sample wall-clock times, sorted ascending (seconds).
+    pub times_s: Vec<f64>,
+}
+
+impl Sample {
+    fn median_s(&self) -> f64 {
+        let n = self.times_s.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if n % 2 == 1 {
+            self.times_s[n / 2]
+        } else {
+            0.5 * (self.times_s[n / 2 - 1] + self.times_s[n / 2])
+        }
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// The benchmark driver (shim of `criterion::Criterion`).
+pub struct Criterion {
+    sink: Vec<Sample>,
+    bench_name: String,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let bench_name = std::env::args()
+            .next()
+            .and_then(|p| {
+                PathBuf::from(p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+            })
+            .unwrap_or_else(|| "bench".to_owned());
+        Criterion {
+            sink: Vec::new(),
+            bench_name,
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample = run_bench(id, DEFAULT_SAMPLE_SIZE, &mut f);
+        self.sink.push(sample);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Writes all recorded samples as JSON under `target/criterion-shim/`.
+    /// Called by [`criterion_main!`]; a no-op when nothing ran.
+    pub fn finalize(&self) {
+        if self.sink.is_empty() {
+            return;
+        }
+        let mut json = String::from("[\n");
+        for (i, s) in self.sink.iter().enumerate() {
+            if i > 0 {
+                json.push_str(",\n");
+            }
+            let times: Vec<String> = s.times_s.iter().map(|t| format!("{t:.9}")).collect();
+            json.push_str(&format!(
+                "  {{\"id\": {:?}, \"median_s\": {:.9}, \"times_s\": [{}]}}",
+                s.id,
+                s.median_s(),
+                times.join(", ")
+            ));
+        }
+        json.push_str("\n]\n");
+        let dir = PathBuf::from("target").join("criterion-shim");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{}.json", self.bench_name));
+            if std::fs::write(&path, json).is_ok() {
+                println!("\nresults written to {}", path.display());
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a function over one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let sample = run_bench(&full, self.sample_size, &mut |b| f(b, input));
+        self.criterion.sink.push(sample);
+        self
+    }
+
+    /// Ends the group (statistics were already reported per bench).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter (shim of
+/// `criterion::BenchmarkId`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    samples: usize,
+    times_s: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then `sample_size` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        self.times_s.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.times_s.push(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn run_bench(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) -> Sample {
+    let mut b = Bencher {
+        samples,
+        times_s: Vec::new(),
+    };
+    let wall = Instant::now();
+    f(&mut b);
+    let total = wall.elapsed();
+    b.times_s.sort_by(|x, y| x.total_cmp(y));
+    let sample = Sample {
+        id: id.to_owned(),
+        times_s: b.times_s.clone(),
+    };
+    if sample.times_s.is_empty() {
+        println!("{id:<50} (no iterations, {:?})", total);
+    } else {
+        println!(
+            "{id:<50} median {:>12}  min {:>12}  max {:>12}  ({} samples)",
+            fmt_time(sample.median_s()),
+            fmt_time(sample.times_s[0]),
+            fmt_time(*sample.times_s.last().expect("non-empty")),
+            sample.times_s.len(),
+        );
+    }
+    sample
+}
+
+/// Declares a benchmark group function (shim of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` (shim of `criterion_main!`; benches use
+/// `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.finalize();
+        }
+    };
+}
+
+/// Prevents the optimiser from eliding the benchmarked computation
+/// (re-export shim; forwards to `std::hint::black_box`).
+pub fn criterion_black_box<T>(x: T) -> T {
+    black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.sink.len(), 1);
+        assert_eq!(c.sink[0].times_s.len(), DEFAULT_SAMPLE_SIZE);
+        assert_eq!(c.sink[0].id, "noop");
+    }
+
+    #[test]
+    fn group_honours_sample_size_and_id_format() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("f", "C4"), &41, |b, &x| b.iter(|| x + 1));
+        g.finish();
+        assert_eq!(c.sink[0].id, "grp/f/C4");
+        assert_eq!(c.sink[0].times_s.len(), 3);
+    }
+
+    #[test]
+    fn median_of_even_and_odd() {
+        let s = Sample {
+            id: "x".into(),
+            times_s: vec![1.0, 2.0, 3.0],
+        };
+        assert_eq!(s.median_s(), 2.0);
+        let e = Sample {
+            id: "x".into(),
+            times_s: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        assert_eq!(e.median_s(), 2.5);
+    }
+}

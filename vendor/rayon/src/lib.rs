@@ -1,0 +1,296 @@
+//! Offline shim of the `rayon` API surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small, dependency-free data-parallelism layer with the same
+//! call shapes as rayon: `slice.par_iter().map(f).collect::<Vec<_>>()`,
+//! `range.into_par_iter()`, [`join`], and [`current_num_threads`].
+//!
+//! Semantics the rest of the workspace relies on:
+//!
+//! - **Order-preserving**: `collect` returns results in the input order,
+//!   exactly as sequential iteration would, regardless of thread count.
+//!   Combined with pure per-item closures this makes every parallel stage
+//!   bit-identical to its sequential counterpart.
+//! - **`RAYON_NUM_THREADS`**: read on every parallel call (not once at
+//!   pool construction), so tests can flip between single- and
+//!   multi-threaded execution within one process.
+//! - **No work stealing**: items are split into one contiguous chunk per
+//!   thread via `std::thread::scope`. For the coarse-grained work in this
+//!   workspace (per-cluster DME runs, per-level DP nodes, per-config
+//!   pipeline runs) chunking loses little to stealing and keeps the shim
+//!   trivially correct.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Number of worker threads a parallel call will use: `RAYON_NUM_THREADS`
+/// when set to a positive integer, otherwise the machine's available
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Order-preserving parallel map over `0..len`, chunked across threads.
+fn map_indexed<R: Send>(len: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut parts: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(len);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            // Re-raise worker panics with their original payload so
+            // panic-message assertions see through parallel sections.
+            match h.join() {
+                Ok(part) => parts.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Conversion of a parallel computation's ordered results into a
+/// collection (shim of `rayon::iter::FromParallelIterator`).
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from results in input order.
+    fn from_ordered_results(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_results(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_results(v: Vec<Result<T, E>>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+/// A borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Parallel for-each (no results).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        map_indexed(self.items.len(), |i| f(&self.items[i]));
+    }
+}
+
+/// The mapped stage of a slice parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromParallelIterator<R>,
+    {
+        C::from_ordered_results(map_indexed(self.items.len(), |i| (self.f)(&self.items[i])))
+    }
+}
+
+/// An owning parallel iterator over an index range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps every index through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// The mapped stage of a range parallel iterator.
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+        C: FromParallelIterator<R>,
+    {
+        let lo = self.range.start;
+        C::from_ordered_results(map_indexed(self.range.len(), |i| (self.f)(lo + i)))
+    }
+}
+
+/// `par_iter()` on borrowed collections (shim of
+/// `rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+    /// Borrows the collection as a parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `into_par_iter()` on owned ranges (shim of
+/// `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// The traits to import for `par_iter` / `into_par_iter` call syntax.
+pub mod prelude {
+    pub use super::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<i32> = (0..1000).collect();
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_map_collect() {
+        let squares: Vec<usize> = (3..10).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_first_error_in_order() {
+        let v: Vec<usize> = (0..100).collect();
+        let r: Result<Vec<usize>, usize> = v
+            .par_iter()
+            .map(|&x| if x >= 40 { Err(x) } else { Ok(x) })
+            .collect();
+        assert_eq!(r, Err(40));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn thread_count_env_is_respected_per_call() {
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        assert_eq!(current_num_threads(), 1);
+        let single: Vec<i32> = (0..64usize).into_par_iter().map(|i| i as i32).collect();
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        assert_eq!(current_num_threads(), 4);
+        let multi: Vec<i32> = (0..64usize).into_par_iter().map(|i| i as i32).collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}
