@@ -6,8 +6,11 @@
 //! synthesize-then-flip.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dscts_bench::{c2_sizing_workload, forced_refine_config};
 use dscts_core::baseline::{flip_backside, FlipMethod, HTreeCts};
-use dscts_core::DsCts;
+use dscts_core::sizing::{resize_for_skew, SizingConfig};
+use dscts_core::skew::refine;
+use dscts_core::{DsCts, EvalModel};
 use dscts_netlist::BenchmarkSpec;
 use dscts_tech::Technology;
 use std::hint::black_box;
@@ -56,5 +59,31 @@ fn bench_flows(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flows);
+/// Post-CTS optimization micro-benches on the shared C2-sized workload
+/// (14 338 sinks): the loops rewired onto the incremental evaluator. Each
+/// iteration starts from a fresh clone of the routed + DP-assigned tree,
+/// so the numbers isolate the optimization passes themselves.
+fn bench_opt_passes(c: &mut Criterion) {
+    let (tree, tech) = c2_sizing_workload();
+
+    let mut group = c.benchmark_group("opt_passes");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("resize_for_skew", "C2"), &tree, |b, t| {
+        b.iter(|| {
+            let mut t = t.clone();
+            let rep = resize_for_skew(&mut t, &tech, EvalModel::Elmore, &SizingConfig::default());
+            black_box(rep.after.skew_ps)
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("refine", "C2"), &tree, |b, t| {
+        b.iter(|| {
+            let mut t = t.clone();
+            let rep = refine(&mut t, &tech, EvalModel::Elmore, &forced_refine_config());
+            black_box(rep.after.skew_ps)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows, bench_opt_passes);
 criterion_main!(benches);

@@ -1,59 +1,96 @@
 //! Records a performance + quality baseline for the C1–C5 designs.
 //!
 //! Runs the full staged pipeline (paper defaults) on every Table II
-//! design and writes `BENCH_baseline.json` at the workspace root: one
-//! record per design with per-stage wall clocks from
+//! design and writes a JSON snapshot at the workspace root: one record
+//! per design with per-stage wall clocks from
 //! [`dscts_core::Outcome::stages`] and the headline quality metrics.
-//! Subsequent PRs diff against this file to catch runtime or quality
-//! regressions per stage rather than per whole run.
+//! Subsequent PRs diff against the committed files to catch runtime or
+//! quality regressions per stage rather than per whole run.
 //!
-//! Run with `cargo run --release -p dscts-bench --bin baseline`.
+//! Modes:
+//!
+//! * `baseline` — run at the ambient thread count, write
+//!   `BENCH_baseline.json` (the CI smoke default);
+//! * `baseline --pr2` — run the suite twice, pinned to 1 thread and at
+//!   the ambient thread count, and write both runs to `BENCH_pr2.json`;
+//! * `baseline --check <file>` — run the suite and exit non-zero if any
+//!   design's `runtime_s` regresses more than 25 % against the committed
+//!   snapshot (per design, compared to the most lenient committed run).
+//!
+//! Run with `cargo run --release -p dscts-bench --bin baseline [-- FLAGS]`.
 
 use dscts_bench::all_designs;
-use dscts_core::DsCts;
+use dscts_core::{DsCts, Outcome};
+use dscts_netlist::Design;
 use dscts_tech::Technology;
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-fn main() {
-    let tech = Technology::asap7();
-    let designs = all_designs();
-    let threads = rayon::current_num_threads();
+/// Allowed per-design wall-clock regression in `--check` mode.
+const MAX_RUNTIME_REGRESSION: f64 = 0.25;
 
-    let mut records = String::new();
+/// Absolute grace added on top of the relative budget in `--check` mode.
+/// The committed snapshot comes from a different machine than the CI
+/// runner and the designs finish in milliseconds, so a pure ratio would
+/// trip on hardware noise; the gate targets algorithmic regressions
+/// (an accidentally quadratic loop turns milliseconds into seconds),
+/// which sail past any constant this size.
+const RUNTIME_GRACE_S: f64 = 0.1;
+
+struct Record {
+    design: String,
+    outcome: Outcome,
+}
+
+fn run_suite(designs: &[Design], tech: &Technology) -> Vec<Record> {
     println!("design   sinks   route(ms)  insert(ms)  refine(ms)  eval(ms)  total(ms)  latency(ps)  skew(ps)  bufs  nTSVs");
-    for (i, d) in designs.iter().enumerate() {
-        let o = DsCts::new(tech.clone()).run(d);
-        let ms = |name: &str| o.stage_seconds(name).unwrap_or(0.0) * 1e3;
-        println!(
-            "C{:<7} {:>6} {:>10.1} {:>11.1} {:>11.1} {:>9.1} {:>10.1} {:>12.3} {:>9.3} {:>5} {:>6}",
-            i + 1,
-            d.sink_count(),
-            ms("route"),
-            ms("insertion"),
-            ms("refine"),
-            ms("evaluate"),
-            o.runtime_s * 1e3,
-            o.metrics.latency_ps,
-            o.metrics.skew_ps,
-            o.metrics.buffers,
-            o.metrics.ntsvs,
-        );
+    designs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let o = DsCts::new(tech.clone()).run(d);
+            let ms = |name: &str| o.stage_seconds(name).unwrap_or(0.0) * 1e3;
+            println!(
+                "C{:<7} {:>6} {:>10.1} {:>11.1} {:>11.1} {:>9.1} {:>10.1} {:>12.3} {:>9.3} {:>5} {:>6}",
+                i + 1,
+                d.sink_count(),
+                ms("route"),
+                ms("insertion"),
+                ms("refine"),
+                ms("evaluate"),
+                o.runtime_s * 1e3,
+                o.metrics.latency_ps,
+                o.metrics.skew_ps,
+                o.metrics.buffers,
+                o.metrics.ntsvs,
+            );
+            Record {
+                design: format!("C{}", i + 1),
+                outcome: o,
+            }
+        })
+        .collect()
+}
+
+fn records_json(designs: &[Design], records: &[Record]) -> String {
+    let mut out = String::new();
+    for (i, (d, r)) in designs.iter().zip(records).enumerate() {
         if i > 0 {
-            records.push_str(",\n");
+            out.push_str(",\n");
         }
+        let o = &r.outcome;
         let stages: Vec<String> = o
             .stages
             .iter()
             .map(|s| format!("{{\"name\": {:?}, \"seconds\": {:.6}}}", s.name, s.seconds))
             .collect();
         let _ = write!(
-            records,
-            "    {{\"design\": \"C{}\", \"name\": {:?}, \"sinks\": {}, \
+            out,
+            "    {{\"design\": {:?}, \"name\": {:?}, \"sinks\": {}, \
              \"stages\": [{}], \"runtime_s\": {:.6}, \
              \"latency_ps\": {:.6}, \"skew_ps\": {:.6}, \"buffers\": {}, \
              \"ntsvs\": {}, \"wirelength_nm\": {}, \"trunk_wirelength_nm\": {}}}",
-            i + 1,
+            r.design,
             d.name,
             d.sink_count(),
             stages.join(", "),
@@ -66,15 +103,128 @@ fn main() {
             o.metrics.trunk_wirelength_nm,
         );
     }
+    out
+}
 
-    let json = format!(
-        "{{\n  \"threads\": {threads},\n  \"flow\": \"ours_default\",\n  \"designs\": [\n{records}\n  ]\n}}\n"
-    );
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .expect("workspace root");
-    let path = root.join("BENCH_baseline.json");
-    std::fs::write(&path, json).expect("write baseline");
-    println!("\nbaseline written to {}", path.display());
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+/// Extracts `(design, runtime_s)` pairs from a committed snapshot. The
+/// snapshots are written one record per line, so a line-oriented scan is
+/// exact for our own output format (no external JSON parser available
+/// offline).
+fn parse_runtimes(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(dpos) = line.find("\"design\": \"") else {
+            continue;
+        };
+        let rest = &line[dpos + 11..];
+        let Some(dend) = rest.find('"') else { continue };
+        let design = rest[..dend].to_string();
+        let Some(rpos) = line.find("\"runtime_s\": ") else {
+            continue;
+        };
+        let rest = &line[rpos + 13..];
+        let end = rest
+            .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        if let Ok(rt) = rest[..end].parse::<f64>() {
+            out.push((design, rt));
+        }
+    }
+    out
+}
+
+fn write_snapshot(path: &Path, body: String) {
+    std::fs::write(path, body).expect("write snapshot");
+    println!("\nsnapshot written to {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tech = Technology::asap7();
+    let designs = all_designs();
+
+    if args.first().map(String::as_str) == Some("--pr2") {
+        // Two pinned runs: serial, then the ambient thread count. The
+        // vendored rayon shim re-reads RAYON_NUM_THREADS per parallel
+        // call, so pinning via the environment takes effect immediately.
+        let ambient = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        println!("== 1 thread ==");
+        let serial = run_suite(&designs, &tech);
+        match &ambient {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+        let threads = rayon::current_num_threads();
+        println!("== {threads} threads ==");
+        let parallel = run_suite(&designs, &tech);
+        let json = format!(
+            "{{\n  \"flow\": \"ours_default\",\n  \"runs\": [\n    {{\"threads\": 1, \"designs\": [\n{}\n    ]}},\n    {{\"threads\": {threads}, \"designs\": [\n{}\n    ]}}\n  ]\n}}\n",
+            records_json(&designs, &serial),
+            records_json(&designs, &parallel),
+        );
+        write_snapshot(&workspace_root().join("BENCH_pr2.json"), json);
+        return;
+    }
+
+    if args.first().map(String::as_str) == Some("--check") {
+        let file = args.get(1).expect("--check needs a snapshot path");
+        let path = workspace_root().join(file);
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let reference = parse_runtimes(&committed);
+        assert!(!reference.is_empty(), "no runtime records in {file}");
+        let fresh = run_suite(&designs, &tech);
+        let mut failed = false;
+        println!();
+        for r in &fresh {
+            // Most lenient committed run for this design (e.g. the serial
+            // one in a two-run snapshot): CI boxes are noisy, and a real
+            // regression shows up against the slowest committed number.
+            let budget = reference
+                .iter()
+                .filter(|(d, _)| *d == r.design)
+                .map(|(_, rt)| rt)
+                .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            if budget <= 0.0 {
+                println!("{}: no committed reference, skipped", r.design);
+                continue;
+            }
+            let limit = budget * (1.0 + MAX_RUNTIME_REGRESSION) + RUNTIME_GRACE_S;
+            let ok = r.outcome.runtime_s <= limit;
+            println!(
+                "{}: {:.3} s vs committed {:.3} s (limit {:.3} s) {}",
+                r.design,
+                r.outcome.runtime_s,
+                budget,
+                limit,
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            failed |= !ok;
+        }
+        if failed {
+            eprintln!(
+                "runtime regression > {:.0} % detected",
+                MAX_RUNTIME_REGRESSION * 100.0
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let threads = rayon::current_num_threads();
+    let records = run_suite(&designs, &tech);
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"flow\": \"ours_default\",\n  \"designs\": [\n{}\n  ]\n}}\n",
+        records_json(&designs, &records)
+    );
+    write_snapshot(&workspace_root().join("BENCH_baseline.json"), json);
 }

@@ -1,0 +1,51 @@
+//! Micro-benchmark of the post-CTS optimization passes.
+//!
+//! Times `sizing::resize_for_skew` and `skew::refine` in isolation on the
+//! shared C2-sized workload (14 338 sinks, see
+//! [`dscts_bench::c2_sizing_workload`]), printing wall-clock per pass.
+//! The routed + DP-assigned tree is built once; each timed pass starts
+//! from a fresh clone, so the numbers isolate the optimization loops
+//! themselves — the workloads the incremental evaluator accelerates.
+//!
+//! Run with `cargo run --release -p dscts-bench --bin opt_micro`.
+
+use dscts_bench::{c2_sizing_workload, forced_refine_config};
+use dscts_core::sizing::{resize_for_skew, SizingConfig};
+use dscts_core::skew::refine;
+use dscts_core::EvalModel;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let (tree, tech) = c2_sizing_workload();
+    println!(
+        "setup (route + DP, {} sinks, {} trunk nodes): {:.1} ms",
+        tree.topo.sink_pos.len(),
+        tree.topo.nodes.len(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    for model in [EvalModel::Elmore, EvalModel::Nldm] {
+        let mut t = tree.clone();
+        let t0 = Instant::now();
+        let rep = resize_for_skew(&mut t, &tech, model, &SizingConfig::default());
+        println!(
+            "resize_for_skew [{model:?}]: {:.1} ms ({} resized, skew {:.3} -> {:.3} ps)",
+            t0.elapsed().as_secs_f64() * 1e3,
+            rep.resized,
+            rep.before.skew_ps,
+            rep.after.skew_ps
+        );
+
+        let mut t = tree.clone();
+        let t0 = Instant::now();
+        let rep = refine(&mut t, &tech, model, &forced_refine_config());
+        println!(
+            "refine [{model:?}]: {:.1} ms ({} buffers added, skew {:.3} -> {:.3} ps)",
+            t0.elapsed().as_secs_f64() * 1e3,
+            rep.buffers_added,
+            rep.before.skew_ps,
+            rep.after.skew_ps
+        );
+    }
+}

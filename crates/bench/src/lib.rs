@@ -15,7 +15,10 @@
 //! Binaries print human-readable tables and write CSV series under
 //! `results/`.
 
+use dscts_core::skew::SkewConfig;
+use dscts_core::{run_dp, DpConfig, HierarchicalRouter, MoesWeights, SynthesizedTree};
 use dscts_netlist::{BenchmarkSpec, Design};
+use dscts_tech::Technology;
 use rayon::prelude::*;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -30,6 +33,39 @@ pub fn all_designs() -> Vec<Design> {
 
 /// The design ids as used in the paper.
 pub const DESIGN_IDS: [&str; 5] = ["C1", "C2", "C3", "C4", "C5"];
+
+/// The shared post-CTS optimization workload: C2 (14 338 sinks) routed
+/// and DP-assigned with latency-greedy MOES weights, which leaves skew on
+/// the table so the sizing and refinement passes do real work. Used by
+/// both the `opt_micro` bin and the `opt_passes` criterion group so they
+/// measure the *same* workload.
+pub fn c2_sizing_workload() -> (SynthesizedTree, Technology) {
+    let tech = Technology::asap7();
+    let design = BenchmarkSpec::c2_swerv_wrapper().generate();
+    let cfg = DpConfig {
+        moes: MoesWeights {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+            delta: 0.0,
+        },
+        ..DpConfig::default()
+    };
+    let mut topo = HierarchicalRouter::new().route(&design, &tech);
+    topo.subdivide(40_000);
+    let res = run_dp(&topo, &tech, &cfg);
+    (SynthesizedTree::new(topo, res.assignment), tech)
+}
+
+/// Refinement config that always fires (zero trigger, several rounds):
+/// the forced-pass setting the optimization micro-benches time.
+pub fn forced_refine_config() -> SkewConfig {
+    SkewConfig {
+        trigger_percent: 0.0,
+        max_rounds: 8,
+        ..SkewConfig::default()
+    }
+}
 
 /// Returns (creating if needed) the `results/` output directory.
 pub fn results_dir() -> PathBuf {

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use dscts_geom::TreeCsr;
 use dscts_tech::BufferModel;
 
 /// Node handle within a [`VgTree`].
@@ -108,14 +109,8 @@ impl VgTree {
         self.nodes.len() == 1
     }
 
-    fn children(&self) -> Vec<Vec<VgNodeId>> {
-        let mut ch = vec![Vec::new(); self.nodes.len()];
-        for (i, n) in self.nodes.iter().enumerate() {
-            if let Some(p) = n.parent {
-                ch[p as usize].push(i as VgNodeId);
-            }
-        }
-        ch
+    fn csr(&self) -> TreeCsr {
+        TreeCsr::from_parents(self.nodes.iter().map(|n| n.parent))
     }
 }
 
@@ -158,7 +153,7 @@ pub fn insert_buffers(
     max_load: f64,
     max_buffers: usize,
 ) -> VgSolution {
-    let children = tree.children();
+    let csr = tree.csr();
     let n = tree.nodes.len();
     // Per-node candidate sets, plus back-pointers for reconstruction:
     // (buffer_here, child candidate indices aligned with `children[node]`).
@@ -184,7 +179,7 @@ pub fn insert_buffers(
             buffered: false,
             child_choice: Vec::new(),
         }];
-        for &ch in &children[i] {
+        for &ch in csr.children(i as u32) {
             let mut next = Vec::new();
             for m in &merged {
                 for (ci, c) in sets[ch as usize].iter().enumerate() {
@@ -256,7 +251,7 @@ pub fn insert_buffers(
         if t.buffered {
             buffer_nodes.push(node as VgNodeId);
         }
-        for (k, &ch) in children[node].iter().enumerate() {
+        for (k, &ch) in csr.children(node as u32).iter().enumerate() {
             stack.push((ch as usize, t.child_choice[k] as usize));
         }
     }

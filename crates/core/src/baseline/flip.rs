@@ -73,7 +73,7 @@ pub fn flip_backside(tree: &SynthesizedTree, tech: &Technology, method: FlipMeth
     }
     let topo = &tree.topo;
     let n = topo.nodes.len();
-    let children = topo.children();
+    let csr = topo.csr();
     let fanout = topo.fanout();
 
     // --- Select the wires to flip (never buffered edges). ---
@@ -131,7 +131,7 @@ pub fn flip_backside(tree: &SynthesizedTree, tech: &Technology, method: FlipMeth
             continue; // leaf pins are front-side
         }
         let parent_flipped = flip[v];
-        let kids = &children[v];
+        let kids = csr.children(v as u32);
         if parent_flipped && !kids.is_empty() && kids.iter().all(|&c| flip[c as usize]) {
             vertex_back[v] = true;
         }

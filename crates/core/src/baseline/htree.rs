@@ -81,12 +81,12 @@ impl HTreeCts {
         nodes[top as usize].parent = Some(0);
         nodes[top as usize].edge_len = nodes[top as usize].pos.manhattan(design.clock_root);
 
-        let mut topo = ClockTopo {
+        let mut topo = ClockTopo::new(
             nodes,
             stars,
-            sink_pos: sinks,
-            sink_cap: design.sinks.iter().map(|s| s.cap_ff).collect(),
-        };
+            sinks,
+            design.sinks.iter().map(|s| s.cap_ff).collect(),
+        );
         topo.subdivide(self.segment_nm);
         debug_assert_eq!(topo.validate(), Ok(()));
 
@@ -95,12 +95,11 @@ impl HTreeCts {
         let rc = tech.rc(Side::Front);
         let buf = tech.buffer();
         let threshold = self.load_fraction * tech.max_load_ff().min(buf.max_load_ff());
-        let children = topo.children();
-        let order = topo.topo_order();
+        let csr = topo.csr();
         let n = topo.nodes.len();
         let mut patterns: Vec<Option<Pattern>> = vec![None; n];
         let mut cap = vec![0.0f64; n];
-        for &v in order.iter().rev() {
+        for &v in csr.order().iter().rev() {
             let vu = v as usize;
             if let Some(si) = topo.nodes[vu].star {
                 let s = &topo.stars[si as usize];
@@ -111,7 +110,7 @@ impl HTreeCts {
                     .map(|(&sk, &len)| rc.cap(len) + topo.sink_cap[sk as usize])
                     .sum::<f64>();
             }
-            for &c in &children[vu] {
+            for &c in csr.children(v) {
                 let cu = c as usize;
                 let len = topo.nodes[cu].edge_len;
                 let unshielded = rc.cap(len) + cap[cu];

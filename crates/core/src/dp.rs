@@ -28,6 +28,7 @@
 use crate::error::CtsError;
 use crate::pattern::{Mode, Pattern, PatternSet};
 use crate::tree::ClockTopo;
+use dscts_geom::TreeCsr;
 use dscts_tech::{Side, Technology};
 use rayon::prelude::*;
 
@@ -206,7 +207,7 @@ struct DpCtx<'a> {
     tech: &'a Technology,
     cfg: &'a DpConfig,
     patterns: &'a [Pattern],
-    children: &'a [Vec<u32>],
+    csr: &'a TreeCsr,
     fanout: &'a [u32],
 }
 
@@ -219,14 +220,15 @@ fn process_node(idu: usize, ctx: &DpCtx<'_>, sets: &[Vec<Work>]) -> Result<Vec<W
         tech,
         cfg,
         patterns,
-        children,
+        csr,
         fanout,
     } = *ctx;
     let rc_front = tech.rc(Side::Front);
     let max_load = tech.max_load_ff();
     let node = &topo.nodes[idu];
+    let kids = csr.children(idu as u32);
     // --- Merge step: aggregate the state below this edge's sink end. ---
-    let mut merged: Vec<Work> = match (children[idu].len(), node.star) {
+    let mut merged: Vec<Work> = match (kids.len(), node.star) {
         (0, Some(star)) => {
             let s = &topo.stars[star as usize];
             let mut cap = 0.0;
@@ -249,7 +251,7 @@ fn process_node(idu: usize, ctx: &DpCtx<'_>, sets: &[Vec<Work>]) -> Result<Vec<W
                 child: [u32::MAX; 2],
             }]
         }
-        (1, None) => sets[children[idu][0] as usize]
+        (1, None) => sets[kids[0] as usize]
             .iter()
             .enumerate()
             .map(|(i, c)| Work {
@@ -267,7 +269,7 @@ fn process_node(idu: usize, ctx: &DpCtx<'_>, sets: &[Vec<Work>]) -> Result<Vec<W
             })
             .collect(),
         (2, None) => {
-            let (a, b) = (children[idu][0] as usize, children[idu][1] as usize);
+            let (a, b) = (kids[0] as usize, kids[1] as usize);
             let mut out = Vec::with_capacity(sets[a].len() * sets[b].len() / 2);
             for (i, ca) in sets[a].iter().enumerate() {
                 let sa = ca.pattern.expect("stored").root_side();
@@ -352,14 +354,14 @@ pub fn try_run_dp(
     tech: &Technology,
     cfg: &DpConfig,
 ) -> Result<DpResult, CtsError> {
-    let children = topo.children();
-    if children[0].len() != 1 {
+    let csr = topo.csr();
+    if csr.children(0).len() != 1 {
         return Err(CtsError::InvalidTopology(format!(
             "clock root must feed exactly one trunk edge, not {}",
-            children[0].len()
+            csr.children(0).len()
         )));
     }
-    let order = topo.topo_order();
+    let order = csr.order();
     let fanout = topo.fanout();
     let max_load = tech.max_load_ff();
 
@@ -377,7 +379,8 @@ pub fn try_run_dp(
     let mut max_height = 0usize;
     for &id in order.iter().rev() {
         let idu = id as usize;
-        let h = children[idu]
+        let h = csr
+            .children(id)
             .iter()
             .map(|&c| height[c as usize] + 1)
             .max()
@@ -395,7 +398,7 @@ pub fn try_run_dp(
         tech,
         cfg,
         patterns,
-        children: &children,
+        csr,
         fanout: &fanout,
     };
     for group in &by_height {
@@ -411,7 +414,7 @@ pub fn try_run_dp(
     }
 
     // --- Multi-objective selection at the root. ---
-    let root_edge = children[0][0] as usize;
+    let root_edge = csr.children(0)[0] as usize;
     let buf = tech.buffer();
     let mut root_candidates = Vec::new();
     let mut root_index = Vec::new();
@@ -448,7 +451,7 @@ pub fn try_run_dp(
     while let Some((nid, cidx)) = stack.pop() {
         let c = &sets[nid][cidx];
         assignment[nid] = c.pattern;
-        for (k, &ch) in children[nid].iter().enumerate() {
+        for (k, &ch) in csr.children(nid as u32).iter().enumerate() {
             let ci = c.child[k];
             if ci != u32::MAX {
                 stack.push((ch as usize, ci as usize));
@@ -590,9 +593,9 @@ mod tests {
     fn assignment_satisfies_connectivity() {
         let (topo, tech) = small_topo();
         let res = run_dp(&topo, &tech, &DpConfig::default());
-        let children = topo.children();
-        for (v, ch) in children.iter().enumerate() {
-            for &c in ch {
+        let csr = topo.csr();
+        for v in 0..topo.nodes.len() {
+            for &c in csr.children(v as u32) {
                 let child_pat = res.assignment[c as usize].unwrap();
                 let vertex_side = if v == 0 {
                     Side::Front

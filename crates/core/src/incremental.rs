@@ -1,0 +1,696 @@
+//! Incremental (dirty-path) evaluation of a synthesized clock tree.
+//!
+//! [`SynthesizedTree::evaluate`] walks the whole tree twice per call;
+//! the post-CTS optimization loops (buffer sizing, end-point refinement,
+//! DSE) call it once per *trial move*, making them O(moves × n). This
+//! module keeps the full evaluation state resident and repairs only what a
+//! mutation dirties, the standard trick of incremental timing engines:
+//!
+//! * **caps travel up, arrivals travel down.** Changing the knob of edge
+//!   `e` (buffer scale, pattern, or the star buffer at its sink end)
+//!   changes the capacitance `e` presents upstream; that propagates along
+//!   the *ancestor path* only, and stops early at the first edge whose
+//!   presented cap is unchanged — in practice the first shielding buffer.
+//!   Arrival times change only below the topmost node whose load changed,
+//!   so they are re-propagated over that *subtree* only. Total cost per
+//!   mutation: O(depth + dirty subtree) instead of O(n).
+//! * **bit-identical state invariant.** After every successful mutation,
+//!   `cap`, `up_cap`, `arr`, `slew`, the per-star bases and the per-sink
+//!   arrivals are bit-identical (as `f64`s) to what a from-scratch
+//!   [`SynthesizedTree::evaluate`] of the mutated tree would compute: all
+//!   repairs re-run the *same* arithmetic in the *same* order as the batch
+//!   evaluator (shared helpers in `synth`), and early termination happens
+//!   only when a recomputed value compares equal to the stored one. The
+//!   property suite `incremental_matches_batch` enforces this for both
+//!   [`EvalModel`]s under arbitrary interleaved mutations and undos.
+//! * **journaled undo.** Every overwritten value is recorded in an undo
+//!   journal. [`IncrementalEval::undo`] reverts the last mutation,
+//!   [`IncrementalEval::mark`]/[`IncrementalEval::undo_to`] revert a group
+//!   of mutations (e.g. one refinement round), and
+//!   [`IncrementalEval::commit`] forgets history once a move is accepted.
+//!   A mutation that would make any pattern electrically infeasible
+//!   rolls itself back and returns `false`, leaving the state untouched —
+//!   trial moves need no feasibility pre-probe.
+//!
+//! The evaluator borrows the tree mutably and writes accepted knob changes
+//! (`buffer_scales`, `star_buffers`, `patterns`) through to it, so when the
+//! evaluator is dropped the tree is already in its optimized state.
+
+use crate::pattern::{Pattern, PatternEval};
+use crate::synth::{resources, star_loads, EvalModel, SynthesizedTree, TreeMetrics};
+use dscts_geom::TreeCsr;
+use dscts_tech::{Side, Technology};
+use dscts_timing::{wire_slew, ArrivalStats};
+
+/// One overwritten value, recorded for rollback.
+#[derive(Debug, Clone, Copy)]
+enum Entry {
+    /// `buffer_scales[edge]` previous value.
+    Scale(u32, f64),
+    /// `patterns[edge]` previous value.
+    Pattern(u32, Option<Pattern>),
+    /// `star_buffers[si]` previous value.
+    StarBuffer(u32, bool),
+    /// `cap[node]` previous value.
+    Cap(u32, f64),
+    /// `up_cap[node]` previous value.
+    UpCap(u32, f64),
+    /// `arr[node]` previous value.
+    Arr(u32, f64),
+    /// `slew[node]` previous value.
+    Slew(u32, f64),
+    /// `(star_base, star_base_slew)[si]` previous values.
+    StarBase(u32, f64, f64),
+    /// `arrivals[sink]` previous value.
+    SinkArr(u32, f64),
+}
+
+/// Incremental evaluator over a [`SynthesizedTree`]. See the module docs
+/// for the dirty-path invariants.
+#[derive(Debug)]
+pub struct IncrementalEval<'a> {
+    tree: &'a mut SynthesizedTree,
+    tech: &'a Technology,
+    model: EvalModel,
+    /// Flat trunk adjacency (cloned from the topology's cache so the tree
+    /// can stay mutably borrowed).
+    csr: TreeCsr,
+    /// Per-star unshielded load (wire + sink pins): constant per topology.
+    star_load: Vec<f64>,
+    /// Per-sink star-branch Elmore delay: constant per topology.
+    branch_d: Vec<f64>,
+    /// Per-star min/max of `branch_d` over its sinks (−∞ max for an empty
+    /// star): constant per topology.
+    star_min_d: Vec<f64>,
+    star_max_d: Vec<f64>,
+    /// Downstream capacitance at each trunk node (the load at the sink end
+    /// of its incoming edge).
+    cap: Vec<f64>,
+    /// Capacitance each trunk node's incoming edge presents to its parent
+    /// (undefined for node 0).
+    up_cap: Vec<f64>,
+    /// Arrival time at each trunk node.
+    arr: Vec<f64>,
+    /// Transition time at each trunk node.
+    slew: Vec<f64>,
+    /// Per-star arrival/slew at the star root, after the optional
+    /// refinement buffer.
+    star_base: Vec<f64>,
+    star_base_slew: Vec<f64>,
+    /// Per-sink arrival times (the batch evaluator's `arrivals` vector).
+    arrivals: Vec<f64>,
+    journal: Vec<Entry>,
+    /// Journal position at the start of the last mutation.
+    last_mark: usize,
+}
+
+impl<'a> IncrementalEval<'a> {
+    /// Builds the full evaluation state with one batch-equivalent pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge lacks a pattern or is electrically infeasible
+    /// under the current scales (exactly like [`SynthesizedTree::evaluate`]).
+    pub fn new(tree: &'a mut SynthesizedTree, tech: &'a Technology, model: EvalModel) -> Self {
+        let csr = tree.topo.csr().clone();
+        let topo = &tree.topo;
+        let n = topo.nodes.len();
+        let rc_front = tech.rc(Side::Front);
+        let buf = tech.buffer();
+        let star_load = star_loads(topo, tech);
+
+        // Constant star-branch delays and their per-star extremes.
+        let mut branch_d = vec![0.0f64; topo.sink_pos.len()];
+        let mut star_min_d = vec![f64::INFINITY; topo.stars.len()];
+        let mut star_max_d = vec![f64::NEG_INFINITY; topo.stars.len()];
+        for (si, s) in topo.stars.iter().enumerate() {
+            for (&sk, &len) in s.sinks.iter().zip(&s.branch_len) {
+                let d = rc_front.res(len) * (rc_front.cap(len) + topo.sink_cap[sk as usize]);
+                branch_d[sk as usize] = d;
+                star_min_d[si] = star_min_d[si].min(d);
+                star_max_d[si] = star_max_d[si].max(d);
+            }
+        }
+
+        // Bottom-up caps: same arithmetic and order as the batch pass.
+        let mut cap = vec![0.0f64; n];
+        let mut up_cap = vec![0.0f64; n];
+        for &v in csr.order().iter().rev() {
+            let vu = v as usize;
+            if let Some(si) = topo.nodes[vu].star {
+                cap[vu] += if tree.star_buffers[si as usize] {
+                    buf.input_cap_ff()
+                } else {
+                    star_load[si as usize]
+                };
+            }
+            for &c in csr.children(v) {
+                let cu = c as usize;
+                let p = tree.patterns[cu].expect("assigned pattern");
+                let ev = p
+                    .eval_scaled(
+                        topo.nodes[cu].edge_len,
+                        cap[cu],
+                        tech,
+                        tree.buffer_scales[cu],
+                    )
+                    .expect("chosen pattern feasible");
+                up_cap[cu] = ev.up_cap_ff;
+                cap[vu] += ev.up_cap_ff;
+            }
+        }
+
+        let n_stars = topo.stars.len();
+        let n_sinks = topo.sink_pos.len();
+        let mut this = IncrementalEval {
+            tree,
+            tech,
+            model,
+            csr,
+            star_load,
+            branch_d,
+            star_min_d,
+            star_max_d,
+            cap,
+            up_cap,
+            arr: vec![0.0; n],
+            slew: vec![0.0; n],
+            star_base: vec![0.0; n_stars],
+            star_base_slew: vec![0.0; n_stars],
+            arrivals: vec![0.0; n_sinks],
+            journal: Vec::new(),
+            last_mark: 0,
+        };
+        // Top-down arrivals over the whole tree (node 0 = root driver),
+        // then discard the bookkeeping journal: this is the base state.
+        let ok = this.recompute_arrivals_from(0, 0);
+        debug_assert!(ok, "construction re-evaluates a feasible tree");
+        this.journal.clear();
+        this
+    }
+
+    /// The underlying tree (knobs reflect all non-undone mutations).
+    pub fn tree(&self) -> &SynthesizedTree {
+        self.tree
+    }
+
+    /// The delay model this evaluator propagates.
+    pub fn model(&self) -> EvalModel {
+        self.model
+    }
+
+    /// Per-sink arrival times, bit-identical to
+    /// [`TreeMetrics::arrivals`] of a batch evaluation.
+    pub fn arrivals(&self) -> &[f64] {
+        &self.arrivals
+    }
+
+    /// Downstream capacitance at trunk node `v` (what the sink end of its
+    /// incoming edge drives) — the incremental replacement for the former
+    /// `sizing::probe_load` full pass.
+    pub fn load_at(&self, v: usize) -> f64 {
+        self.cap[v]
+    }
+
+    /// Unshielded load of star `si` (wire + sink pins).
+    pub fn star_load(&self, si: usize) -> f64 {
+        self.star_load[si]
+    }
+
+    /// Earliest sink arrival within star `si`.
+    pub fn star_earliest(&self, si: usize) -> f64 {
+        self.star_base[si] + self.star_min_d[si]
+    }
+
+    /// Current drive scale of the buffer embedded in edge `edge`.
+    pub fn buffer_scale(&self, edge: usize) -> f64 {
+        self.tree.buffer_scales[edge]
+    }
+
+    /// Maximum sink arrival. Bit-identical to [`TreeMetrics::latency_ps`]:
+    /// within a star, arrivals are `base + d` with `d ≥ 0` constant, and
+    /// `x ↦ base + x` is monotone, so the per-star maximum is attained at
+    /// the maximal `d` and equals the fold over all sinks.
+    pub fn latency_ps(&self) -> f64 {
+        let mut max = f64::NEG_INFINITY;
+        for (si, &d) in self.star_max_d.iter().enumerate() {
+            if d != f64::NEG_INFINITY {
+                max = max.max(self.star_base[si] + d);
+            }
+        }
+        max
+    }
+
+    /// Latest minus earliest sink arrival, bit-identical to
+    /// [`TreeMetrics::skew_ps`].
+    pub fn skew_ps(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for (si, &d) in self.star_max_d.iter().enumerate() {
+            if d != f64::NEG_INFINITY {
+                max = max.max(self.star_base[si] + d);
+                min = min.min(self.star_base[si] + self.star_min_d[si]);
+            }
+        }
+        max - min
+    }
+
+    /// Full metrics of the current state, bit-identical to
+    /// [`SynthesizedTree::evaluate`] on the mutated tree.
+    pub fn metrics(&self) -> TreeMetrics {
+        let stats = ArrivalStats::from_arrivals(self.arrivals.iter().copied())
+            .expect("designs have at least one sink");
+        let res = resources(self.tree, self.tech);
+        let mut max_sink_slew = 0.0f64;
+        for (si, s) in self.tree.topo.stars.iter().enumerate() {
+            for &sk in &s.sinks {
+                max_sink_slew = max_sink_slew.max(wire_slew(
+                    self.star_base_slew[si],
+                    self.branch_d[sk as usize],
+                ));
+            }
+        }
+        TreeMetrics {
+            latency_ps: stats.latency(),
+            skew_ps: stats.skew(),
+            buffers: res.buffers,
+            ntsvs: res.ntsvs,
+            wirelength_nm: self.tree.topo.total_wirelength(),
+            trunk_wirelength_nm: self.tree.topo.trunk_wirelength(),
+            switched_cap_ff: res.switched_cap_ff,
+            cell_area_nm2: res.cell_area_nm2,
+            max_sink_slew_ps: max_sink_slew,
+            arrivals: self.arrivals.clone(),
+        }
+    }
+
+    // --- Mutations -------------------------------------------------------
+
+    /// Re-sizes the buffer embedded in `edge` (a non-root trunk node).
+    ///
+    /// Returns `false` — with the state fully rolled back — when the new
+    /// scale makes any pattern on the dirty path infeasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is 0 or `scale` is not positive.
+    pub fn set_buffer_scale(&mut self, edge: usize, scale: f64) -> bool {
+        assert!(edge != 0, "node 0 has no incoming edge");
+        assert!(scale > 0.0, "buffer scale must be positive");
+        let mark = self.journal.len();
+        self.last_mark = mark;
+        if self.tree.buffer_scales[edge] == scale {
+            return true;
+        }
+        self.journal
+            .push(Entry::Scale(edge as u32, self.tree.buffer_scales[edge]));
+        self.tree.buffer_scales[edge] = scale;
+        self.repropagate_edge(edge, mark)
+    }
+
+    /// Re-assigns the pattern of `edge` (a non-root trunk node). Side
+    /// legality is *not* checked here; run
+    /// [`SynthesizedTree::validate_sides`] before accepting a final tree.
+    ///
+    /// Returns `false` — with the state fully rolled back — when the new
+    /// pattern is infeasible on this edge or overloads an ancestor buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is 0.
+    pub fn set_pattern(&mut self, edge: usize, pattern: Pattern) -> bool {
+        assert!(edge != 0, "node 0 has no incoming edge");
+        let mark = self.journal.len();
+        self.last_mark = mark;
+        if self.tree.patterns[edge] == Some(pattern) {
+            return true;
+        }
+        self.journal
+            .push(Entry::Pattern(edge as u32, self.tree.patterns[edge]));
+        self.tree.patterns[edge] = Some(pattern);
+        self.repropagate_edge(edge, mark)
+    }
+
+    /// Adds or removes the skew-refinement buffer driving star `si`.
+    ///
+    /// Returns `false` — with the state fully rolled back — when the
+    /// change overloads a buffer on the ancestor path.
+    pub fn set_star_buffer(&mut self, si: usize, on: bool) -> bool {
+        let mark = self.journal.len();
+        self.last_mark = mark;
+        if self.tree.star_buffers[si] == on {
+            return true;
+        }
+        self.journal
+            .push(Entry::StarBuffer(si as u32, self.tree.star_buffers[si]));
+        self.tree.star_buffers[si] = on;
+        let v = self.tree.topo.stars[si].node as usize;
+        let new_cap = self.node_cap(v);
+        if new_cap == self.cap[v] {
+            // Load at the star root is (bit-)unchanged, so no trunk state
+            // moves — but the star's own stage delay did change.
+            self.recompute_star(si);
+            return true;
+        }
+        self.journal.push(Entry::Cap(v as u32, self.cap[v]));
+        self.cap[v] = new_cap;
+        let top = if v == 0 {
+            0
+        } else {
+            match self.propagate_caps_up(v) {
+                Some(top) => top,
+                None => {
+                    self.undo_to(mark);
+                    return false;
+                }
+            }
+        };
+        self.recompute_arrivals_from(top, mark)
+    }
+
+    // --- Undo machinery --------------------------------------------------
+
+    /// Current journal position; pass to [`IncrementalEval::undo_to`] to
+    /// revert every mutation made after this call.
+    pub fn mark(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Reverts all state back to `mark` (from [`IncrementalEval::mark`]).
+    pub fn undo_to(&mut self, mark: usize) {
+        while self.journal.len() > mark {
+            match self.journal.pop().expect("journal non-empty") {
+                Entry::Scale(e, old) => self.tree.buffer_scales[e as usize] = old,
+                Entry::Pattern(e, old) => self.tree.patterns[e as usize] = old,
+                Entry::StarBuffer(si, old) => self.tree.star_buffers[si as usize] = old,
+                Entry::Cap(v, old) => self.cap[v as usize] = old,
+                Entry::UpCap(v, old) => self.up_cap[v as usize] = old,
+                Entry::Arr(v, old) => self.arr[v as usize] = old,
+                Entry::Slew(v, old) => self.slew[v as usize] = old,
+                Entry::StarBase(si, base, slew) => {
+                    self.star_base[si as usize] = base;
+                    self.star_base_slew[si as usize] = slew;
+                }
+                Entry::SinkArr(sk, old) => self.arrivals[sk as usize] = old,
+            }
+        }
+        self.last_mark = self.last_mark.min(mark);
+    }
+
+    /// Reverts the most recent mutation (no-op if it was already undone or
+    /// committed).
+    pub fn undo(&mut self) {
+        self.undo_to(self.last_mark);
+    }
+
+    /// Accepts all mutations so far: clears the journal, making them
+    /// permanent (undo can no longer cross this point).
+    pub fn commit(&mut self) {
+        self.journal.clear();
+        self.last_mark = 0;
+    }
+
+    // --- Dirty-path propagation ------------------------------------------
+
+    /// Electrical evaluation of the edge into `v` under the current state.
+    fn eval_edge(&self, v: usize) -> Option<PatternEval> {
+        let p = self.tree.patterns[v].expect("assigned pattern");
+        p.eval_scaled(
+            self.tree.topo.nodes[v].edge_len,
+            self.cap[v],
+            self.tech,
+            self.tree.buffer_scales[v],
+        )
+    }
+
+    /// Recomputes the downstream cap of `v` from its star contribution and
+    /// its children's `up_cap`s, in the batch evaluator's summation order.
+    fn node_cap(&self, v: usize) -> f64 {
+        let topo = &self.tree.topo;
+        let buf = self.tech.buffer();
+        let mut cap = 0.0f64;
+        if let Some(si) = topo.nodes[v].star {
+            cap += if self.tree.star_buffers[si as usize] {
+                buf.input_cap_ff()
+            } else {
+                self.star_load[si as usize]
+            };
+        }
+        for &c in self.csr.children(v as u32) {
+            cap += self.up_cap[c as usize];
+        }
+        cap
+    }
+
+    /// After a knob change on the edge into `edge` (its downstream cap is
+    /// unchanged): refresh its presented cap, push the change up the
+    /// ancestor path, and re-propagate the dirty subtree's arrivals.
+    fn repropagate_edge(&mut self, edge: usize, mark: usize) -> bool {
+        let Some(ev) = self.eval_edge(edge) else {
+            self.undo_to(mark);
+            return false;
+        };
+        let mut top = edge;
+        if ev.up_cap_ff != self.up_cap[edge] {
+            self.journal
+                .push(Entry::UpCap(edge as u32, self.up_cap[edge]));
+            self.up_cap[edge] = ev.up_cap_ff;
+            let p = self.tree.topo.nodes[edge].parent.expect("non-root") as usize;
+            let new_cap = self.node_cap(p);
+            if new_cap != self.cap[p] {
+                self.journal.push(Entry::Cap(p as u32, self.cap[p]));
+                self.cap[p] = new_cap;
+                top = p;
+                if p != 0 {
+                    match self.propagate_caps_up(p) {
+                        Some(t) => top = t,
+                        None => {
+                            self.undo_to(mark);
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        self.recompute_arrivals_from(top, mark)
+    }
+
+    /// `cap[start]` just changed (`start` ≠ 0): walk the ancestor path,
+    /// refreshing each edge's presented cap, until a presented cap (or an
+    /// aggregated node cap) is bit-unchanged — typically at the first
+    /// shielding buffer — or the root is reached. Returns the topmost node
+    /// whose downstream cap changed (the arrival-recompute root), or
+    /// `None` when an edge on the path becomes infeasible (caller rolls
+    /// back).
+    fn propagate_caps_up(&mut self, start: usize) -> Option<usize> {
+        let mut top = start;
+        let mut v = start;
+        while v != 0 {
+            let ev = self.eval_edge(v)?;
+            if ev.up_cap_ff == self.up_cap[v] {
+                break;
+            }
+            self.journal.push(Entry::UpCap(v as u32, self.up_cap[v]));
+            self.up_cap[v] = ev.up_cap_ff;
+            let p = self.tree.topo.nodes[v].parent.expect("non-root") as usize;
+            let new_cap = self.node_cap(p);
+            if new_cap == self.cap[p] {
+                break;
+            }
+            self.journal.push(Entry::Cap(p as u32, self.cap[p]));
+            self.cap[p] = new_cap;
+            top = p;
+            v = p;
+        }
+        Some(top)
+    }
+
+    /// Re-propagates arrivals and slews over the subtree rooted at `top`
+    /// (whose own incoming-edge delay is dirty; `top == 0` re-times the
+    /// root driver and therefore the whole tree), refreshing every star
+    /// stage it passes. Rolls back to `mark` and returns `false` if an
+    /// edge in the subtree is infeasible (only possible for edges whose
+    /// caps changed, which the cap pass already vetted — kept defensive).
+    fn recompute_arrivals_from(&mut self, top: usize, mark: usize) -> bool {
+        let buf = self.tech.buffer();
+        let mut stack: Vec<u32> = vec![top as u32];
+        while let Some(v) = stack.pop() {
+            let vu = v as usize;
+            let (new_arr, new_slew) = if vu == 0 {
+                let nominal = buf.nominal_slew_ps();
+                let a = match self.model {
+                    EvalModel::Elmore => buf.delay_ps(self.cap[0]),
+                    EvalModel::Nldm => buf.delay_nldm_ps(nominal, self.cap[0]),
+                };
+                (a, buf.output_slew_ps(nominal, self.cap[0]))
+            } else {
+                let Some(ev) = self.eval_edge(vu) else {
+                    self.undo_to(mark);
+                    return false;
+                };
+                let p = self.tree.topo.nodes[vu].parent.expect("non-root") as usize;
+                match (self.model, ev.stage) {
+                    (EvalModel::Elmore, _) | (EvalModel::Nldm, None) => (
+                        self.arr[p] + ev.delay_ps,
+                        wire_slew(self.slew[p], ev.delay_ps),
+                    ),
+                    (EvalModel::Nldm, Some(st)) => {
+                        let slew_in = wire_slew(self.slew[p], st.pre_delay_ps);
+                        let d_buf = buf.delay_nldm_ps(slew_in, st.load_ff);
+                        (
+                            self.arr[p] + st.pre_delay_ps + d_buf + st.post_delay_ps,
+                            wire_slew(buf.output_slew_ps(slew_in, st.load_ff), st.post_delay_ps),
+                        )
+                    }
+                }
+            };
+            self.journal.push(Entry::Arr(v, self.arr[vu]));
+            self.arr[vu] = new_arr;
+            self.journal.push(Entry::Slew(v, self.slew[vu]));
+            self.slew[vu] = new_slew;
+            if let Some(si) = self.tree.topo.nodes[vu].star {
+                self.recompute_star(si as usize);
+            }
+            stack.extend_from_slice(self.csr.children(v));
+        }
+        true
+    }
+
+    /// Refreshes star `si`'s base arrival/slew (through the optional
+    /// refinement buffer) and its sinks' arrivals, mirroring the batch
+    /// evaluator's sink stage exactly.
+    fn recompute_star(&mut self, si: usize) {
+        let v = self.tree.topo.stars[si].node as usize;
+        let buf = self.tech.buffer();
+        let mut base = self.arr[v];
+        let mut base_slew = self.slew[v];
+        if self.tree.star_buffers[si] {
+            let slew_in = self.slew[v];
+            base += match self.model {
+                EvalModel::Elmore => buf.delay_ps(self.star_load[si]),
+                EvalModel::Nldm => buf.delay_nldm_ps(slew_in, self.star_load[si]),
+            };
+            base_slew = buf.output_slew_ps(slew_in, self.star_load[si]);
+        }
+        self.journal.push(Entry::StarBase(
+            si as u32,
+            self.star_base[si],
+            self.star_base_slew[si],
+        ));
+        self.star_base[si] = base;
+        self.star_base_slew[si] = base_slew;
+        for &sk in &self.tree.topo.stars[si].sinks {
+            let sku = sk as usize;
+            self.journal.push(Entry::SinkArr(sk, self.arrivals[sku]));
+            self.arrivals[sku] = base + self.branch_d[sku];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::{run_dp, DpConfig, MoesWeights};
+    use crate::route::HierarchicalRouter;
+    use dscts_netlist::BenchmarkSpec;
+
+    fn tree() -> (SynthesizedTree, Technology) {
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let tech = Technology::asap7();
+        let mut topo = HierarchicalRouter::new().route(&d, &tech);
+        topo.subdivide(40_000);
+        let cfg = DpConfig {
+            moes: MoesWeights {
+                alpha: 1.0,
+                beta: 0.0,
+                gamma: 0.0,
+                delta: 0.0,
+            },
+            ..DpConfig::default()
+        };
+        let res = run_dp(&topo, &tech, &cfg);
+        (SynthesizedTree::new(topo, res.assignment), tech)
+    }
+
+    #[test]
+    fn construction_matches_batch() {
+        let (mut t, tech) = tree();
+        for model in [EvalModel::Elmore, EvalModel::Nldm] {
+            let batch = t.evaluate(&tech, model);
+            let inc = IncrementalEval::new(&mut t, &tech, model);
+            assert_eq!(inc.metrics(), batch);
+            assert_eq!(inc.latency_ps(), batch.latency_ps);
+            assert_eq!(inc.skew_ps(), batch.skew_ps);
+        }
+    }
+
+    #[test]
+    fn scale_mutation_matches_batch_and_undo_restores() {
+        let (mut t, tech) = tree();
+        let edge = (1..t.topo.nodes.len())
+            .find(|&i| t.patterns[i].is_some_and(|p| p.buffers() > 0))
+            .expect("some buffered edge");
+        let baseline = t.evaluate(&tech, EvalModel::Elmore);
+        let mut inc = IncrementalEval::new(&mut t, &tech, EvalModel::Elmore);
+        assert!(inc.set_buffer_scale(edge, 2.0));
+        let mutated = inc.metrics();
+        inc.undo();
+        assert_eq!(inc.metrics(), baseline);
+        assert!(inc.set_buffer_scale(edge, 2.0));
+        assert_eq!(inc.metrics(), mutated);
+        drop(inc);
+        // The evaluator wrote the accepted knob through to the tree.
+        assert_eq!(t.buffer_scales[edge], 2.0);
+        assert_eq!(t.evaluate(&tech, EvalModel::Elmore), mutated);
+    }
+
+    #[test]
+    fn star_buffer_mutation_matches_batch() {
+        let (mut t, tech) = tree();
+        let mut inc = IncrementalEval::new(&mut t, &tech, EvalModel::Nldm);
+        assert!(inc.set_star_buffer(0, true));
+        let mutated = inc.metrics();
+        drop(inc);
+        assert_eq!(t.evaluate(&tech, EvalModel::Nldm), mutated);
+    }
+
+    #[test]
+    fn infeasible_scale_rolls_back() {
+        let (mut t, tech) = tree();
+        // A vanishing buffer cannot drive its load: mutation must refuse
+        // and leave no trace.
+        let edge = (1..t.topo.nodes.len())
+            .find(|&i| t.patterns[i].is_some_and(|p| p.buffers() > 0))
+            .expect("some buffered edge");
+        let baseline = t.evaluate(&tech, EvalModel::Elmore);
+        let mut inc = IncrementalEval::new(&mut t, &tech, EvalModel::Elmore);
+        assert!(!inc.set_buffer_scale(edge, 1e-6));
+        assert_eq!(inc.metrics(), baseline);
+        assert_eq!(inc.mark(), 0, "failed mutation leaves an empty journal");
+    }
+
+    #[test]
+    fn mark_groups_roll_back_together() {
+        let (mut t, tech) = tree();
+        let baseline = t.evaluate(&tech, EvalModel::Elmore);
+        let mut inc = IncrementalEval::new(&mut t, &tech, EvalModel::Elmore);
+        let mark = inc.mark();
+        assert!(inc.set_star_buffer(0, true));
+        assert!(inc.set_star_buffer(1, true));
+        assert_ne!(inc.metrics(), baseline);
+        inc.undo_to(mark);
+        assert_eq!(inc.metrics(), baseline);
+    }
+
+    #[test]
+    fn load_at_matches_probe_semantics() {
+        // `load_at` is what `probe_load` used to recompute from scratch.
+        let (mut t, tech) = tree();
+        let batch = t.evaluate(&tech, EvalModel::Elmore);
+        let inc = IncrementalEval::new(&mut t, &tech, EvalModel::Elmore);
+        // Root load equals the cap the DP reported for the driver.
+        assert!(inc.load_at(0) > 0.0);
+        drop(inc);
+        let _ = batch;
+    }
+}

@@ -25,6 +25,13 @@
 //! [`CtsError`] through [`DsCts::try_run`]. Routing and DP hot paths run
 //! rayon-parallel with bit-identical results at any thread count.
 //!
+//! Post-CTS optimization ([`sizing`], [`skew`]) runs on the
+//! [`IncrementalEval`] engine: full evaluation state stays resident and
+//! each trial move re-propagates only its dirty ancestor path and subtree,
+//! with journaled undo for rejected moves — bit-identical to
+//! [`SynthesizedTree::evaluate`] and orders of magnitude faster in the
+//! inner loops.
+//!
 //! Most users want the [`DsCts`] pipeline builder:
 //!
 //! ```
@@ -45,6 +52,7 @@ pub mod baseline;
 mod dp;
 pub mod dse;
 mod error;
+pub mod incremental;
 mod pattern;
 mod pipeline;
 mod route;
@@ -55,6 +63,7 @@ mod tree;
 
 pub use dp::{run_dp, try_run_dp, DpConfig, DpResult, ModeRule, MoesWeights, PruneMode, RootCand};
 pub use error::CtsError;
+pub use incremental::IncrementalEval;
 pub use pattern::{BufferStage, Mode, Pattern, PatternEval, PatternSet};
 pub use pipeline::{
     DsCts, EvalStage, InsertionStage, Outcome, PipelineCtx, RefineStage, RouteStage, Stage,

@@ -356,12 +356,7 @@ impl TopoBuilder {
         for (si, s) in stars.iter().enumerate() {
             nodes[s.node as usize].star = Some(si as u32);
         }
-        ClockTopo {
-            nodes,
-            stars,
-            sink_pos: self.sink_pos,
-            sink_cap: self.sink_cap,
-        }
+        ClockTopo::new(nodes, stars, self.sink_pos, self.sink_cap)
     }
 }
 
@@ -429,8 +424,8 @@ mod tests {
         let d = BenchmarkSpec::c5_aes().generate();
         let topo = HierarchicalRouter::new().route(&d, &tech());
         assert_eq!(topo.nodes[0].pos, d.clock_root);
-        for ch in topo.children() {
-            assert!(ch.len() <= 2);
+        for v in 0..topo.nodes.len() {
+            assert!(topo.csr().children(v as u32).len() <= 2);
         }
     }
 

@@ -9,7 +9,14 @@
 //! each root-to-sink path — downsizing fast paths (more delay, less input
 //! cap) and upsizing slow ones — to shrink global skew without adding
 //! cells.
+//!
+//! Every trial move is scored through [`IncrementalEval`]: a scale change
+//! re-propagates O(depth + subtree) state instead of re-evaluating the
+//! whole tree, and a rejected trial is a journal rollback. Metrics remain
+//! bit-identical to the batch evaluator (see the `incremental` module
+//! invariants), so this is a pure speedup.
 
+use crate::incremental::IncrementalEval;
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
 use dscts_tech::Technology;
 
@@ -65,10 +72,6 @@ pub fn resize_for_skew(
         !cfg.scales.is_empty() && cfg.scales.iter().all(|&s| s > 0.0),
         "scales must be positive"
     );
-    let before = tree.evaluate(tech, model);
-    let mut current = before.clone();
-    let mut resized = 0usize;
-
     // The last buffered trunk edge above each star.
     let last_buffered: Vec<Option<usize>> = tree
         .topo
@@ -88,51 +91,42 @@ pub fn resize_for_skew(
         })
         .collect();
 
+    let mut eval = IncrementalEval::new(tree, tech, model);
+    let before = eval.metrics();
+    let mut resized = 0usize;
+
     for _ in 0..cfg.max_rounds {
         let mut changed = 0usize;
         // Process stars from the fastest upward: downsizing their last
         // buffer pads their arrival toward the mean.
-        let mut order: Vec<usize> = (0..tree.topo.stars.len()).collect();
-        let star_arrival = |m: &TreeMetrics, s: &crate::tree::LeafStar| {
-            s.sinks
-                .iter()
-                .map(|&sk| m.arrivals[sk as usize])
-                .fold(f64::INFINITY, f64::min)
-        };
-        order.sort_by(|&a, &b| {
-            star_arrival(&current, &tree.topo.stars[a])
-                .total_cmp(&star_arrival(&current, &tree.topo.stars[b]))
-        });
+        let mut order: Vec<usize> = (0..eval.tree().topo.stars.len()).collect();
+        order.sort_by(|&a, &b| eval.star_earliest(a).total_cmp(&eval.star_earliest(b)));
         for si in order {
             let Some(edge) = last_buffered[si] else {
                 continue;
             };
-            let old_scale = tree.buffer_scales[edge];
-            let mut best = (current.skew_ps, old_scale);
+            let old_scale = eval.buffer_scale(edge);
+            let current_latency = eval.latency_ps();
+            let mut best = (eval.skew_ps(), old_scale);
             for &s in &cfg.scales {
                 if (s - old_scale).abs() < 1e-12 {
                     continue;
                 }
-                tree.buffer_scales[edge] = s;
-                // A smaller buffer may be overloaded; evaluate() would
-                // panic on infeasible patterns, so pre-check.
-                let node = &tree.topo.nodes[edge];
-                let pat = tree.patterns[edge].expect("buffered edge");
-                let feasible = pat
-                    .eval_scaled(node.edge_len, probe_load(tree, tech, edge), tech, s)
-                    .is_some();
-                if !feasible {
+                // An infeasible scale (overloaded buffer anywhere on the
+                // dirty path) rolls itself back and returns false.
+                if !eval.set_buffer_scale(edge, s) {
                     continue;
                 }
-                let m = tree.evaluate(tech, model);
-                if m.skew_ps < best.0 - 1e-9 && m.latency_ps <= current.latency_ps + 1e-9 {
-                    best = (m.skew_ps, s);
+                if eval.skew_ps() < best.0 - 1e-9 && eval.latency_ps() <= current_latency + 1e-9 {
+                    best = (eval.skew_ps(), s);
                 }
+                eval.undo();
             }
-            tree.buffer_scales[edge] = best.1;
             if (best.1 - old_scale).abs() > 1e-12 {
+                let ok = eval.set_buffer_scale(edge, best.1);
+                debug_assert!(ok, "winning trial scale must stay feasible");
+                eval.commit();
                 changed += 1;
-                current = tree.evaluate(tech, model);
             }
         }
         resized += changed;
@@ -141,54 +135,12 @@ pub fn resize_for_skew(
         }
     }
 
+    let after = eval.metrics();
     SizingReport {
         resized,
         before,
-        after: current,
+        after,
     }
-}
-
-/// Downstream load of `edge`'s bottom vertex under the current assignment
-/// (recomputed locally; cheap relative to a full evaluate).
-fn probe_load(tree: &SynthesizedTree, tech: &Technology, edge: usize) -> f64 {
-    let topo = &tree.topo;
-    let children = topo.children();
-    let order = topo.topo_order();
-    let rc = tech.rc(dscts_tech::Side::Front);
-    let buf = tech.buffer();
-    let mut cap = vec![0.0f64; topo.nodes.len()];
-    for &v in order.iter().rev() {
-        let vu = v as usize;
-        if let Some(si) = topo.nodes[vu].star {
-            let s = &topo.stars[si as usize];
-            cap[vu] += if tree.star_buffers[si as usize] {
-                buf.input_cap_ff()
-            } else {
-                s.sinks
-                    .iter()
-                    .zip(&s.branch_len)
-                    .map(|(&sk, &len)| rc.cap(len) + topo.sink_cap[sk as usize])
-                    .sum()
-            };
-        }
-        for &c in &children[vu] {
-            let cu = c as usize;
-            let p = tree.patterns[cu].expect("assigned");
-            if let Some(ev) = p.eval_scaled(
-                topo.nodes[cu].edge_len,
-                cap[cu],
-                tech,
-                tree.buffer_scales[cu],
-            ) {
-                cap[vu] += ev.up_cap_ff;
-            } else {
-                // Infeasible under a trial scale: report an over-limit load
-                // so the caller rejects the trial.
-                cap[vu] += tech.max_load_ff() * 10.0;
-            }
-        }
-    }
-    cap[edge]
 }
 
 #[cfg(test)]

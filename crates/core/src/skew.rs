@@ -15,6 +15,7 @@
 //! implemented here and verified by the Fig. 11 bench: skew drops sharply
 //! while latency and buffer count barely move.
 
+use crate::incremental::IncrementalEval;
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
 use dscts_tech::Technology;
 
@@ -87,90 +88,74 @@ pub fn endpoint_budget(n_sinks: usize, max_endpoints: usize) -> usize {
 /// refinement buffer and (b) the added buffer delay will not push its
 /// sinks beyond the current maximum arrival (the *resource-aware* guard
 /// that keeps latency flat in Fig. 11).
+///
+/// Each candidate buffer is applied through [`IncrementalEval`], so a
+/// round costs O(endpoints × (depth + subtree)) instead of a full tree
+/// evaluation per round, and a rejected round is a journal rollback.
 pub fn refine(
     tree: &mut SynthesizedTree,
     tech: &Technology,
     model: EvalModel,
     cfg: &SkewConfig,
 ) -> RefineReport {
-    let before = tree.evaluate(tech, model);
-    let mut current = before.clone();
-    let mut triggered = false;
-    let mut buffers_added = 0usize;
     let n_sinks = tree.topo.sink_pos.len();
     let budget_per_round = endpoint_budget(n_sinks, cfg.max_endpoints);
+    let mut eval = IncrementalEval::new(tree, tech, model);
+    let before = eval.metrics();
+    let mut triggered = false;
+    let mut buffers_added = 0usize;
 
     for _ in 0..cfg.max_rounds {
-        if current.skew_ps <= cfg.trigger_percent / 100.0 * current.latency_ps {
+        let (current_skew, current_latency) = (eval.skew_ps(), eval.latency_ps());
+        if current_skew <= cfg.trigger_percent / 100.0 * current_latency {
             break;
         }
         triggered = true;
         // Rank stars by their earliest sink arrival (fastest first).
-        let mut star_arrival: Vec<(usize, f64)> = tree
-            .topo
-            .stars
-            .iter()
-            .enumerate()
-            .filter(|(si, _)| !tree.star_buffers[*si])
-            .map(|(si, s)| {
-                let earliest = s
-                    .sinks
-                    .iter()
-                    .map(|&sk| current.arrivals[sk as usize])
-                    .fold(f64::INFINITY, f64::min);
-                (si, earliest)
-            })
+        let mut star_arrival: Vec<(usize, f64)> = (0..eval.tree().topo.stars.len())
+            .filter(|&si| !eval.tree().star_buffers[si])
+            .map(|si| (si, eval.star_earliest(si)))
             .collect();
         star_arrival.sort_by(|a, b| a.1.total_cmp(&b.1));
 
         // Estimate the padding each buffer adds: the buffer delay driving
         // the star load (shielding the trunk barely moves its arrival).
         let buf = tech.buffer();
-        let rc = tech.rc(dscts_tech::Side::Front);
         let mut added_this_round = 0usize;
-        let mut added_stars: Vec<usize> = Vec::new();
+        let round_mark = eval.mark();
         for (si, earliest) in star_arrival {
             if added_this_round >= budget_per_round {
                 break;
             }
-            let s = &tree.topo.stars[si];
-            let load: f64 = s
-                .sinks
-                .iter()
-                .zip(&s.branch_len)
-                .map(|(&sk, &len)| rc.cap(len) + tree.topo.sink_cap[sk as usize])
-                .sum();
-            let pad = buf.delay_ps(load);
+            let pad = buf.delay_ps(eval.star_load(si));
             // Resource-aware guard: do not overshoot the current maximum.
-            if earliest + pad > current.latency_ps {
+            if earliest + pad > current_latency {
                 continue;
             }
-            tree.star_buffers[si] = true;
-            added_stars.push(si);
-            added_this_round += 1;
+            if eval.set_star_buffer(si, true) {
+                added_this_round += 1;
+            }
         }
         if added_this_round == 0 {
             break;
         }
         // Shielding the trunk shifts other arrivals too; accept the round
         // only when skew actually improved, otherwise roll it back.
-        let trial = tree.evaluate(tech, model);
-        if trial.skew_ps < current.skew_ps && trial.latency_ps <= current.latency_ps + 1e-9 {
+        if eval.skew_ps() < current_skew && eval.latency_ps() <= current_latency + 1e-9 {
             buffers_added += added_this_round;
-            current = trial;
+            eval.commit();
         } else {
-            for si in added_stars {
-                tree.star_buffers[si] = false;
-            }
+            eval.undo_to(round_mark);
             break;
         }
     }
 
+    let after = eval.metrics();
     RefineReport {
         triggered,
         buffers_added,
         before,
-        after: current,
+        after,
     }
 }
 

@@ -182,8 +182,8 @@ impl SynthesizedTree {
     /// every shared vertex has a single side, leaf stars and the clock root
     /// are on the front side.
     pub fn validate_sides(&self) -> Result<(), String> {
-        let children = self.topo.children();
-        for (v, ch) in children.iter().enumerate() {
+        let csr = self.topo.csr();
+        for v in 0..self.topo.nodes.len() {
             let vertex_side = if v == 0 {
                 Side::Front
             } else {
@@ -195,7 +195,7 @@ impl SynthesizedTree {
             if self.topo.nodes[v].star.is_some() && vertex_side != Side::Front {
                 return Err(format!("leaf centroid {v} not on the front side"));
             }
-            for &c in ch {
+            for &c in csr.children(v as u32) {
                 let cp = self.patterns[c as usize]
                     .ok_or_else(|| format!("edge into node {c} unassigned"))?;
                 if cp.root_side() != vertex_side {
@@ -217,22 +217,14 @@ impl SynthesizedTree {
     /// Panics if any edge lacks a pattern.
     pub fn evaluate(&self, tech: &Technology, model: EvalModel) -> TreeMetrics {
         let topo = &self.topo;
-        let children = topo.children();
-        let order = topo.topo_order();
+        let csr = topo.csr();
+        let order = csr.order();
         let rc_front = tech.rc(Side::Front);
         let buf = tech.buffer();
 
         // Star loads (and whether a refinement buffer shields them).
         let n = topo.nodes.len();
-        let mut star_load = vec![0.0f64; topo.stars.len()];
-        for (si, s) in topo.stars.iter().enumerate() {
-            star_load[si] = s
-                .sinks
-                .iter()
-                .zip(&s.branch_len)
-                .map(|(&sk, &len)| rc_front.cap(len) + topo.sink_cap[sk as usize])
-                .sum();
-        }
+        let star_load = star_loads(topo, tech);
 
         // Bottom-up: effective capacitance at each vertex.
         let mut cap = vec![0.0f64; n];
@@ -245,7 +237,7 @@ impl SynthesizedTree {
                     star_load[si as usize]
                 };
             }
-            for &c in &children[vu] {
+            for &c in csr.children(v) {
                 let cu = c as usize;
                 let p = self.patterns[cu].expect("assigned pattern");
                 let ev = p
@@ -269,9 +261,9 @@ impl SynthesizedTree {
             EvalModel::Nldm => buf.delay_nldm_ps(nominal, cap[0]),
         };
         slew[0] = buf.output_slew_ps(nominal, cap[0]);
-        for &v in &order {
+        for &v in order {
             let vu = v as usize;
-            for &c in &children[vu] {
+            for &c in csr.children(v) {
                 let cu = c as usize;
                 let p = self.patterns[cu].expect("assigned pattern");
                 let ev = p
@@ -324,40 +316,81 @@ impl SynthesizedTree {
             }
         }
 
-        // Switched capacitance and cell area of the whole network.
-        let mut switched_cap = buf.input_cap_ff(); // root driver input pin
-        let (bw, bh) = buf.footprint_nm();
-        let (vw, vh) = tech.ntsv().footprint_nm();
-        let buffers = 1 + self.inserted_buffers();
-        let ntsvs = self.inserted_ntsvs();
-        let cell_area_nm2 = buffers as i64 * bw * bh + ntsvs as i64 * vw * vh;
-        switched_cap +=
-            f64::from(buffers - 1) * buf.input_cap_ff() + f64::from(ntsvs) * tech.ntsv().cap_ff();
-        for (i, p) in self.patterns.iter().enumerate() {
-            if let Some(p) = p {
-                switched_cap += p.wire_cap_ff(topo.nodes[i].edge_len, tech);
-            }
-        }
-        for s in &topo.stars {
-            for (&sk, &len) in s.sinks.iter().zip(&s.branch_len) {
-                switched_cap += rc_front.cap(len) + topo.sink_cap[sk as usize];
-            }
-        }
-
+        let res = resources(self, tech);
         let stats = ArrivalStats::from_arrivals(arrivals.iter().copied())
             .expect("designs have at least one sink");
         TreeMetrics {
             latency_ps: stats.latency(),
             skew_ps: stats.skew(),
-            buffers,
-            ntsvs,
+            buffers: res.buffers,
+            ntsvs: res.ntsvs,
             wirelength_nm: topo.total_wirelength(),
             trunk_wirelength_nm: topo.trunk_wirelength(),
-            switched_cap_ff: switched_cap,
-            cell_area_nm2,
+            switched_cap_ff: res.switched_cap_ff,
+            cell_area_nm2: res.cell_area_nm2,
             max_sink_slew_ps: max_sink_slew,
             arrivals,
         }
+    }
+}
+
+/// Per-star load capacitance: branch wire plus sink pins, in sink order.
+/// Shared by [`SynthesizedTree::evaluate`] and
+/// [`crate::incremental::IncrementalEval`] so both sum in the same order
+/// (bit-identical floats).
+pub(crate) fn star_loads(topo: &ClockTopo, tech: &Technology) -> Vec<f64> {
+    let rc_front = tech.rc(Side::Front);
+    topo.stars
+        .iter()
+        .map(|s| {
+            s.sinks
+                .iter()
+                .zip(&s.branch_len)
+                .map(|(&sk, &len)| rc_front.cap(len) + topo.sink_cap[sk as usize])
+                .sum()
+        })
+        .collect()
+}
+
+/// Resource/capacitance summary of a synthesized tree (the arrival-
+/// independent half of [`TreeMetrics`]).
+pub(crate) struct Resources {
+    pub buffers: u32,
+    pub ntsvs: u32,
+    pub switched_cap_ff: f64,
+    pub cell_area_nm2: i64,
+}
+
+/// Switched capacitance and cell area of the whole network. Shared by the
+/// batch and incremental evaluators: a single summation order keeps their
+/// metrics bit-identical.
+pub(crate) fn resources(tree: &SynthesizedTree, tech: &Technology) -> Resources {
+    let topo = &tree.topo;
+    let buf = tech.buffer();
+    let rc_front = tech.rc(Side::Front);
+    let mut switched_cap = buf.input_cap_ff(); // root driver input pin
+    let (bw, bh) = buf.footprint_nm();
+    let (vw, vh) = tech.ntsv().footprint_nm();
+    let buffers = 1 + tree.inserted_buffers();
+    let ntsvs = tree.inserted_ntsvs();
+    let cell_area_nm2 = buffers as i64 * bw * bh + ntsvs as i64 * vw * vh;
+    switched_cap +=
+        f64::from(buffers - 1) * buf.input_cap_ff() + f64::from(ntsvs) * tech.ntsv().cap_ff();
+    for (i, p) in tree.patterns.iter().enumerate() {
+        if let Some(p) = p {
+            switched_cap += p.wire_cap_ff(topo.nodes[i].edge_len, tech);
+        }
+    }
+    for s in &topo.stars {
+        for (&sk, &len) in s.sinks.iter().zip(&s.branch_len) {
+            switched_cap += rc_front.cap(len) + topo.sink_cap[sk as usize];
+        }
+    }
+    Resources {
+        buffers,
+        ntsvs,
+        switched_cap_ff: switched_cap,
+        cell_area_nm2,
     }
 }
 
@@ -465,7 +498,7 @@ mod tests {
     fn validate_sides_catches_corruption() {
         let (mut tree, _) = synth(false);
         // Force a back-side wire directly under the (front) root vertex.
-        let root_child = tree.topo.children()[0][0] as usize;
+        let root_child = tree.topo.csr().children(0)[0] as usize;
         tree.patterns[root_child] = Some(Pattern::WiringB);
         assert!(tree.validate_sides().is_err());
     }

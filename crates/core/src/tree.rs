@@ -6,7 +6,8 @@
 //! mirroring Fig. 7 of the paper where the DP-tree leaves are the low-level
 //! clustering centroids.
 
-use dscts_geom::Point;
+use dscts_geom::{Point, TreeCsr};
+use std::sync::OnceLock;
 
 /// One trunk node. Node 0 is the clock root (source); every other node
 /// defines the trunk edge from its parent.
@@ -36,7 +37,14 @@ pub struct LeafStar {
 }
 
 /// The routed (pre-buffering) clock tree: binary trunk plus leaf stars.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The trunk adjacency is cached as a flat [`TreeCsr`] (built lazily on
+/// first use, invalidated by [`ClockTopo::subdivide`]): every consumer —
+/// the DP, the evaluators, the baselines — borrows the same
+/// `child_index`/`child_list` arrays instead of rebuilding a
+/// `Vec<Vec<u32>>` per call. Code that rewires `nodes[..].parent` directly
+/// must call [`ClockTopo::invalidate_topology`] afterwards.
+#[derive(Debug)]
 pub struct ClockTopo {
     /// Trunk nodes; node 0 is the clock root.
     pub nodes: Vec<TrunkNode>,
@@ -46,30 +54,74 @@ pub struct ClockTopo {
     pub sink_pos: Vec<Point>,
     /// All sink capacitances (fF), aligned with `sink_pos`.
     pub sink_cap: Vec<f64>,
+    /// Cached flat adjacency + topological order over `nodes`.
+    csr: OnceLock<TreeCsr>,
+}
+
+impl Clone for ClockTopo {
+    fn clone(&self) -> Self {
+        ClockTopo {
+            nodes: self.nodes.clone(),
+            stars: self.stars.clone(),
+            sink_pos: self.sink_pos.clone(),
+            sink_cap: self.sink_cap.clone(),
+            // The clone has identical structure; the cache stays valid.
+            csr: self.csr.clone(),
+        }
+    }
+}
+
+impl PartialEq for ClockTopo {
+    fn eq(&self, other: &Self) -> bool {
+        // The cache is derived state and never part of topology identity.
+        self.nodes == other.nodes
+            && self.stars == other.stars
+            && self.sink_pos == other.sink_pos
+            && self.sink_cap == other.sink_cap
+    }
 }
 
 impl ClockTopo {
-    /// Child lists for every trunk node.
-    pub fn children(&self) -> Vec<Vec<u32>> {
-        let mut ch = vec![Vec::new(); self.nodes.len()];
-        for (i, n) in self.nodes.iter().enumerate() {
-            if let Some(p) = n.parent {
-                ch[p as usize].push(i as u32);
-            }
+    /// Assembles a topology from its parts.
+    pub fn new(
+        nodes: Vec<TrunkNode>,
+        stars: Vec<LeafStar>,
+        sink_pos: Vec<Point>,
+        sink_cap: Vec<f64>,
+    ) -> Self {
+        ClockTopo {
+            nodes,
+            stars,
+            sink_pos,
+            sink_cap,
+            csr: OnceLock::new(),
         }
-        ch
     }
 
-    /// Trunk nodes in root-first topological order.
+    /// The cached flat trunk adjacency + topological order, built on first
+    /// use from the current parent pointers.
+    pub fn csr(&self) -> &TreeCsr {
+        self.csr
+            .get_or_init(|| TreeCsr::from_parents(self.nodes.iter().map(|n| n.parent)))
+    }
+
+    /// Drops the cached adjacency. Must be called after any direct
+    /// mutation of `nodes[..].parent` (or after adding/removing nodes);
+    /// [`ClockTopo::subdivide`] does this itself.
+    pub fn invalidate_topology(&mut self) {
+        self.csr.take();
+    }
+
+    /// Child lists for every trunk node, as owned vectors. Prefer
+    /// borrowing [`ClockTopo::csr`] on hot paths.
+    pub fn children(&self) -> Vec<Vec<u32>> {
+        self.csr().to_nested()
+    }
+
+    /// Trunk nodes in root-first topological order, as an owned vector.
+    /// Prefer borrowing [`ClockTopo::csr`] on hot paths.
     pub fn topo_order(&self) -> Vec<u32> {
-        let ch = self.children();
-        let mut order = Vec::with_capacity(self.nodes.len());
-        let mut stack = vec![0u32];
-        while let Some(n) = stack.pop() {
-            order.push(n);
-            stack.extend(ch[n as usize].iter().copied());
-        }
-        order
+        self.csr().order().to_vec()
     }
 
     /// Total trunk wirelength (electrical, nm).
@@ -93,7 +145,7 @@ impl ClockTopo {
         for s in &self.stars {
             f[s.node as usize] += s.sinks.len() as u32;
         }
-        for &n in self.topo_order().iter().rev() {
+        for &n in self.csr().order().iter().rev() {
             if let Some(p) = self.nodes[n as usize].parent {
                 f[p as usize] += f[n as usize];
             }
@@ -144,6 +196,7 @@ impl ClockTopo {
             self.nodes[i].parent = Some(prev);
             self.nodes[i].edge_len = total - total * (k - 1) / k;
         }
+        self.invalidate_topology();
         debug_assert_eq!(self.validate(), Ok(()));
     }
 
@@ -167,10 +220,18 @@ impl ClockTopo {
                 return Err(format!("node {i}: edge_len {} < geometry {d}", n.edge_len));
             }
         }
-        // Binary trunk (root may have a single child).
-        for (i, ch) in self.children().iter().enumerate() {
-            if ch.len() > 2 {
-                return Err(format!("node {i} has {} children", ch.len()));
+        // Binary trunk (root may have a single child). Counted directly
+        // from the parent pointers: validation must not trust a cache that
+        // a buggy caller may have left stale.
+        let mut child_count = vec![0u32; self.nodes.len()];
+        for n in &self.nodes {
+            if let Some(p) = n.parent {
+                child_count[p as usize] += 1;
+            }
+        }
+        for (i, &c) in child_count.iter().enumerate() {
+            if c > 2 {
+                return Err(format!("node {i} has {c} children"));
             }
         }
         let mut star_of = vec![None; self.nodes.len()];
@@ -222,8 +283,8 @@ mod tests {
 
     /// root(0,0) -> a(10k,0) -> {b(20k,10k): star0, c(20k,-10k): star1}
     pub(crate) fn two_cluster_topo() -> ClockTopo {
-        ClockTopo {
-            nodes: vec![
+        ClockTopo::new(
+            vec![
                 TrunkNode {
                     pos: Point::new(0, 0),
                     parent: None,
@@ -249,7 +310,7 @@ mod tests {
                     star: Some(1),
                 },
             ],
-            stars: vec![
+            vec![
                 LeafStar {
                     node: 2,
                     sinks: vec![0, 1],
@@ -261,13 +322,13 @@ mod tests {
                     branch_len: vec![500],
                 },
             ],
-            sink_pos: vec![
+            vec![
                 Point::new(20_500, 10_500),
                 Point::new(19_000, 11_000),
                 Point::new(20_000, -10_500),
             ],
-            sink_cap: vec![1.1, 1.1, 1.1],
-        }
+            vec![1.1, 1.1, 1.1],
+        )
     }
 
     #[test]

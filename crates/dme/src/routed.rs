@@ -1,4 +1,4 @@
-use dscts_geom::Point;
+use dscts_geom::{Point, TreeCsr};
 use dscts_tech::WireRc;
 use dscts_timing::RcTree;
 
@@ -71,15 +71,16 @@ impl RoutedTree {
             .sum()
     }
 
-    /// Child indices of every node.
+    /// Flat (CSR) child adjacency of the routed tree, via the shared
+    /// [`TreeCsr`] helper.
+    pub fn csr(&self) -> TreeCsr {
+        TreeCsr::from_parents(self.nodes.iter().map(|n| n.parent))
+    }
+
+    /// Child indices of every node, as owned vectors. Prefer
+    /// [`RoutedTree::csr`] on hot paths.
     pub fn children(&self) -> Vec<Vec<u32>> {
-        let mut ch = vec![Vec::new(); self.nodes.len()];
-        for (i, n) in self.nodes.iter().enumerate() {
-            if let Some(p) = n.parent {
-                ch[p as usize].push(i as u32);
-            }
-        }
-        ch
+        self.csr().to_nested()
     }
 
     /// Elmore arrival time at every terminal when the whole tree is routed
@@ -201,6 +202,7 @@ mod tests {
         assert_eq!(t.total_wirelength(), 50);
         assert_eq!(t.terminal_count(), 2);
         assert_eq!(t.children()[1], vec![2, 3]);
+        assert_eq!(t.csr().children(1), &[2, 3]);
     }
 
     #[test]

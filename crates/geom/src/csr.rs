@@ -1,0 +1,173 @@
+//! Flat (CSR) adjacency for rooted trees.
+//!
+//! Every tree-shaped structure in this workspace — the clock topology, the
+//! DME routed tree, the van Ginneken buffering instance — stores nodes with
+//! parent pointers and repeatedly needs child lists plus a root-first
+//! traversal order. Rebuilding a `Vec<Vec<u32>>` adjacency per call is both
+//! an allocation storm (one heap vector per node) and a cache hazard; this
+//! module provides the shared flat alternative: child lists packed into a
+//! single `child_list` array addressed through `child_index` offsets, plus
+//! a precomputed topological (preorder) walk from node 0.
+
+/// Compressed-sparse-row child adjacency of a tree rooted at node 0,
+/// with a cached root-first topological order.
+///
+/// Construction is a counting sort over the parent pointers: children of a
+/// node appear in increasing node-index order, matching the push order of
+/// the nested `Vec<Vec<u32>>` representation it replaces.
+///
+/// ```
+/// use dscts_geom::TreeCsr;
+/// // 0 -> 1 -> {2, 3}
+/// let csr = TreeCsr::from_parents([None, Some(0), Some(1), Some(1)]);
+/// assert_eq!(csr.children(1), &[2, 3]);
+/// assert!(csr.children(2).is_empty());
+/// assert_eq!(csr.order()[0], 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeCsr {
+    /// Offsets into `child_list`; node `v`'s children occupy
+    /// `child_list[child_index[v]..child_index[v + 1]]`.
+    child_index: Vec<u32>,
+    /// Concatenated child lists, grouped by parent.
+    child_list: Vec<u32>,
+    /// Root-first topological order (DFS preorder from node 0). Contains
+    /// only nodes reachable from the root.
+    order: Vec<u32>,
+}
+
+impl TreeCsr {
+    /// Builds the adjacency from per-node parent pointers (`None` marks a
+    /// root). Node indices are implicit in iteration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parent index is out of range.
+    pub fn from_parents<I>(parents: I) -> Self
+    where
+        I: IntoIterator<Item = Option<u32>>,
+    {
+        let parents: Vec<Option<u32>> = parents.into_iter().collect();
+        let n = parents.len();
+        let mut child_index = vec![0u32; n + 1];
+        for p in parents.iter().flatten() {
+            assert!((*p as usize) < n, "parent {p} out of range (n = {n})");
+            child_index[*p as usize + 1] += 1;
+        }
+        for i in 0..n {
+            child_index[i + 1] += child_index[i];
+        }
+        let mut cursor: Vec<u32> = child_index[..n].to_vec();
+        let mut child_list = vec![0u32; *child_index.last().unwrap() as usize];
+        for (i, p) in parents.iter().enumerate() {
+            if let Some(p) = p {
+                child_list[cursor[*p as usize] as usize] = i as u32;
+                cursor[*p as usize] += 1;
+            }
+        }
+        // DFS preorder from node 0 (parents always precede children).
+        let mut order = Vec::with_capacity(n);
+        if n > 0 {
+            let mut stack = vec![0u32];
+            while let Some(v) = stack.pop() {
+                order.push(v);
+                let lo = child_index[v as usize] as usize;
+                let hi = child_index[v as usize + 1] as usize;
+                stack.extend_from_slice(&child_list[lo..hi]);
+            }
+        }
+        TreeCsr {
+            child_index,
+            child_list,
+            order,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.child_index.len() - 1
+    }
+
+    /// Whether the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Children of `v`, in increasing node-index order.
+    pub fn children(&self, v: u32) -> &[u32] {
+        let lo = self.child_index[v as usize] as usize;
+        let hi = self.child_index[v as usize + 1] as usize;
+        &self.child_list[lo..hi]
+    }
+
+    /// Root-first topological order (every parent precedes its children);
+    /// iterate in reverse for bottom-up passes. Shorter than [`len`] when
+    /// nodes are unreachable from node 0.
+    ///
+    /// [`len`]: TreeCsr::len
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// The nested `Vec<Vec<u32>>` form, for callers that still need owned
+    /// child lists. Prefer [`TreeCsr::children`].
+    pub fn to_nested(&self) -> Vec<Vec<u32>> {
+        (0..self.len() as u32)
+            .map(|v| self.children(v).to_vec())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let csr = TreeCsr::from_parents(std::iter::empty());
+        assert!(csr.is_empty());
+        assert!(csr.order().is_empty());
+    }
+
+    #[test]
+    fn single_node() {
+        let csr = TreeCsr::from_parents([None]);
+        assert_eq!(csr.len(), 1);
+        assert!(csr.children(0).is_empty());
+        assert_eq!(csr.order(), &[0]);
+    }
+
+    #[test]
+    fn children_preserve_index_order() {
+        // 0 -> {2, 1 -> {3}}; children listed by increasing index.
+        let csr = TreeCsr::from_parents([None, Some(0), Some(0), Some(1)]);
+        assert_eq!(csr.children(0), &[1, 2]);
+        assert_eq!(csr.children(1), &[3]);
+        assert_eq!(csr.to_nested(), vec![vec![1, 2], vec![3], vec![], vec![]]);
+    }
+
+    #[test]
+    fn order_is_parent_first() {
+        // Parent pointers may refer forward or backward.
+        let parents = [Some(3), Some(0), Some(1), None, Some(1)];
+        let csr = TreeCsr::from_parents(parents);
+        // Node 3 is unreachable from node 0; the order covers 0's subtree.
+        let mut rank = [usize::MAX; 5];
+        for (k, &v) in csr.order().iter().enumerate() {
+            rank[v as usize] = k;
+        }
+        for (i, p) in parents.iter().enumerate() {
+            if let Some(p) = p {
+                if rank[i] != usize::MAX && rank[*p as usize] != usize::MAX {
+                    assert!(rank[*p as usize] < rank[i], "child {i} before parent {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_parent() {
+        let _ = TreeCsr::from_parents([None, Some(9)]);
+    }
+}

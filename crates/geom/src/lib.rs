@@ -13,6 +13,11 @@
 //!   intersection, nearest point) becomes axis-aligned rectangle arithmetic
 //!   in the *tilted coordinate system* `(u, v) = (x + y, x − y)`.
 //!
+//! It also hosts [`TreeCsr`], the shared flat (CSR) child adjacency used by
+//! every rooted-tree structure in the workspace (clock topologies, routed
+//! DME trees, buffering instances) in place of per-call `Vec<Vec<u32>>`
+//! rebuilds.
+//!
 //! # Example
 //!
 //! ```
@@ -31,10 +36,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csr;
 mod point;
 mod rect;
 mod tilted;
 
+pub use csr::TreeCsr;
 pub use point::{manhattan, Point};
 pub use rect::Rect;
 pub use tilted::TiltedRect;

@@ -142,8 +142,7 @@ fn pattern_sides_and_sites_are_consistent_everywhere() {
     let outcome = DsCts::new(tech.clone()).run(&design);
     let tree = &outcome.tree;
     // Roots and leaf stars live on the front side.
-    let children = tree.topo.children();
-    let first_edge = children[0][0] as usize;
+    let first_edge = tree.topo.csr().children(0)[0] as usize;
     assert_eq!(tree.patterns[first_edge].unwrap().root_side(), Side::Front);
     for s in &tree.topo.stars {
         assert_eq!(
