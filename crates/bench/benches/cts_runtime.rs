@@ -6,8 +6,9 @@
 //! synthesize-then-flip.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dscts_bench::{c2_sizing_workload, forced_refine_config};
+use dscts_bench::{c2_sizing_workload, fig12_thresholds, forced_refine_config};
 use dscts_core::baseline::{flip_backside, FlipMethod, HTreeCts};
+use dscts_core::dse;
 use dscts_core::sizing::{resize_for_skew, SizingConfig};
 use dscts_core::skew::refine;
 use dscts_core::{DsCts, EvalModel};
@@ -85,5 +86,28 @@ fn bench_opt_passes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flows, bench_opt_passes);
+/// DSE threshold sweeps, naive (one full pipeline per threshold) versus
+/// the batched [`dse::SweepEngine`] (route once, one DP per
+/// mode-equivalence class). C4 over a coarsened Fig. 12 grid keeps the
+/// naive arm affordable; the `baseline --pr3` snapshot records the full
+/// 99-threshold C3 sweep.
+fn bench_dse_sweep(c: &mut Criterion) {
+    let tech = Technology::asap7();
+    let design = BenchmarkSpec::c4_riscv32i().generate();
+    let base = DsCts::new(tech);
+    let thresholds = fig12_thresholds(50);
+    let id = format!("C4x{}", thresholds.len());
+
+    let mut group = c.benchmark_group("dse_sweep");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("naive", &id), &design, |b, d| {
+        b.iter(|| black_box(dse::sweep_fanout_naive(&base, d, thresholds.iter().copied()).len()));
+    });
+    group.bench_with_input(BenchmarkId::new("batched", &id), &design, |b, d| {
+        b.iter(|| black_box(dse::sweep_fanout(&base, d, thresholds.iter().copied()).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows, bench_opt_passes, bench_dse_sweep);
 criterion_main!(benches);

@@ -13,18 +13,26 @@
 //!   `BENCH_baseline.json` (the CI smoke default);
 //! * `baseline --pr2` — run the suite twice, pinned to 1 thread and at
 //!   the ambient thread count, and write both runs to `BENCH_pr2.json`;
-//! * `baseline --check <file>` — run the suite and exit non-zero if any
-//!   design's `runtime_s` regresses more than 25 % against the committed
-//!   snapshot (per design, compared to the most lenient committed run).
+//! * `baseline --pr3` — run the C3 Fig. 12 threshold sweep (99
+//!   configurations) naive vs batched, pinned to 1 thread and at the
+//!   ambient thread count, verify the points are bit-identical, and
+//!   write both runs to `BENCH_pr3.json`;
+//! * `baseline --check <file>` — re-run the snapshot's workload (the
+//!   design suite, or the DSE sweep pair for a `--pr3`-style snapshot)
+//!   and exit non-zero if any record's `runtime_s` regresses more than
+//!   25 % against the committed snapshot (per record, compared to the
+//!   most lenient committed run). The fresh measurements are written to
+//!   `BENCH_check_*.json` so CI can archive runtime trajectories.
 //!
 //! Run with `cargo run --release -p dscts-bench --bin baseline [-- FLAGS]`.
 
-use dscts_bench::all_designs;
-use dscts_core::{DsCts, Outcome};
-use dscts_netlist::Design;
+use dscts_bench::{all_designs, fig12_thresholds};
+use dscts_core::{dse, DsCts, Outcome};
+use dscts_netlist::{BenchmarkSpec, Design};
 use dscts_tech::Technology;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Allowed per-design wall-clock regression in `--check` mode.
 const MAX_RUNTIME_REGRESSION: f64 = 0.25;
@@ -40,6 +48,76 @@ const RUNTIME_GRACE_S: f64 = 0.1;
 struct Record {
     design: String,
     outcome: Outcome,
+}
+
+/// One timed DSE sweep measurement (the `--pr3` workload).
+struct SweepRecord {
+    name: &'static str,
+    runtime_s: f64,
+    /// Requested thresholds.
+    points: usize,
+    /// DP runs actually executed (`points` for the naive path,
+    /// mode-equivalence classes for the batched engine).
+    dp_runs: usize,
+}
+
+/// Times the C3 Fig. 12 threshold sweep on both paths and asserts the
+/// batched engine is bit-identical to the naive reference.
+fn run_sweep_pair(design: &Design, tech: &Technology) -> Vec<SweepRecord> {
+    let base = DsCts::new(tech.clone());
+    let thresholds = fig12_thresholds(10);
+    println!(
+        "C3 Fig. 12 sweep: {} thresholds (fanout 20..=1000 step 10)",
+        thresholds.len()
+    );
+    let t0 = Instant::now();
+    let naive = dse::sweep_fanout_naive(&base, design, thresholds.iter().copied());
+    let naive_s = t0.elapsed().as_secs_f64();
+    println!(
+        "  naive   {naive_s:8.3} s ({} full pipeline runs)",
+        naive.len()
+    );
+    let t0 = Instant::now();
+    let sweep = dse::SweepEngine::new(&base)
+        .try_sweep(design, thresholds.iter().copied())
+        .expect("C3 is sweepable");
+    let batched_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        sweep.points, naive,
+        "batched sweep diverged from the naive reference"
+    );
+    println!(
+        "  batched {batched_s:8.3} s (1 route + {} class DP runs) — {:.1}x, points bit-identical",
+        sweep.classes.len(),
+        naive_s / batched_s.max(1e-9),
+    );
+    vec![
+        SweepRecord {
+            name: "C3-fig12-sweep-naive",
+            runtime_s: naive_s,
+            points: naive.len(),
+            dp_runs: naive.len(),
+        },
+        SweepRecord {
+            name: "C3-fig12-sweep-batched",
+            runtime_s: batched_s,
+            points: sweep.points.len(),
+            dp_runs: sweep.classes.len(),
+        },
+    ]
+}
+
+fn sweep_records_json(records: &[SweepRecord]) -> String {
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"design\": {:?}, \"thresholds\": {}, \"dp_runs\": {}, \"runtime_s\": {:.6}}}",
+                r.name, r.points, r.dp_runs, r.runtime_s
+            )
+        })
+        .collect();
+    rows.join(",\n")
 }
 
 fn run_suite(designs: &[Design], tech: &Technology) -> Vec<Record> {
@@ -149,9 +227,33 @@ fn write_snapshot(path: &Path, body: String) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let tech = Technology::asap7();
-    let designs = all_designs();
+
+    if args.first().map(String::as_str) == Some("--pr3") {
+        // Naive vs batched sweep, pinned to 1 thread and at the ambient
+        // thread count — the PR 3 wall-clock snapshot.
+        let design = BenchmarkSpec::c3_ethmac().generate();
+        let ambient = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        println!("== 1 thread ==");
+        let serial = run_sweep_pair(&design, &tech);
+        match &ambient {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+        let threads = rayon::current_num_threads();
+        println!("== {threads} threads ==");
+        let parallel = run_sweep_pair(&design, &tech);
+        let json = format!(
+            "{{\n  \"flow\": \"dse_sweep_c3_fig12\",\n  \"runs\": [\n    {{\"threads\": 1, \"records\": [\n{}\n    ]}},\n    {{\"threads\": {threads}, \"records\": [\n{}\n    ]}}\n  ]\n}}\n",
+            sweep_records_json(&serial),
+            sweep_records_json(&parallel),
+        );
+        write_snapshot(&workspace_root().join("BENCH_pr3.json"), json);
+        return;
+    }
 
     if args.first().map(String::as_str) == Some("--pr2") {
+        let designs = all_designs();
         // Two pinned runs: serial, then the ambient thread count. The
         // vendored rayon shim re-reads RAYON_NUM_THREADS per parallel
         // call, so pinning via the environment takes effect immediately.
@@ -182,34 +284,60 @@ fn main() {
             .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
         let reference = parse_runtimes(&committed);
         assert!(!reference.is_empty(), "no runtime records in {file}");
-        let fresh = run_suite(&designs, &tech);
+        // Re-run whatever workload the snapshot recorded: sweep snapshots
+        // (--pr3) hold sweep records, everything else the design suite.
+        let is_sweep = reference.iter().all(|(d, _)| d.contains("sweep"));
+        let fresh: Vec<(String, f64)> = if is_sweep {
+            let design = BenchmarkSpec::c3_ethmac().generate();
+            run_sweep_pair(&design, &tech)
+                .into_iter()
+                .map(|r| (r.name.to_owned(), r.runtime_s))
+                .collect()
+        } else {
+            run_suite(&all_designs(), &tech)
+                .into_iter()
+                .map(|r| (r.design, r.outcome.runtime_s))
+                .collect()
+        };
         let mut failed = false;
         println!();
-        for r in &fresh {
-            // Most lenient committed run for this design (e.g. the serial
+        for (name, runtime_s) in &fresh {
+            // Most lenient committed run for this record (e.g. the serial
             // one in a two-run snapshot): CI boxes are noisy, and a real
             // regression shows up against the slowest committed number.
             let budget = reference
                 .iter()
-                .filter(|(d, _)| *d == r.design)
+                .filter(|(d, _)| d == name)
                 .map(|(_, rt)| rt)
                 .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
             if budget <= 0.0 {
-                println!("{}: no committed reference, skipped", r.design);
+                println!("{name}: no committed reference, skipped");
                 continue;
             }
             let limit = budget * (1.0 + MAX_RUNTIME_REGRESSION) + RUNTIME_GRACE_S;
-            let ok = r.outcome.runtime_s <= limit;
+            let ok = *runtime_s <= limit;
             println!(
-                "{}: {:.3} s vs committed {:.3} s (limit {:.3} s) {}",
-                r.design,
-                r.outcome.runtime_s,
-                budget,
-                limit,
+                "{name}: {runtime_s:.3} s vs committed {budget:.3} s (limit {limit:.3} s) {}",
                 if ok { "ok" } else { "REGRESSION" }
             );
             failed |= !ok;
         }
+        // Archive the fresh measurements so CI uploads a per-PR runtime
+        // trajectory next to the committed snapshots.
+        let rows: Vec<String> = fresh
+            .iter()
+            .map(|(n, rt)| format!("    {{\"design\": {n:?}, \"runtime_s\": {rt:.6}}}"))
+            .collect();
+        let check_name = format!(
+            "BENCH_check_{}",
+            file.trim_start_matches("BENCH_").trim_start_matches('_')
+        );
+        let json = format!(
+            "{{\n  \"checked_against\": {file:?},\n  \"threads\": {},\n  \"records\": [\n{}\n  ]\n}}\n",
+            rayon::current_num_threads(),
+            rows.join(",\n")
+        );
+        write_snapshot(&workspace_root().join(check_name), json);
         if failed {
             eprintln!(
                 "runtime regression > {:.0} % detected",
@@ -220,6 +348,7 @@ fn main() {
         return;
     }
 
+    let designs = all_designs();
     let threads = rayon::current_num_threads();
     let records = run_suite(&designs, &tech);
     let json = format!(

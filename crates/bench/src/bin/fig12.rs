@@ -9,23 +9,34 @@
 //!   step 0.05;
 //! * **Our BCT + [2]** and **Ours (Table III)** — single points.
 //!
-//! Pass `--quick` to coarsen the sweeps (step 100 / 0.2) for a fast look.
+//! The DSE series runs on the batched [`dse::SweepEngine`]: the design is
+//! routed once and the DP runs once per mode-equivalence class of the
+//! threshold grid; the dedup ratio is reported alongside the frontier
+//! summary.
+//!
+//! Pass `--quick` to coarsen **both** sweep axes by the same 4× factor
+//! (fanout step 10 → 40, criticality step 0.05 → 0.2) for a fast look.
 //!
 //! Run with `cargo run --release -p dscts-bench --bin fig12`.
 
-use dscts_bench::{write_csv, TextTable};
+use dscts_bench::{fig12_thresholds, write_csv, TextTable};
 use dscts_core::baseline::{flip_backside, FlipMethod};
 use dscts_core::{dse, DsCts, EvalModel};
 use dscts_netlist::BenchmarkSpec;
 use dscts_tech::Technology;
+
+/// How much `--quick` coarsens each sweep axis (applied to both, so a
+/// quick run is a uniformly subsampled view of the full figure).
+const QUICK_FACTOR: usize = 4;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let tech = Technology::asap7();
     let design = BenchmarkSpec::c3_ethmac().generate();
     let model = EvalModel::Elmore;
-    let fan_step = if quick { 100 } else { 10 };
-    let q_step = if quick { 0.2 } else { 0.05 };
+    let coarsen = if quick { QUICK_FACTOR } else { 1 };
+    let fan_step = 10 * coarsen;
+    let q_step = 0.05 * coarsen as f64;
 
     let mut csv: Vec<Vec<String>> = Vec::new();
     let mut push = |series: &str, x: u32, lat: f64, skew: f64| {
@@ -37,12 +48,14 @@ fn main() {
         ]);
     };
 
-    // --- Our DSE flow. ---
+    // --- Our DSE flow (batched engine: route once, DP per class). ---
     let base = DsCts::new(tech.clone());
-    let thresholds: Vec<u32> = (20..=1000).step_by(fan_step).collect();
+    let thresholds = fig12_thresholds(fan_step);
     eprintln!("sweeping {} DSE configurations...", thresholds.len());
-    let ours_sweep = dse::sweep_fanout(&base, &design, thresholds.iter().copied());
-    for p in &ours_sweep {
+    let sweep = dse::SweepEngine::new(&base)
+        .try_sweep(&design, thresholds.iter().copied())
+        .expect("C3 is sweepable");
+    for p in &sweep.points {
         push("our_dse", p.resources(), p.latency_ps, p.skew_ps);
     }
 
@@ -51,14 +64,8 @@ fn main() {
     let bm = &bct.metrics;
     push("our_bct", bm.buffers + bm.ntsvs, bm.latency_ps, bm.skew_ps);
 
-    for t in (20..=1000).step_by(fan_step) {
-        let f = flip_backside(
-            &bct.tree,
-            &tech,
-            FlipMethod::Fanout {
-                threshold: t as u32,
-            },
-        );
+    for t in fig12_thresholds(fan_step) {
+        let f = flip_backside(&bct.tree, &tech, FlipMethod::Fanout { threshold: t });
         let m = f.tree.evaluate(&tech, model);
         push("bct_fanout7", m.buffers + m.ntsvs, m.latency_ps, m.skew_ps);
     }
@@ -134,6 +141,13 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    println!(
+        "DSE dedup: {} requested thresholds collapsed into {} mode-equivalence \
+         classes ({:.0} % of the naive DP work; routing ran once).",
+        sweep.points.len(),
+        sweep.classes.len(),
+        100.0 * sweep.classes.len() as f64 / sweep.points.len() as f64,
+    );
     println!(
         "Fig. 12 shape: the flipper sweeps stay pinned near the buffered tree's\n\
          latency/skew, while the DSE sweep reaches far lower latency by trading\n\

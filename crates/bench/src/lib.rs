@@ -57,6 +57,15 @@ pub fn c2_sizing_workload() -> (SynthesizedTree, Technology) {
     (SynthesizedTree::new(topo, res.assignment), tech)
 }
 
+/// The Fig. 12 fanout-threshold grid (20..=1000) at the given step. The
+/// paper's sweep uses step 10 (99 configurations); `fig12 --quick` and the
+/// criterion benches coarsen it. Shared by `fig12`, the `baseline --pr3`
+/// snapshot and the `dse_sweep` criterion group so they all measure the
+/// same workload.
+pub fn fig12_thresholds(step: usize) -> Vec<u32> {
+    (20..=1000).step_by(step).collect()
+}
+
 /// Refinement config that always fires (zero trigger, several rounds):
 /// the forced-pass setting the optimization micro-benches time.
 pub fn forced_refine_config() -> SkewConfig {

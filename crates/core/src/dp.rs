@@ -65,6 +65,19 @@ impl ModeRule {
     }
 }
 
+/// The per-node insertion [`Mode`] vector `rule` induces over `topo`.
+///
+/// A node's mode depends only on its fanout (and the total sink count),
+/// never on the candidate sets, so the vector can be computed up front —
+/// the DSE engine uses this to prove two `FanoutThreshold` values
+/// equivalent (identical vectors) and run the DP once per equivalence
+/// class via [`try_run_dp_with_modes`].
+pub fn mode_vector(topo: &ClockTopo, rule: ModeRule) -> Vec<Mode> {
+    let fanout = topo.fanout();
+    let total = fanout[0];
+    fanout.iter().map(|&f| rule.mode(f, total)).collect()
+}
+
 /// Candidate pruning discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PruneMode {
@@ -208,7 +221,7 @@ struct DpCtx<'a> {
     cfg: &'a DpConfig,
     patterns: &'a [Pattern],
     csr: &'a TreeCsr,
-    fanout: &'a [u32],
+    modes: &'a [Mode],
 }
 
 /// The merge + insert computation for one DP node. Reads only the
@@ -221,7 +234,7 @@ fn process_node(idu: usize, ctx: &DpCtx<'_>, sets: &[Vec<Work>]) -> Result<Vec<W
         cfg,
         patterns,
         csr,
-        fanout,
+        modes,
     } = *ctx;
     let rc_front = tech.rc(Side::Front);
     let max_load = tech.max_load_ff();
@@ -304,7 +317,7 @@ fn process_node(idu: usize, ctx: &DpCtx<'_>, sets: &[Vec<Work>]) -> Result<Vec<W
     prune(&mut merged, cfg.prune, cfg.max_cands.max(4) * 2);
 
     // --- Insert step: assign a pattern to this edge. ---
-    let mode = cfg.mode_rule.mode(fanout[idu], fanout[0]);
+    let mode = modes[idu];
     let mut cands: Vec<Work> = Vec::with_capacity(merged.len() * patterns.len());
     for base in &merged {
         for &p in patterns {
@@ -354,6 +367,29 @@ pub fn try_run_dp(
     tech: &Technology,
     cfg: &DpConfig,
 ) -> Result<DpResult, CtsError> {
+    try_run_dp_with_modes(topo, tech, cfg, &mode_vector(topo, cfg.mode_rule))
+}
+
+/// [`try_run_dp`] with a precomputed per-node [`Mode`] vector, ignoring
+/// `cfg.mode_rule`.
+///
+/// This is the DP entry the batched DSE engine drives: the engine computes
+/// one [`mode_vector`] per mode-equivalence class of the threshold sweep
+/// and shares a single routed topology (with its cached CSR) across calls.
+/// Bit-identical to [`try_run_dp`] when `modes == mode_vector(topo,
+/// cfg.mode_rule)`.
+///
+/// # Panics
+///
+/// Panics if `modes.len() != topo.nodes.len()` (a caller bug, not a
+/// data-dependent failure).
+pub fn try_run_dp_with_modes(
+    topo: &ClockTopo,
+    tech: &Technology,
+    cfg: &DpConfig,
+    modes: &[Mode],
+) -> Result<DpResult, CtsError> {
+    assert_eq!(modes.len(), topo.nodes.len(), "mode vector arity");
     let csr = topo.csr();
     if csr.children(0).len() != 1 {
         return Err(CtsError::InvalidTopology(format!(
@@ -362,7 +398,6 @@ pub fn try_run_dp(
         )));
     }
     let order = csr.order();
-    let fanout = topo.fanout();
     let max_load = tech.max_load_ff();
 
     let patterns: &[Pattern] = if cfg.single_side {
@@ -399,7 +434,7 @@ pub fn try_run_dp(
         cfg,
         patterns,
         csr,
-        fanout: &fanout,
+        modes,
     };
     for group in &by_height {
         let results: Vec<(u32, Result<Vec<Work>, CtsError>)> = group
@@ -697,6 +732,48 @@ mod tests {
             },
         );
         assert!(none.root_candidates.iter().all(|c| c.ntsvs == 0));
+    }
+
+    #[test]
+    fn dp_with_precomputed_modes_matches_rule_path() {
+        let (topo, tech) = small_topo();
+        for rule in [
+            ModeRule::AllFull,
+            ModeRule::AllIntraSide,
+            ModeRule::FanoutThreshold(64),
+        ] {
+            let cfg = DpConfig {
+                mode_rule: rule,
+                ..DpConfig::default()
+            };
+            let via_rule = try_run_dp(&topo, &tech, &cfg).unwrap();
+            let modes = mode_vector(&topo, rule);
+            let via_modes = try_run_dp_with_modes(&topo, &tech, &cfg, &modes).unwrap();
+            assert_eq!(via_rule.assignment, via_modes.assignment);
+            assert_eq!(via_rule.root_candidates, via_modes.root_candidates);
+            assert_eq!(via_rule.chosen, via_modes.chosen);
+        }
+        // The explicit vector overrides whatever rule the config carries.
+        let all_intra = mode_vector(&topo, ModeRule::AllIntraSide);
+        let forced = try_run_dp_with_modes(&topo, &tech, &DpConfig::default(), &all_intra).unwrap();
+        assert!(forced.root_candidates.iter().all(|c| c.ntsvs == 0));
+    }
+
+    #[test]
+    fn mode_vector_respects_threshold_and_top_net() {
+        let (topo, _) = small_topo();
+        let fanout = topo.fanout();
+        let total = fanout[0];
+        let modes = mode_vector(&topo, ModeRule::FanoutThreshold(30));
+        for (i, &m) in modes.iter().enumerate() {
+            let expect = if fanout[i] < 30 || fanout[i] == total {
+                Mode::Full
+            } else {
+                Mode::IntraSide
+            };
+            assert_eq!(m, expect, "node {i} fanout {}", fanout[i]);
+        }
+        assert!(modes.contains(&Mode::IntraSide));
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!    (§III-C);
 //! 3. [`skew::refine`] — resource-aware end-point buffering (§III-D);
 //! 4. [`dse`] — design-space exploration by sweeping the fanout threshold
-//!    that switches DP nodes between full and intra-side modes (§III-E).
+//!    that switches DP nodes between full and intra-side modes (§III-E),
+//!    batched by [`dse::SweepEngine`]: one routing run per design, one DP
+//!    run per mode-equivalence class of the sweep, refined trees scored
+//!    via the staged pipeline drivers.
 //!
 //! The comparison methods of the paper's evaluation are implemented in
 //! [`baseline`]: an OpenROAD-like H-tree CTS and the post-CTS back-side
@@ -61,7 +64,10 @@ pub mod skew;
 mod synth;
 mod tree;
 
-pub use dp::{run_dp, try_run_dp, DpConfig, DpResult, ModeRule, MoesWeights, PruneMode, RootCand};
+pub use dp::{
+    mode_vector, run_dp, try_run_dp, try_run_dp_with_modes, DpConfig, DpResult, ModeRule,
+    MoesWeights, PruneMode, RootCand,
+};
 pub use error::CtsError;
 pub use incremental::IncrementalEval;
 pub use pattern::{BufferStage, Mode, Pattern, PatternEval, PatternSet};

@@ -24,10 +24,25 @@
 //! engine exactly. Configured with [`DsCts::single_side`], the same
 //! pipeline produces the paper's "Our Buffered Clock Tree" front-side
 //! flow.
+//!
+//! Besides [`DsCts::run`]/[`DsCts::try_run`] (which execute the whole
+//! stage sequence), every stage can be **driven individually** —
+//! [`DsCts::route`], [`DsCts::insert`] / [`DsCts::insert_with_modes`],
+//! [`DsCts::refine_tree`], [`DsCts::evaluate_tree`] — so batch drivers
+//! can amortize shared work across configurations. The batched DSE engine
+//! ([`crate::dse::SweepEngine`]) routes a design once and then fans the
+//! insertion + refinement + evaluation tail out over mode-equivalence
+//! classes of the threshold sweep; the Table III regenerator shares one
+//! routed topology between the double-side and front-side flows the same
+//! way. Each staged method runs exactly the arithmetic its [`Stage`]
+//! counterpart runs, so any composition of them is bit-identical to the
+//! monolithic `run`.
 
-use crate::dp::{try_run_dp, DpConfig, DpResult, ModeRule, MoesWeights, PruneMode, RootCand};
+use crate::dp::{
+    try_run_dp_with_modes, DpConfig, DpResult, ModeRule, MoesWeights, PruneMode, RootCand,
+};
 use crate::error::CtsError;
-use crate::pattern::PatternSet;
+use crate::pattern::{Mode, PatternSet};
 use crate::route::{HierarchicalRouter, RoutingStyle};
 use crate::skew::{refine, RefineReport, SkewConfig};
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
@@ -186,15 +201,35 @@ impl Stage for InsertionStage {
 
     fn run(&self, ctx: &mut PipelineCtx<'_>) -> Result<(), CtsError> {
         let topo = ctx.topo.take().expect("route stage deposits the topology");
-        let dp = try_run_dp(&topo, ctx.tech, &self.dp)?;
-        let tree = SynthesizedTree::new(topo, dp.assignment.clone());
-        // Always-on legality gate: the seed only checked sides under
-        // debug_assert, silently skipping it in release builds.
-        tree.validate_sides().map_err(CtsError::IllegalSides)?;
+        let (tree, dp) = insert_on(topo, ctx.tech, &self.dp, None)?;
         ctx.dp = Some(dp);
         ctx.tree = Some(tree);
         Ok(())
     }
+}
+
+/// The insertion-stage computation: DP, tree construction, legality gate.
+/// Shared by [`InsertionStage`] and the staged [`DsCts::insert`] /
+/// [`DsCts::insert_with_modes`] drivers so every path runs the identical
+/// arithmetic. `modes` overrides `cfg.mode_rule` when given.
+fn insert_on(
+    topo: ClockTopo,
+    tech: &Technology,
+    cfg: &DpConfig,
+    modes: Option<&[Mode]>,
+) -> Result<(SynthesizedTree, DpResult), CtsError> {
+    let dp = match modes {
+        Some(modes) => try_run_dp_with_modes(&topo, tech, cfg, modes)?,
+        None => {
+            let modes = crate::dp::mode_vector(&topo, cfg.mode_rule);
+            try_run_dp_with_modes(&topo, tech, cfg, &modes)?
+        }
+    };
+    let tree = SynthesizedTree::new(topo, dp.assignment.clone());
+    // Always-on legality gate: the seed only checked sides under
+    // debug_assert, silently skipping it in release builds.
+    tree.validate_sides().map_err(CtsError::IllegalSides)?;
+    Ok((tree, dp))
 }
 
 /// Resource-aware end-point skew refinement (§III-D). Optional: present
@@ -341,16 +376,88 @@ impl DsCts {
         &self.tech
     }
 
+    /// The DP configuration this pipeline will run.
+    pub fn dp_config(&self) -> &DpConfig {
+        &self.dp
+    }
+
+    /// The skew-refinement configuration (`None` when the stage is
+    /// disabled).
+    pub fn skew_config(&self) -> Option<SkewConfig> {
+        self.skew
+    }
+
+    /// The delay model final metrics and refinement use.
+    pub fn delay_model(&self) -> EvalModel {
+        self.eval
+    }
+
+    // ---- Staged drivers. ----
+    //
+    // Each method below executes exactly one stage's arithmetic, so any
+    // composition is bit-identical to `run`. Batch drivers use them to
+    // amortize shared work: the DSE engine routes once per design, the
+    // Table III regenerator shares a routed topology between flows.
+
+    /// Runs only the routing stage, returning the routed (and subdivided)
+    /// topology. Identical to what [`DsCts::run`] deposits after its first
+    /// stage.
+    pub fn route(&self, design: &Design) -> Result<ClockTopo, CtsError> {
+        let mut ctx = PipelineCtx::new(design, &self.tech, self.eval);
+        self.route_stage().run(&mut ctx)?;
+        Ok(ctx.topo.expect("route stage deposits the topology"))
+    }
+
+    /// Runs only the insertion stage on a pre-routed topology: the DP
+    /// under this pipeline's configuration, tree construction and the
+    /// side-legality gate.
+    pub fn insert(&self, topo: ClockTopo) -> Result<(SynthesizedTree, DpResult), CtsError> {
+        insert_on(topo, &self.tech, &self.dp, None)
+    }
+
+    /// [`DsCts::insert`] with a precomputed per-node [`Mode`] vector,
+    /// ignoring the configured [`ModeRule`]. The batched DSE engine calls
+    /// this once per mode-equivalence class.
+    pub fn insert_with_modes(
+        &self,
+        topo: ClockTopo,
+        modes: &[Mode],
+    ) -> Result<(SynthesizedTree, DpResult), CtsError> {
+        insert_on(topo, &self.tech, &self.dp, Some(modes))
+    }
+
+    /// Runs only the skew-refinement stage on a synthesized tree, in
+    /// place. Returns `None` (doing nothing) when refinement is disabled,
+    /// mirroring the optional [`RefineStage`].
+    pub fn refine_tree(&self, tree: &mut SynthesizedTree) -> Option<RefineReport> {
+        self.skew
+            .as_ref()
+            .map(|cfg| refine(tree, &self.tech, self.eval, cfg))
+    }
+
+    /// Runs only the evaluation stage: final metrics under the configured
+    /// delay model.
+    pub fn evaluate_tree(&self, tree: &SynthesizedTree) -> TreeMetrics {
+        tree.evaluate(&self.tech, self.eval)
+    }
+
+    /// The routing stage this configuration runs — the single place its
+    /// fields are copied out, shared by [`DsCts::stages`] and
+    /// [`DsCts::route`] so the staged driver cannot drift from `run`.
+    fn route_stage(&self) -> RouteStage {
+        RouteStage {
+            hc: self.hc,
+            lc: self.lc,
+            seed: self.seed,
+            style: self.style,
+            max_seg_len: self.max_seg_len,
+        }
+    }
+
     /// The stage sequence this configuration will execute, in order.
     pub fn stages(&self) -> Vec<Box<dyn Stage>> {
         let mut stages: Vec<Box<dyn Stage>> = vec![
-            Box::new(RouteStage {
-                hc: self.hc,
-                lc: self.lc,
-                seed: self.seed,
-                style: self.style,
-                max_seg_len: self.max_seg_len,
-            }),
+            Box::new(self.route_stage()),
             Box::new(InsertionStage {
                 dp: self.dp.clone(),
             }),
@@ -479,6 +586,39 @@ mod tests {
         assert_eq!(serial.tree, parallel.tree);
         assert_eq!(serial.root_candidates, parallel.root_candidates);
         assert_eq!(serial.chosen, parallel.chosen);
+    }
+
+    #[test]
+    fn staged_drivers_compose_to_run() {
+        // route + insert + refine_tree + evaluate_tree must be
+        // bit-identical to the monolithic run — the invariant the batched
+        // DSE engine and the Table III regenerator rely on.
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let pipe = DsCts::new(Technology::asap7());
+        let whole = pipe.run(&d);
+        let topo = pipe.route(&d).expect("routable");
+        let (mut tree, dp) = pipe.insert(topo).expect("feasible");
+        let refinement = pipe.refine_tree(&mut tree);
+        let metrics = pipe.evaluate_tree(&tree);
+        assert_eq!(whole.tree, tree);
+        assert_eq!(whole.metrics, metrics);
+        assert_eq!(whole.root_candidates, dp.root_candidates);
+        assert_eq!(whole.chosen, dp.chosen);
+        assert_eq!(whole.refinement, refinement);
+    }
+
+    #[test]
+    fn insert_with_modes_overrides_configured_rule() {
+        use crate::dp::{mode_vector, ModeRule};
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let pipe = DsCts::new(Technology::asap7());
+        let topo = pipe.route(&d).expect("routable");
+        let modes = mode_vector(&topo, ModeRule::AllIntraSide);
+        let (tree, _) = pipe.insert_with_modes(topo, &modes).expect("feasible");
+        // The config says AllFull, the vector says AllIntraSide; the
+        // vector wins.
+        assert_eq!(pipe.dp_config().mode_rule, ModeRule::AllFull);
+        assert_eq!(tree.inserted_ntsvs(), 0);
     }
 
     #[test]

@@ -153,6 +153,26 @@ impl ClockTopo {
         f
     }
 
+    /// Sorted distinct trunk fanout values that can flip a node's
+    /// insertion mode under [`crate::ModeRule::FanoutThreshold`] —
+    /// every fanout value except the total sink count (top-net nodes
+    /// always stay full mode).
+    ///
+    /// These are the mode-class boundaries of a threshold sweep: the mode
+    /// vector of threshold `t` is fully determined by *how many* of these
+    /// values lie below `t`, so any two thresholds with no boundary in
+    /// between are provably equivalent. The batched DSE engine
+    /// ([`crate::dse::SweepEngine`]) uses this to run the DP once per
+    /// equivalence class instead of once per threshold.
+    pub fn distinct_fanouts(&self) -> Vec<u32> {
+        let mut f = self.fanout();
+        let total = f[0];
+        f.retain(|&x| x != total);
+        f.sort_unstable();
+        f.dedup();
+        f
+    }
+
     /// Splits every trunk edge longer than `max_len` into a chain of
     /// segments of at most `max_len`, inserting Steiner nodes along the
     /// L-shaped path between the endpoints. Electrical snake excess is
@@ -348,6 +368,14 @@ mod tests {
         assert_eq!(f[1], 3);
         assert_eq!(f[2], 2);
         assert_eq!(f[3], 1);
+    }
+
+    #[test]
+    fn distinct_fanouts_excludes_total_and_dedups() {
+        let t = two_cluster_topo();
+        // Fanouts are [3, 3, 2, 1]; the total (3) is excluded because
+        // top-net nodes never change mode.
+        assert_eq!(t.distinct_fanouts(), vec![1, 2]);
     }
 
     #[test]
