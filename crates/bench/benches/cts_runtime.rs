@@ -1,5 +1,5 @@
 //! Criterion benchmarks for the runtime (RT) columns of Table III:
-//! our full flow versus the conventional OpenROAD-like + [2] flow, per
+//! our full flow versus the conventional OpenROAD-like + \[2\] flow, per
 //! design. The paper reports a 6.9x geometric-mean speed-up of `Ours` over
 //! `OpenROAD + [2]`; here both substrates are ours, so the comparison
 //! isolates the algorithmic cost of concurrent insertion versus
@@ -9,8 +9,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dscts_bench::{c2_sizing_workload, fig12_thresholds, forced_refine_config};
 use dscts_core::baseline::{flip_backside, FlipMethod, HTreeCts};
 use dscts_core::dse;
-use dscts_core::sizing::{resize_for_skew, SizingConfig};
-use dscts_core::skew::refine;
+use dscts_core::opt::{AnnealConfig, AnnealedSizingPass, OptSchedule, PassManager};
+use dscts_core::sizing::{resize_for_skew, SizingConfig, SizingPass};
+use dscts_core::skew::{refine, EndpointRefinePass};
 use dscts_core::{DsCts, EvalModel};
 use dscts_netlist::BenchmarkSpec;
 use dscts_tech::Technology;
@@ -86,6 +87,62 @@ fn bench_opt_passes(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pass-manager layer itself on the same C2-sized workload: the
+/// legacy free-function chain versus the identical schedule through the
+/// `PassManager` (same arithmetic, one shared evaluator instead of two —
+/// the manager should be at least as fast), plus the annealed sizing
+/// pass at a bench-sized move budget.
+fn bench_opt_schedule(c: &mut Criterion) {
+    let (tree, tech) = c2_sizing_workload();
+
+    let mut group = c.benchmark_group("opt_schedule");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("legacy_sizing_then_refine", "C2"),
+        &tree,
+        |b, t| {
+            b.iter(|| {
+                let mut t = t.clone();
+                let _ = resize_for_skew(&mut t, &tech, EvalModel::Elmore, &SizingConfig::default());
+                let rep = refine(&mut t, &tech, EvalModel::Elmore, &forced_refine_config());
+                black_box(rep.after.skew_ps)
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("pass_manager_sizing_then_refine", "C2"),
+        &tree,
+        |b, t| {
+            let schedule = OptSchedule::new()
+                .with(SizingPass::new(SizingConfig::default()))
+                .with(EndpointRefinePass::new(forced_refine_config()));
+            b.iter(|| {
+                let mut t = t.clone();
+                let rep = PassManager::new(&schedule).run(&mut t, &tech, EvalModel::Elmore);
+                black_box(rep.after.skew_ps)
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("annealed_sizing_1k_moves", "C2"),
+        &tree,
+        |b, t| {
+            let schedule = OptSchedule::new()
+                .seed(7)
+                .with(AnnealedSizingPass::new(AnnealConfig {
+                    moves: 1_000,
+                    ..AnnealConfig::default()
+                }));
+            b.iter(|| {
+                let mut t = t.clone();
+                let rep = PassManager::new(&schedule).run(&mut t, &tech, EvalModel::Elmore);
+                black_box(rep.after.skew_ps)
+            });
+        },
+    );
+    group.finish();
+}
+
 /// DSE threshold sweeps, naive (one full pipeline per threshold) versus
 /// the batched [`dse::SweepEngine`] (route once, one DP per
 /// mode-equivalence class). C4 over a coarsened Fig. 12 grid keeps the
@@ -109,5 +166,11 @@ fn bench_dse_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flows, bench_opt_passes, bench_dse_sweep);
+criterion_group!(
+    benches,
+    bench_flows,
+    bench_opt_passes,
+    bench_opt_schedule,
+    bench_dse_sweep
+);
 criterion_main!(benches);

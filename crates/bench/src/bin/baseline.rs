@@ -17,17 +17,26 @@
 //!   configurations) naive vs batched, pinned to 1 thread and at the
 //!   ambient thread count, verify the points are bit-identical, and
 //!   write both runs to `BENCH_pr3.json`;
+//! * `baseline --pr4` — run the post-CTS buffer-sizing comparison on all
+//!   five latency-greedy workloads: the greedy `SizingPass` fixed point
+//!   versus the `AnnealedSizingPass` at equal resource bounds (same scale
+//!   alphabet, no star toggles), verify the annealer beats greedy on skew
+//!   or latency on at least one design, and write quality + runtime per
+//!   record to `BENCH_pr4.json`;
 //! * `baseline --check <file>` — re-run the snapshot's workload (the
-//!   design suite, or the DSE sweep pair for a `--pr3`-style snapshot)
-//!   and exit non-zero if any record's `runtime_s` regresses more than
-//!   25 % against the committed snapshot (per record, compared to the
-//!   most lenient committed run). The fresh measurements are written to
+//!   design suite, the DSE sweep pair for a `--pr3`-style snapshot, or
+//!   the sizing comparison for a `--pr4`-style one) and exit non-zero if
+//!   any record's `runtime_s` regresses more than 25 % against the
+//!   committed snapshot (per record, compared to the most lenient
+//!   committed run). The fresh measurements are written to
 //!   `BENCH_check_*.json` so CI can archive runtime trajectories.
 //!
 //! Run with `cargo run --release -p dscts-bench --bin baseline [-- FLAGS]`.
 
-use dscts_bench::{all_designs, fig12_thresholds};
-use dscts_core::{dse, DsCts, Outcome};
+use dscts_bench::{all_designs, fig12_thresholds, sizing_workload, DESIGN_IDS};
+use dscts_core::opt::{AnnealedSizingPass, OptSchedule, PassManager};
+use dscts_core::sizing::{resize_for_skew, SizingConfig};
+use dscts_core::{dse, DsCts, EvalModel, Outcome, TreeMetrics};
 use dscts_netlist::{BenchmarkSpec, Design};
 use dscts_tech::Technology;
 use std::fmt::Write as _;
@@ -120,8 +129,133 @@ fn sweep_records_json(records: &[SweepRecord]) -> String {
     rows.join(",\n")
 }
 
+/// One timed sizing-optimizer measurement (the `--pr4` workload):
+/// greedy `SizingPass` or `AnnealedSizingPass` on a latency-greedy tree.
+struct SizingRecord {
+    /// `"<design>-sizing-greedy"` or `"<design>-sizing-annealed"`.
+    name: String,
+    runtime_s: f64,
+    before: TreeMetrics,
+    after: TreeMetrics,
+}
+
+/// Runs the greedy-vs-annealed buffer-sizing comparison on all five
+/// latency-greedy workloads, at equal resource bounds (identical scale
+/// alphabet, no star-buffer toggles — the annealer's default).
+fn run_sizing_pair() -> Vec<SizingRecord> {
+    let mut out = Vec::new();
+    println!("design  pass       time(ms)   skew(ps) before->after   latency(ps) before->after");
+    for (id, spec) in DESIGN_IDS.iter().zip(BenchmarkSpec::all()) {
+        let (tree, tech) = sizing_workload(&spec);
+        let mut record = |name: &str, runtime_s: f64, before: &TreeMetrics, after: &TreeMetrics| {
+            println!(
+                "{id:<7} {name:<9} {:>9.1} {:>10.3} -> {:<10.3} {:>12.3} -> {:<10.3}",
+                runtime_s * 1e3,
+                before.skew_ps,
+                after.skew_ps,
+                before.latency_ps,
+                after.latency_ps,
+            );
+            out.push(SizingRecord {
+                name: format!("{id}-sizing-{name}"),
+                runtime_s,
+                before: before.clone(),
+                after: after.clone(),
+            });
+        };
+
+        let mut greedy = tree.clone();
+        let t0 = Instant::now();
+        let rep = resize_for_skew(
+            &mut greedy,
+            &tech,
+            EvalModel::Elmore,
+            &SizingConfig::default(),
+        );
+        record(
+            "greedy",
+            t0.elapsed().as_secs_f64(),
+            &rep.before,
+            &rep.after,
+        );
+
+        let mut annealed = tree.clone();
+        let schedule = OptSchedule::new()
+            .seed(7)
+            .with(AnnealedSizingPass::default());
+        let t0 = Instant::now();
+        let rep = PassManager::new(&schedule).run(&mut annealed, &tech, EvalModel::Elmore);
+        record(
+            "annealed",
+            t0.elapsed().as_secs_f64(),
+            &rep.before,
+            &rep.after,
+        );
+
+        // Equal resource bounds: the comparison is meaningless otherwise.
+        let (g, a) = (&out[out.len() - 2].after, &out[out.len() - 1].after);
+        assert_eq!(g.buffers, a.buffers, "{id}: resource bounds diverged");
+        assert_eq!(g.ntsvs, a.ntsvs, "{id}: resource bounds diverged");
+    }
+    // The annealer must beat the greedy fixed point on skew or latency
+    // somewhere — that is the point of paying for the moves. Asserted
+    // here (not only under --pr4) so the CI `--check BENCH_pr4.json`
+    // re-run gates quality as well as runtime.
+    let improved_on = improved_designs(&out);
+    assert!(
+        !improved_on.is_empty(),
+        "annealed sizing improved neither skew nor latency on any design"
+    );
+    println!("\nannealed beats greedy (skew or latency) on: {improved_on:?}");
+    out
+}
+
+/// Designs where the annealed pass beat greedy on skew or latency.
+/// Pairs records by the names they carry rather than by position, so a
+/// skipped design or an added variant fails loudly instead of silently
+/// misattributing wins.
+fn improved_designs(records: &[SizingRecord]) -> Vec<&'static str> {
+    let by_name = |name: String| {
+        records
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing sizing record {name}"))
+    };
+    DESIGN_IDS
+        .into_iter()
+        .filter(|id| {
+            let g = &by_name(format!("{id}-sizing-greedy")).after;
+            let a = &by_name(format!("{id}-sizing-annealed")).after;
+            a.skew_ps < g.skew_ps - 1e-9 || a.latency_ps < g.latency_ps - 1e-9
+        })
+        .collect()
+}
+
+fn sizing_records_json(records: &[SizingRecord]) -> String {
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"design\": {:?}, \"runtime_s\": {:.6}, \
+                 \"skew_before_ps\": {:.6}, \"skew_after_ps\": {:.6}, \
+                 \"latency_before_ps\": {:.6}, \"latency_after_ps\": {:.6}, \
+                 \"buffers\": {}, \"ntsvs\": {}}}",
+                r.name,
+                r.runtime_s,
+                r.before.skew_ps,
+                r.after.skew_ps,
+                r.before.latency_ps,
+                r.after.latency_ps,
+                r.after.buffers,
+                r.after.ntsvs,
+            )
+        })
+        .collect();
+    rows.join(",\n")
+}
+
 fn run_suite(designs: &[Design], tech: &Technology) -> Vec<Record> {
-    println!("design   sinks   route(ms)  insert(ms)  refine(ms)  eval(ms)  total(ms)  latency(ps)  skew(ps)  bufs  nTSVs");
+    println!("design   sinks   route(ms)  insert(ms)  optimize(ms)  eval(ms)  total(ms)  latency(ps)  skew(ps)  bufs  nTSVs");
     designs
         .iter()
         .enumerate()
@@ -129,12 +263,12 @@ fn run_suite(designs: &[Design], tech: &Technology) -> Vec<Record> {
             let o = DsCts::new(tech.clone()).run(d);
             let ms = |name: &str| o.stage_seconds(name).unwrap_or(0.0) * 1e3;
             println!(
-                "C{:<7} {:>6} {:>10.1} {:>11.1} {:>11.1} {:>9.1} {:>10.1} {:>12.3} {:>9.3} {:>5} {:>6}",
+                "C{:<7} {:>6} {:>10.1} {:>11.1} {:>13.1} {:>9.1} {:>10.1} {:>12.3} {:>9.3} {:>5} {:>6}",
                 i + 1,
                 d.sink_count(),
                 ms("route"),
                 ms("insertion"),
-                ms("refine"),
+                ms("optimize"),
                 ms("evaluate"),
                 o.runtime_s * 1e3,
                 o.metrics.latency_ps,
@@ -252,6 +386,19 @@ fn main() {
         return;
     }
 
+    if args.first().map(String::as_str) == Some("--pr4") {
+        // Greedy vs annealed buffer sizing at equal resource bounds — the
+        // PR 4 quality + wall-clock snapshot.
+        let records = run_sizing_pair();
+        let json = format!(
+            "{{\n  \"flow\": \"post_cts_sizing_greedy_vs_annealed\",\n  \"threads\": {},\n  \"records\": [\n{}\n  ]\n}}\n",
+            rayon::current_num_threads(),
+            sizing_records_json(&records),
+        );
+        write_snapshot(&workspace_root().join("BENCH_pr4.json"), json);
+        return;
+    }
+
     if args.first().map(String::as_str) == Some("--pr2") {
         let designs = all_designs();
         // Two pinned runs: serial, then the ambient thread count. The
@@ -285,13 +432,20 @@ fn main() {
         let reference = parse_runtimes(&committed);
         assert!(!reference.is_empty(), "no runtime records in {file}");
         // Re-run whatever workload the snapshot recorded: sweep snapshots
-        // (--pr3) hold sweep records, everything else the design suite.
+        // (--pr3) hold sweep records, sizing snapshots (--pr4) hold the
+        // greedy-vs-annealed pairs, everything else the design suite.
         let is_sweep = reference.iter().all(|(d, _)| d.contains("sweep"));
+        let is_sizing = reference.iter().all(|(d, _)| d.contains("-sizing-"));
         let fresh: Vec<(String, f64)> = if is_sweep {
             let design = BenchmarkSpec::c3_ethmac().generate();
             run_sweep_pair(&design, &tech)
                 .into_iter()
                 .map(|r| (r.name.to_owned(), r.runtime_s))
+                .collect()
+        } else if is_sizing {
+            run_sizing_pair()
+                .into_iter()
+                .map(|r| (r.name, r.runtime_s))
                 .collect()
         } else {
             run_suite(&all_designs(), &tech)
@@ -328,9 +482,16 @@ fn main() {
             .iter()
             .map(|(n, rt)| format!("    {{\"design\": {n:?}, \"runtime_s\": {rt:.6}}}"))
             .collect();
+        // Derive from the file name only, so path-qualified arguments
+        // (`--check ./BENCH_pr2.json`) archive next to the snapshots
+        // instead of into a nonexistent "BENCH_check_./" directory.
+        let base = Path::new(file)
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or(file);
         let check_name = format!(
             "BENCH_check_{}",
-            file.trim_start_matches("BENCH_").trim_start_matches('_')
+            base.trim_start_matches("BENCH_").trim_start_matches('_')
         );
         let json = format!(
             "{{\n  \"checked_against\": {file:?},\n  \"threads\": {},\n  \"records\": [\n{}\n  ]\n}}\n",

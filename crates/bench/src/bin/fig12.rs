@@ -3,11 +3,11 @@
 //!
 //! Series:
 //! * **Our DSE flow** — fanout threshold swept 20..=1000 step 10 (§III-E);
-//! * **Our BCT + [7]** — the fanout-driven flipper swept over the same
+//! * **Our BCT + \[7\]** — the fanout-driven flipper swept over the same
 //!   thresholds on our front-side buffered tree;
-//! * **Our BCT + [6]** — the criticality-driven flipper swept q = 0.2..=0.9
+//! * **Our BCT + \[6\]** — the criticality-driven flipper swept q = 0.2..=0.9
 //!   step 0.05;
-//! * **Our BCT + [2]** and **Ours (Table III)** — single points.
+//! * **Our BCT + \[2\]** and **Ours (Table III)** — single points.
 //!
 //! The DSE series runs on the batched [`dse::SweepEngine`]: the design is
 //! routed once and the DP runs once per mode-equivalence class of the

@@ -1,15 +1,17 @@
 //! Micro-benchmark of the post-CTS optimization passes.
 //!
-//! Times `sizing::resize_for_skew` and `skew::refine` in isolation on the
-//! shared C2-sized workload (14 338 sinks, see
-//! [`dscts_bench::c2_sizing_workload`]), printing wall-clock per pass.
-//! The routed + DP-assigned tree is built once; each timed pass starts
-//! from a fresh clone, so the numbers isolate the optimization loops
-//! themselves — the workloads the incremental evaluator accelerates.
+//! Times `sizing::resize_for_skew`, `skew::refine` and the annealed
+//! sizing pass in isolation on the shared C2-sized workload (14 338
+//! sinks, see [`dscts_bench::c2_sizing_workload`]), printing wall-clock
+//! per pass. The routed + DP-assigned tree is built once; each timed pass
+//! starts from a fresh clone, so the numbers isolate the optimization
+//! loops themselves — the workloads the incremental evaluator
+//! accelerates.
 //!
 //! Run with `cargo run --release -p dscts-bench --bin opt_micro`.
 
 use dscts_bench::{c2_sizing_workload, forced_refine_config};
+use dscts_core::opt::{AnnealedSizingPass, OptSchedule, PassManager};
 use dscts_core::sizing::{resize_for_skew, SizingConfig};
 use dscts_core::skew::refine;
 use dscts_core::EvalModel;
@@ -46,6 +48,23 @@ fn main() {
             rep.buffers_added,
             rep.before.skew_ps,
             rep.after.skew_ps
+        );
+
+        let mut t = tree.clone();
+        let schedule = OptSchedule::new()
+            .seed(7)
+            .with(AnnealedSizingPass::default());
+        let t0 = Instant::now();
+        let rep = PassManager::new(&schedule).run(&mut t, &tech, model);
+        println!(
+            "annealed-sizing [{model:?}]: {:.1} ms ({}/{} moves accepted, skew {:.3} -> {:.3} ps, latency {:.3} -> {:.3} ps)",
+            t0.elapsed().as_secs_f64() * 1e3,
+            rep.passes[0].accepted,
+            rep.passes[0].attempted,
+            rep.before.skew_ps,
+            rep.after.skew_ps,
+            rep.before.latency_ps,
+            rep.after.latency_ps
         );
     }
 }

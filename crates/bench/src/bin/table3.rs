@@ -1,9 +1,9 @@
 //! Regenerates **Table III**: the main comparison against recent studies.
 //!
 //! Upper block: the OpenROAD-like buffered clock tree, that tree with the
-//! latency-driven back-side flip of [2], and our full flow. Lower block:
+//! latency-driven back-side flip of \[2\], and our full flow. Lower block:
 //! our front-side buffered tree and the three post-CTS flipping methods
-//! ([2], [7] fanout = 100, [6] q = 0.5) applied to it. The final row of
+//! (\[2\], \[7\] fanout = 100, \[6\] q = 0.5) applied to it. The final row of
 //! each block is the geometric-mean ratio versus `Ours`, matching the
 //! paper's "Ratio" row.
 //!
@@ -68,11 +68,11 @@ fn main() {
         // Ours (all edges full mode, Table III configuration). The topo
         // clone is bench bookkeeping, not pipeline work: keep it outside
         // the timed window so both flows charge the same stages
-        // (insert + refine + evaluate) on top of the shared routing.
+        // (insert + optimize + evaluate) on top of the shared routing.
         let ours_topo = topo.clone();
         let t0 = Instant::now();
         let (mut tree, _) = ours_pipe.insert(ours_topo).expect("feasible DP");
-        ours_pipe.refine_tree(&mut tree);
+        ours_pipe.optimize_tree(&mut tree);
         let ours_metrics = ours_pipe.evaluate_tree(&tree);
         ours.push(FlowRow {
             metrics: ours_metrics,
@@ -81,7 +81,7 @@ fn main() {
         // Our buffered clock tree (front side only).
         let t0 = Instant::now();
         let (mut bct_tree, _) = bct_pipe.insert(topo).expect("feasible DP");
-        bct_pipe.refine_tree(&mut bct_tree);
+        bct_pipe.optimize_tree(&mut bct_tree);
         let bct_metrics = bct_pipe.evaluate_tree(&bct_tree);
         let bct_rt = route_s + t0.elapsed().as_secs_f64();
         our_bct.push(FlowRow {

@@ -34,14 +34,15 @@ pub fn all_designs() -> Vec<Design> {
 /// The design ids as used in the paper.
 pub const DESIGN_IDS: [&str; 5] = ["C1", "C2", "C3", "C4", "C5"];
 
-/// The shared post-CTS optimization workload: C2 (14 338 sinks) routed
-/// and DP-assigned with latency-greedy MOES weights, which leaves skew on
-/// the table so the sizing and refinement passes do real work. Used by
-/// both the `opt_micro` bin and the `opt_passes` criterion group so they
-/// measure the *same* workload.
-pub fn c2_sizing_workload() -> (SynthesizedTree, Technology) {
+/// A post-CTS optimization workload: the given design routed and
+/// DP-assigned with latency-greedy MOES weights, which leaves skew on the
+/// table so the sizing and refinement passes do real work. Shared by the
+/// `opt_micro` bin, the `opt_passes`/`opt_schedule` criterion groups and
+/// the `baseline --pr4` greedy-vs-annealed snapshot so they all measure
+/// the *same* workloads.
+pub fn sizing_workload(spec: &BenchmarkSpec) -> (SynthesizedTree, Technology) {
     let tech = Technology::asap7();
-    let design = BenchmarkSpec::c2_swerv_wrapper().generate();
+    let design = spec.generate();
     let cfg = DpConfig {
         moes: MoesWeights {
             alpha: 1.0,
@@ -55,6 +56,11 @@ pub fn c2_sizing_workload() -> (SynthesizedTree, Technology) {
     topo.subdivide(40_000);
     let res = run_dp(&topo, &tech, &cfg);
     (SynthesizedTree::new(topo, res.assignment), tech)
+}
+
+/// [`sizing_workload`] on C2 (14 338 sinks), the micro-bench default.
+pub fn c2_sizing_workload() -> (SynthesizedTree, Technology) {
+    sizing_workload(&BenchmarkSpec::c2_swerv_wrapper())
 }
 
 /// The Fig. 12 fanout-threshold grid (20..=1000) at the given step. The

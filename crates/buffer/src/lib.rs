@@ -1,7 +1,7 @@
 //! Classic van Ginneken buffer insertion (single side).
 //!
 //! The paper's concurrent buffer-and-nTSV dynamic program (§III-C) extends
-//! van Ginneken's 1990 algorithm ([16]): candidate `(capacitance, delay)`
+//! van Ginneken's 1990 algorithm (\[16\]): candidate `(capacitance, delay)`
 //! solutions propagate bottom-up through the tree, merge at branch points,
 //! gain buffer options along edges, and dominated candidates are pruned.
 //! This crate implements the classic single-side form, which serves two

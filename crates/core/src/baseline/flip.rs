@@ -4,15 +4,15 @@
 //! clock tree and move selected trunk wires to back-side metal, inserting
 //! nTSVs wherever a back-side wire meets a front-side pin or wire:
 //!
-//! * **[2] latency-driven** — flip *every* trunk net above the leaf level
+//! * **\[2\] latency-driven** — flip *every* trunk net above the leaf level
 //!   (Fig. 2(b)): maximal latency gain, maximal nTSV count;
-//! * **[7] fanout-driven** — flip nets whose driven-sink fanout reaches a
+//! * **\[7\] fanout-driven** — flip nets whose driven-sink fanout reaches a
 //!   threshold (Fig. 2(c));
-//! * **[6] criticality-driven** — flip the nets on root-to-leaf paths of
+//! * **\[6\] criticality-driven** — flip the nets on root-to-leaf paths of
 //!   the most timing-critical leaf clusters (Fig. 2(d)); the GNN selector
 //!   is substituted by an arrival-time ranking (see DESIGN.md);
-//! * **[29]** — [6] integrated with back-side PDN design; modelled as the
-//!   [6] selection plus a PDN nTSV-sharing overhead on the via count.
+//! * **\[29\]** — \[6\] integrated with back-side PDN design; modelled as the
+//!   \[6\] selection plus a PDN nTSV-sharing overhead on the via count.
 //!
 //! Buffered edges (pattern P1) never flip: buffer pins live on the front
 //! side, exactly the restriction that motivates the paper's concurrent
@@ -25,21 +25,21 @@ use dscts_tech::{Side, Technology};
 /// Net-selection criterion for back-side assignment.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FlipMethod {
-    /// Veloso et al. [2]: flip all unbuffered trunk edges.
+    /// Veloso et al. \[2\]: flip all unbuffered trunk edges.
     Latency,
-    /// Bethur et al. [7]: flip edges with downstream sink count ≥ the
+    /// Bethur et al. \[7\]: flip edges with downstream sink count ≥ the
     /// threshold (the paper sweeps 20..1000; Table III uses 100).
     Fanout {
         /// Minimum downstream sink count for a net to flip.
         threshold: u32,
     },
-    /// Bethur et al. [6]: flip edges on the root paths of the most critical
+    /// Bethur et al. \[6\]: flip edges on the root paths of the most critical
     /// `fraction` of leaf clusters (Table III uses 0.5).
     Criticality {
         /// Fraction of leaf clusters treated as timing-critical (0..=1).
         fraction: f64,
     },
-    /// Vanna-iampikul et al. [29]: the [6] selection with a PDN nTSV
+    /// Vanna-iampikul et al. \[29\]: the \[6\] selection with a PDN nTSV
     /// sharing overhead.
     CriticalityPdn {
         /// Fraction of critical leaf clusters.

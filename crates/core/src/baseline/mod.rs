@@ -6,8 +6,8 @@
 //!   (the real OpenROAD flow is outside this repository; see DESIGN.md).
 //! * [`flip`] — the *conventional flow* (Fig. 1 left): post-CTS back-side
 //!   net assignment onto an existing buffered tree, implementing the three
-//!   published selection criteria: latency-driven ([2], every trunk net),
-//!   fanout-driven ([7]) and timing-criticality-driven ([6], with the GNN
+//!   published selection criteria: latency-driven (\[2\], every trunk net),
+//!   fanout-driven (\[7\]) and timing-criticality-driven (\[6\], with the GNN
 //!   replaced by a criticality ranking — see DESIGN.md substitutions).
 
 pub mod flip;

@@ -120,12 +120,23 @@ impl Default for MoesWeights {
 }
 
 impl MoesWeights {
+    /// The weighted sum `α·latency + β·buffers + γ·nTSVs + δ·skew` —
+    /// the single place the MOES objective is written down. The DP's
+    /// [`MoesWeights::score`] and the optimization passes'
+    /// [`crate::opt::moes_objective`]/[`crate::opt::moes_objective_of`]
+    /// all delegate here, so they cannot drift apart.
+    pub fn weigh(&self, latency_ps: f64, buffers: f64, ntsvs: f64, skew_ps: f64) -> f64 {
+        self.alpha * latency_ps + self.beta * buffers + self.gamma * ntsvs + self.delta * skew_ps
+    }
+
     /// The MOES value of a root candidate.
     pub fn score(&self, c: &RootCand) -> f64 {
-        self.alpha * c.latency_ps
-            + self.beta * c.buffers as f64
-            + self.gamma * c.ntsvs as f64
-            + self.delta * c.skew_ps
+        self.weigh(
+            c.latency_ps,
+            f64::from(c.buffers),
+            f64::from(c.ntsvs),
+            c.skew_ps,
+        )
     }
 }
 

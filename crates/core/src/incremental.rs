@@ -199,6 +199,11 @@ impl<'a> IncrementalEval<'a> {
         self.model
     }
 
+    /// The technology the evaluator times against.
+    pub fn tech(&self) -> &Technology {
+        self.tech
+    }
+
     /// Per-sink arrival times, bit-identical to
     /// [`TreeMetrics::arrivals`] of a batch evaluation.
     pub fn arrivals(&self) -> &[f64] {
@@ -232,18 +237,21 @@ impl<'a> IncrementalEval<'a> {
     /// `x ↦ base + x` is monotone, so the per-star maximum is attained at
     /// the maximal `d` and equals the fold over all sinks.
     pub fn latency_ps(&self) -> f64 {
-        let mut max = f64::NEG_INFINITY;
-        for (si, &d) in self.star_max_d.iter().enumerate() {
-            if d != f64::NEG_INFINITY {
-                max = max.max(self.star_base[si] + d);
-            }
-        }
-        max
+        self.latency_skew_ps().0
     }
 
     /// Latest minus earliest sink arrival, bit-identical to
     /// [`TreeMetrics::skew_ps`].
     pub fn skew_ps(&self) -> f64 {
+        self.latency_skew_ps().1
+    }
+
+    /// `(latency_ps, skew_ps)` in one fold over the stars — the single
+    /// accumulation behind [`IncrementalEval::latency_ps`] and
+    /// [`IncrementalEval::skew_ps`], so the three accessors cannot drift.
+    /// Trial-move inner loops evaluate their objective through this to
+    /// pay one star scan instead of two.
+    pub fn latency_skew_ps(&self) -> (f64, f64) {
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         for (si, &d) in self.star_max_d.iter().enumerate() {
@@ -252,7 +260,7 @@ impl<'a> IncrementalEval<'a> {
                 min = min.min(self.star_base[si] + self.star_min_d[si]);
             }
         }
-        max - min
+        (max, max - min)
     }
 
     /// Full metrics of the current state, bit-identical to

@@ -10,35 +10,47 @@
 //! 2. [`run_dp`] — concurrent buffer & nTSV insertion over the edge-pattern
 //!    design space P1–P6, selected by the multi-objective enhancement score
 //!    (§III-C);
-//! 3. [`skew::refine`] — resource-aware end-point buffering (§III-D);
+//! 3. [`opt`] — the composable post-CTS optimization layer (§III-D and
+//!    beyond): an [`OptPass`] trait and [`PassManager`] over a shared
+//!    [`OptCtx`], with the paper's end-point refinement
+//!    ([`skew::EndpointRefinePass`]) as the default schedule, plus greedy
+//!    sizing ([`sizing::SizingPass`]), seeded simulated annealing
+//!    ([`AnnealedSizingPass`]) and pattern local search
+//!    ([`PatternSearchPass`]);
 //! 4. [`dse`] — design-space exploration by sweeping the fanout threshold
 //!    that switches DP nodes between full and intra-side modes (§III-E),
 //!    batched by [`dse::SweepEngine`]: one routing run per design, one DP
-//!    run per mode-equivalence class of the sweep, refined trees scored
-//!    via the staged pipeline drivers.
+//!    run per mode-equivalence class of the sweep, every point scored on
+//!    the tree the configured optimization schedule produces.
 //!
 //! The comparison methods of the paper's evaluation are implemented in
 //! [`baseline`]: an OpenROAD-like H-tree CTS and the post-CTS back-side
-//! flipping flows of refs. [2] (latency-driven), [7] (fanout-driven) and
-//! [6] (timing-criticality-driven).
+//! flipping flows of refs. \[2\] (latency-driven), \[7\] (fanout-driven) and
+//! \[6\] (timing-criticality-driven).
 //!
 //! The pipeline is a *staged engine*: each phase is a [`Stage`] over a
 //! [`PipelineCtx`] blackboard, individually wall-clocked into
-//! [`Outcome::stages`], with data-dependent failures reported as
-//! [`CtsError`] through [`DsCts::try_run`]. Routing and DP hot paths run
-//! rayon-parallel with bit-identical results at any thread count.
+//! [`Outcome::stages`] (the optimize stage additionally reports one
+//! `opt:<name>` timing per executed pass), with data-dependent failures
+//! reported as [`CtsError`] through [`DsCts::try_run`]. Routing and DP
+//! hot paths run rayon-parallel with bit-identical results at any thread
+//! count.
 //!
-//! Post-CTS optimization ([`sizing`], [`skew`]) runs on the
-//! [`IncrementalEval`] engine: full evaluation state stays resident and
-//! each trial move re-propagates only its dirty ancestor path and subtree,
-//! with journaled undo for rejected moves — bit-identical to
-//! [`SynthesizedTree::evaluate`] and orders of magnitude faster in the
-//! inner loops.
+//! Every optimization pass runs on the [`IncrementalEval`] engine: full
+//! evaluation state stays resident and each trial move re-propagates only
+//! its dirty ancestor path and subtree, with journaled undo for rejected
+//! moves — bit-identical to [`SynthesizedTree::evaluate`] and orders of
+//! magnitude faster in the inner loops. The legacy free functions
+//! ([`sizing::resize_for_skew`], [`skew::refine`]) remain as thin,
+//! bit-identical wrappers over the corresponding passes.
 //!
-//! Most users want the [`DsCts`] pipeline builder:
+//! Most users want the [`DsCts`] pipeline builder; custom optimization
+//! schedules plug in through [`DsCts::schedule`] (see the [`opt`] module
+//! docs for a worked custom-pass example):
 //!
 //! ```
-//! use dscts_core::DsCts;
+//! use dscts_core::opt::OptSchedule;
+//! use dscts_core::{AnnealedSizingPass, DsCts, EndpointRefinePass};
 //! use dscts_netlist::BenchmarkSpec;
 //! use dscts_tech::Technology;
 //!
@@ -46,6 +58,21 @@
 //! let outcome = DsCts::new(Technology::asap7()).run(&design);
 //! assert!(outcome.metrics.latency_ps > 0.0);
 //! assert!(outcome.metrics.ntsvs > 0); // double-side by default
+//!
+//! // Same pipeline, richer post-CTS schedule: refine then anneal sizes.
+//! let tuned = DsCts::new(Technology::asap7())
+//!     .schedule(
+//!         OptSchedule::new()
+//!             .with(EndpointRefinePass::default())
+//!             .with(AnnealedSizingPass::default()),
+//!     )
+//!     .run(&design);
+//! // Annealed sizing only re-scales existing buffers: resources match,
+//! // and its MOES objective never degrades.
+//! assert_eq!(tuned.metrics.buffers, outcome.metrics.buffers);
+//! let w = dscts_core::AnnealConfig::default().weights;
+//! let obj = |m| dscts_core::opt::moes_objective_of(&w, m);
+//! assert!(obj(&tuned.metrics) <= obj(&outcome.metrics) + 1e-9);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -56,6 +83,7 @@ mod dp;
 pub mod dse;
 mod error;
 pub mod incremental;
+pub mod opt;
 mod pattern;
 mod pipeline;
 mod route;
@@ -70,11 +98,17 @@ pub use dp::{
 };
 pub use error::CtsError;
 pub use incremental::IncrementalEval;
+pub use opt::{
+    AnnealConfig, AnnealedSizingPass, OptCtx, OptPass, OptSchedule, PassManager, PassReport,
+    PassStats, PatternSearchConfig, PatternSearchPass, ScheduleReport,
+};
 pub use pattern::{BufferStage, Mode, Pattern, PatternEval, PatternSet};
 pub use pipeline::{
-    DsCts, EvalStage, InsertionStage, Outcome, PipelineCtx, RefineStage, RouteStage, Stage,
+    DsCts, EvalStage, InsertionStage, OptimizeStage, Outcome, PipelineCtx, RouteStage, Stage,
     StageTiming,
 };
 pub use route::{HierarchicalRouter, RoutingStyle};
+pub use sizing::SizingPass;
+pub use skew::EndpointRefinePass;
 pub use synth::{EvalModel, SynthesizedTree, TreeMetrics};
 pub use tree::{ClockTopo, LeafStar, TrunkNode};

@@ -7,8 +7,16 @@
 //! |-------|------|-------|--------|
 //! | [`RouteStage`] | `route` | design, tech | `topo` (routed [`ClockTopo`](crate::ClockTopo)) |
 //! | [`InsertionStage`] | `insertion` | `topo`, tech | `dp`, `tree` (side-validated) |
-//! | [`RefineStage`] | `refine` | `tree`, tech | `refinement` (optional stage) |
+//! | [`OptimizeStage`] | `optimize` | `tree`, tech | `optimization`, `refinement` (optional stage) |
 //! | [`EvalStage`] | `evaluate` | `tree`, tech | `metrics` |
+//!
+//! The optimize stage executes a configured [`OptSchedule`] through the
+//! [`PassManager`] (see [`crate::opt`]): by default exactly one
+//! [`EndpointRefinePass`] — reproducing the paper's §III-D refinement
+//! loop bit-for-bit — and via [`DsCts::schedule`] any composition of
+//! [`crate::opt::OptPass`]es (greedy or annealed sizing, pattern local
+//! search, custom passes). Each pass's wall clock is folded into
+//! [`Outcome::stages`] as an `opt:<name>` entry.
 //!
 //! Each stage is timed individually; [`Outcome::stages`] carries the
 //! per-stage wall clock so regressions can be pinned to a phase instead
@@ -28,10 +36,11 @@
 //! Besides [`DsCts::run`]/[`DsCts::try_run`] (which execute the whole
 //! stage sequence), every stage can be **driven individually** —
 //! [`DsCts::route`], [`DsCts::insert`] / [`DsCts::insert_with_modes`],
-//! [`DsCts::refine_tree`], [`DsCts::evaluate_tree`] — so batch drivers
-//! can amortize shared work across configurations. The batched DSE engine
+//! [`DsCts::optimize_tree`] (or the legacy [`DsCts::refine_tree`]),
+//! [`DsCts::evaluate_tree`] — so batch drivers can amortize shared work
+//! across configurations. The batched DSE engine
 //! ([`crate::dse::SweepEngine`]) routes a design once and then fans the
-//! insertion + refinement + evaluation tail out over mode-equivalence
+//! insertion + optimization + evaluation tail out over mode-equivalence
 //! classes of the threshold sweep; the Table III regenerator shares one
 //! routed topology between the double-side and front-side flows the same
 //! way. Each staged method runs exactly the arithmetic its [`Stage`]
@@ -42,13 +51,15 @@ use crate::dp::{
     try_run_dp_with_modes, DpConfig, DpResult, ModeRule, MoesWeights, PruneMode, RootCand,
 };
 use crate::error::CtsError;
+use crate::opt::{OptSchedule, PassManager, ScheduleReport};
 use crate::pattern::{Mode, PatternSet};
 use crate::route::{HierarchicalRouter, RoutingStyle};
-use crate::skew::{refine, RefineReport, SkewConfig};
+use crate::skew::{refine, EndpointRefinePass, RefineReport, SkewConfig};
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
 use crate::tree::ClockTopo;
 use dscts_netlist::Design;
 use dscts_tech::Technology;
+use std::borrow::Cow;
 use std::time::Instant;
 
 /// Pipeline builder. Defaults reproduce the paper's Table III "Ours"
@@ -64,14 +75,18 @@ pub struct DsCts {
     max_seg_len: i64,
     dp: DpConfig,
     skew: Option<SkewConfig>,
+    schedule: Option<OptSchedule>,
     eval: EvalModel,
 }
 
-/// Wall-clock measurement of one pipeline stage.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Wall-clock measurement of one pipeline stage (or one optimization
+/// pass, reported as `opt:<name>`).
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageTiming {
-    /// The stage's [`Stage::name`].
-    pub name: &'static str,
+    /// The stage's [`Stage::name`], or `opt:<pass name>` for a pass of
+    /// the optimize stage. Static for built-in stages, owned for
+    /// dynamically named passes — no leaked strings either way.
+    pub name: Cow<'static, str>,
     /// Elapsed wall-clock seconds.
     pub seconds: f64,
 }
@@ -87,9 +102,15 @@ pub struct Outcome {
     pub root_candidates: Vec<RootCand>,
     /// Index of the MOES-selected candidate.
     pub chosen: usize,
-    /// Skew-refinement report when the stage ran.
+    /// Skew-refinement report, reconstructed from the optimize stage's
+    /// [`EndpointRefinePass`] when the schedule ran one (the default
+    /// schedule does) — kept so refinement-era callers read the same
+    /// numbers they always did.
     pub refinement: Option<RefineReport>,
-    /// Per-stage wall-clock timings, in execution order.
+    /// Per-pass optimization report when the optimize stage ran.
+    pub optimization: Option<ScheduleReport>,
+    /// Per-stage wall-clock timings, in execution order; the optimize
+    /// stage is followed by one `opt:<name>` entry per executed pass.
     pub stages: Vec<StageTiming>,
     /// Wall-clock runtime of the whole pipeline (seconds).
     pub runtime_s: f64,
@@ -125,10 +146,13 @@ pub struct PipelineCtx<'a> {
     /// DP result (deposited by [`InsertionStage`]).
     pub dp: Option<DpResult>,
     /// Synthesized, side-validated tree (deposited by
-    /// [`InsertionStage`], refined in place by [`RefineStage`]).
+    /// [`InsertionStage`], optimized in place by [`OptimizeStage`]).
     pub tree: Option<SynthesizedTree>,
-    /// Skew-refinement report (deposited by [`RefineStage`]).
+    /// Skew-refinement report (deposited by [`OptimizeStage`] when its
+    /// schedule ran an [`EndpointRefinePass`]).
     pub refinement: Option<RefineReport>,
+    /// Per-pass optimization report (deposited by [`OptimizeStage`]).
+    pub optimization: Option<ScheduleReport>,
     /// Final metrics (deposited by [`EvalStage`]).
     pub metrics: Option<TreeMetrics>,
 }
@@ -144,6 +168,7 @@ impl<'a> PipelineCtx<'a> {
             dp: None,
             tree: None,
             refinement: None,
+            optimization: None,
             metrics: None,
         }
     }
@@ -232,16 +257,50 @@ fn insert_on(
     Ok((tree, dp))
 }
 
-/// Resource-aware end-point skew refinement (§III-D). Optional: present
-/// only when [`DsCts::skew_refinement`] is configured.
+/// Post-CTS optimization (§III-D and beyond): executes a configured
+/// [`OptSchedule`] over one resident incremental evaluator. Optional:
+/// present only when [`DsCts::schedule`] or [`DsCts::skew_refinement`]
+/// configures at least one pass. The default schedule is a single
+/// [`EndpointRefinePass`], bit-identical to the pre-pass-API refine
+/// stage.
 #[derive(Debug, Clone)]
-pub struct RefineStage {
-    cfg: SkewConfig,
+pub struct OptimizeStage {
+    schedule: OptSchedule,
 }
 
-impl Stage for RefineStage {
+impl OptimizeStage {
+    /// A stage executing `schedule`.
+    pub fn new(schedule: OptSchedule) -> Self {
+        OptimizeStage { schedule }
+    }
+
+    /// Reconstructs the legacy [`RefineReport`] from a schedule run, when
+    /// the schedule included an [`EndpointRefinePass`]. The pass reports
+    /// the same trigger flag, added-buffer count and surrounding metrics
+    /// the free-standing [`refine`] computes, so the reconstruction is
+    /// exact for the default single-refine schedule. When a custom
+    /// schedule runs several refine passes, the **last** one is reported
+    /// (the closest to the final tree); its `after` still predates any
+    /// later non-refine passes. Matching is by pass name —
+    /// [`EndpointRefinePass::NAME`] is reserved for the built-in pass.
+    fn refine_report(report: &ScheduleReport) -> Option<RefineReport> {
+        report
+            .passes
+            .iter()
+            .rev()
+            .find(|p| p.name == EndpointRefinePass::NAME)
+            .map(|p| RefineReport {
+                triggered: p.triggered,
+                buffers_added: p.accepted,
+                before: p.before.clone(),
+                after: p.after.clone(),
+            })
+    }
+}
+
+impl Stage for OptimizeStage {
     fn name(&self) -> &'static str {
-        "refine"
+        "optimize"
     }
 
     fn run(&self, ctx: &mut PipelineCtx<'_>) -> Result<(), CtsError> {
@@ -251,7 +310,9 @@ impl Stage for RefineStage {
             .tree
             .as_mut()
             .expect("insertion stage deposits the tree");
-        ctx.refinement = Some(refine(tree, tech, eval, &self.cfg));
+        let report = PassManager::new(&self.schedule).run(tree, tech, eval);
+        ctx.refinement = Self::refine_report(&report);
+        ctx.optimization = Some(report);
         Ok(())
     }
 }
@@ -287,6 +348,7 @@ impl DsCts {
             max_seg_len: 40_000,
             dp: DpConfig::default(),
             skew: Some(SkewConfig::default()),
+            schedule: None,
             eval: EvalModel::Elmore,
         }
     }
@@ -359,9 +421,20 @@ impl DsCts {
         self
     }
 
-    /// Configure (or disable with `None`) the skew-refinement stage.
+    /// Configure (or disable with `None`) the default skew-refinement
+    /// schedule. Ignored when a custom [`DsCts::schedule`] is set.
     pub fn skew_refinement(mut self, cfg: Option<SkewConfig>) -> Self {
         self.skew = cfg;
+        self
+    }
+
+    /// Replaces the optimize stage's pass schedule. An empty schedule
+    /// drops the stage entirely (like `skew_refinement(None)`); a custom
+    /// schedule takes precedence over the [`DsCts::skew_refinement`]
+    /// default. Swept points of [`crate::dse::SweepEngine`] are scored
+    /// through the same schedule.
+    pub fn schedule(mut self, schedule: OptSchedule) -> Self {
+        self.schedule = Some(schedule);
         self
     }
 
@@ -385,6 +458,22 @@ impl DsCts {
     /// disabled).
     pub fn skew_config(&self) -> Option<SkewConfig> {
         self.skew
+    }
+
+    /// The custom pass schedule, when one was set.
+    pub fn custom_schedule(&self) -> Option<&OptSchedule> {
+        self.schedule.as_ref()
+    }
+
+    /// The schedule the optimize stage will actually run: the custom
+    /// schedule when set (`None` if it is empty), else the default
+    /// single-[`EndpointRefinePass`] schedule derived from
+    /// [`DsCts::skew_refinement`], else `None` (stage dropped).
+    pub fn effective_schedule(&self) -> Option<OptSchedule> {
+        match &self.schedule {
+            Some(s) => (!s.is_empty()).then(|| s.clone()),
+            None => self.skew.map(OptSchedule::default_post_cts),
+        }
     }
 
     /// The delay model final metrics and refinement use.
@@ -426,13 +515,24 @@ impl DsCts {
         insert_on(topo, &self.tech, &self.dp, Some(modes))
     }
 
-    /// Runs only the skew-refinement stage on a synthesized tree, in
-    /// place. Returns `None` (doing nothing) when refinement is disabled,
-    /// mirroring the optional [`RefineStage`].
+    /// Runs only the legacy skew-refinement pass on a synthesized tree,
+    /// in place, ignoring any custom schedule. Returns `None` (doing
+    /// nothing) when refinement is disabled. Most staged drivers want
+    /// [`DsCts::optimize_tree`], which runs the configured schedule.
     pub fn refine_tree(&self, tree: &mut SynthesizedTree) -> Option<RefineReport> {
         self.skew
             .as_ref()
             .map(|cfg| refine(tree, &self.tech, self.eval, cfg))
+    }
+
+    /// Runs only the optimize stage on a synthesized tree, in place:
+    /// exactly the configured [`DsCts::effective_schedule`], so any
+    /// composition with the other staged drivers is bit-identical to
+    /// [`DsCts::run`]. Returns `None` (doing nothing) when no pass is
+    /// scheduled, mirroring the optional [`OptimizeStage`].
+    pub fn optimize_tree(&self, tree: &mut SynthesizedTree) -> Option<ScheduleReport> {
+        let schedule = self.effective_schedule()?;
+        Some(PassManager::new(&schedule).run(tree, &self.tech, self.eval))
     }
 
     /// Runs only the evaluation stage: final metrics under the configured
@@ -462,8 +562,8 @@ impl DsCts {
                 dp: self.dp.clone(),
             }),
         ];
-        if let Some(cfg) = self.skew {
-            stages.push(Box::new(RefineStage { cfg }));
+        if let Some(schedule) = self.effective_schedule() {
+            stages.push(Box::new(OptimizeStage::new(schedule)));
         }
         stages.push(Box::new(EvalStage));
         stages
@@ -479,12 +579,24 @@ impl DsCts {
         let mut ctx = PipelineCtx::new(design, &self.tech, self.eval);
         let mut timings = Vec::new();
         for stage in self.stages() {
+            let deposited_before = ctx.optimization.is_some();
             let t0 = Instant::now();
             stage.run(&mut ctx)?;
             timings.push(StageTiming {
-                name: stage.name(),
+                name: Cow::Borrowed(stage.name()),
                 seconds: t0.elapsed().as_secs_f64(),
             });
+            if !deposited_before {
+                // Whichever stage just deposited the schedule report gets
+                // its per-pass wall clocks folded in right behind it, as
+                // `opt:<name>` entries.
+                if let Some(report) = &ctx.optimization {
+                    timings.extend(report.passes.iter().map(|p| StageTiming {
+                        name: Cow::Owned(format!("opt:{}", p.name)),
+                        seconds: p.seconds,
+                    }));
+                }
+            }
         }
         let dp = ctx.dp.expect("insertion stage ran");
         Ok(Outcome {
@@ -493,6 +605,7 @@ impl DsCts {
             root_candidates: dp.root_candidates,
             chosen: dp.chosen,
             refinement: ctx.refinement,
+            optimization: ctx.optimization,
             stages: timings,
             runtime_s: start.elapsed().as_secs_f64(),
         })
@@ -511,6 +624,58 @@ impl DsCts {
         match self.try_run(design) {
             Ok(outcome) => outcome,
             Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+/// Test-only serialization of process-global environment mutation.
+///
+/// The vendored rayon shim re-reads `RAYON_NUM_THREADS` on every parallel
+/// call, so a test that flips it in-process would race any concurrently
+/// scheduled test that also pins (or reads) it. Every test in this crate
+/// that mutates an environment variable must do so through
+/// [`test_env::ScopedEnv`], which holds the shared mutex for the whole
+/// mutation window and restores the previous value on drop — even on
+/// panic — so no other pin-holding test can ever observe the temporary
+/// value.
+#[cfg(test)]
+pub(crate) mod test_env {
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    /// An exclusive, self-restoring pin of one environment variable.
+    pub(crate) struct ScopedEnv {
+        key: &'static str,
+        previous: Option<String>,
+        _guard: MutexGuard<'static, ()>,
+    }
+
+    impl ScopedEnv {
+        /// Locks the shared env mutex and snapshots `key`'s value.
+        pub(crate) fn pin(key: &'static str) -> Self {
+            // A panic while holding the lock poisons it; the variable was
+            // still restored by Drop, so the lock state stays valid.
+            let guard = ENV_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+            ScopedEnv {
+                key,
+                previous: std::env::var(key).ok(),
+                _guard: guard,
+            }
+        }
+
+        /// Sets the pinned variable (the pin keeps the lock held).
+        pub(crate) fn set(&self, value: &str) {
+            std::env::set_var(self.key, value);
+        }
+    }
+
+    impl Drop for ScopedEnv {
+        fn drop(&mut self) {
+            match &self.previous {
+                Some(v) => std::env::set_var(self.key, v),
+                None => std::env::remove_var(self.key),
+            }
         }
     }
 }
@@ -564,24 +729,20 @@ mod tests {
     #[test]
     fn pipeline_is_thread_count_invariant() {
         // The parallel engine must be bit-identical to serial execution:
-        // same tree, same metrics, to the last ulp. (The rayon shim
+        // same tree, same metrics, to the last ulp. The rayon shim
         // re-reads RAYON_NUM_THREADS on every parallel call, so flipping
-        // it between runs flips the engine's thread count in-process.
-        // Results are thread-count-invariant by construction, so a
-        // concurrently running test observing the temporary value is
-        // unaffected.)
+        // it between runs flips the engine's thread count in-process —
+        // and would race any concurrently scheduled test. ScopedEnv holds
+        // the shared env mutex for the whole window and restores the
+        // caller's pin (e.g. CI's RAYON_NUM_THREADS=1 run) on drop, even
+        // if an assertion below panics.
         let d = BenchmarkSpec::c4_riscv32i().generate();
-        let previous = std::env::var("RAYON_NUM_THREADS").ok();
-        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let env = super::test_env::ScopedEnv::pin("RAYON_NUM_THREADS");
+        env.set("1");
         let serial = DsCts::new(Technology::asap7()).run(&d);
-        std::env::set_var("RAYON_NUM_THREADS", "4");
+        env.set("4");
         let parallel = DsCts::new(Technology::asap7()).run(&d);
-        // Restore the caller's pin (e.g. CI's RAYON_NUM_THREADS=1 run)
-        // rather than unconditionally deleting it.
-        match previous {
-            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
-            None => std::env::remove_var("RAYON_NUM_THREADS"),
-        }
+        drop(env);
         assert_eq!(serial.metrics, parallel.metrics);
         assert_eq!(serial.tree, parallel.tree);
         assert_eq!(serial.root_candidates, parallel.root_candidates);
@@ -590,7 +751,7 @@ mod tests {
 
     #[test]
     fn staged_drivers_compose_to_run() {
-        // route + insert + refine_tree + evaluate_tree must be
+        // route + insert + optimize_tree + evaluate_tree must be
         // bit-identical to the monolithic run — the invariant the batched
         // DSE engine and the Table III regenerator rely on.
         let d = BenchmarkSpec::c4_riscv32i().generate();
@@ -598,13 +759,85 @@ mod tests {
         let whole = pipe.run(&d);
         let topo = pipe.route(&d).expect("routable");
         let (mut tree, dp) = pipe.insert(topo).expect("feasible");
-        let refinement = pipe.refine_tree(&mut tree);
+        let optimization = pipe.optimize_tree(&mut tree).expect("default schedule");
         let metrics = pipe.evaluate_tree(&tree);
         assert_eq!(whole.tree, tree);
         assert_eq!(whole.metrics, metrics);
         assert_eq!(whole.root_candidates, dp.root_candidates);
         assert_eq!(whole.chosen, dp.chosen);
+        let whole_opt = whole.optimization.expect("default schedule ran");
+        assert_eq!(whole_opt.before, optimization.before);
+        assert_eq!(whole_opt.after, optimization.after);
+    }
+
+    #[test]
+    fn legacy_refine_tree_matches_default_schedule() {
+        // The pre-pass-API staged driver is a wrapper over the same
+        // arithmetic the default schedule runs: composing with it stays
+        // bit-identical to `run`, and Outcome::refinement reconstructs
+        // exactly what the free-standing refine() reports.
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let pipe = DsCts::new(Technology::asap7());
+        let whole = pipe.run(&d);
+        let topo = pipe.route(&d).expect("routable");
+        let (mut tree, _dp) = pipe.insert(topo).expect("feasible");
+        let refinement = pipe.refine_tree(&mut tree);
+        assert_eq!(whole.tree, tree);
         assert_eq!(whole.refinement, refinement);
+    }
+
+    #[test]
+    fn explicit_default_schedule_is_bit_identical() {
+        // Spelling the default schedule out via the builder must change
+        // nothing: schedule(default_post_cts(cfg)) == skew_refinement(cfg).
+        use crate::opt::OptSchedule;
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let implicit = DsCts::new(Technology::asap7()).run(&d);
+        let explicit = DsCts::new(Technology::asap7())
+            .schedule(OptSchedule::default_post_cts(SkewConfig::default()))
+            .run(&d);
+        assert_eq!(implicit.tree, explicit.tree);
+        assert_eq!(implicit.metrics, explicit.metrics);
+        assert_eq!(implicit.refinement, explicit.refinement);
+    }
+
+    #[test]
+    fn custom_schedule_runs_and_reports_passes() {
+        use crate::opt::{AnnealedSizingPass, OptSchedule};
+        use crate::sizing::SizingPass;
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let o = DsCts::new(Technology::asap7())
+            .schedule(
+                OptSchedule::new()
+                    .with(SizingPass::default())
+                    .with(EndpointRefinePass::default())
+                    .with(AnnealedSizingPass::default()),
+            )
+            .run(&d);
+        let report = o.optimization.as_ref().expect("schedule ran");
+        assert_eq!(report.passes.len(), 3);
+        assert_eq!(report.after, o.metrics);
+        // Per-pass wall clocks folded into the stage timings.
+        for name in ["opt:sizing", "opt:endpoint-refine", "opt:annealed-sizing"] {
+            assert!(o.stage_seconds(name).is_some(), "missing timing {name}");
+        }
+        // The refine-compat report comes from the scheduled pass.
+        let refinement = o.refinement.expect("schedule includes refine");
+        assert_eq!(refinement.buffers_added, report.passes[1].accepted);
+        assert_eq!(o.tree.validate_sides(), Ok(()));
+    }
+
+    #[test]
+    fn empty_custom_schedule_drops_the_stage() {
+        use crate::opt::OptSchedule;
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let o = DsCts::new(Technology::asap7())
+            .schedule(OptSchedule::new())
+            .run(&d);
+        assert!(o.stage_seconds("optimize").is_none());
+        assert!(o.optimization.is_none());
+        assert!(o.refinement.is_none());
+        assert_eq!(o.stages.len(), 3);
     }
 
     #[test]
@@ -624,12 +857,39 @@ mod tests {
     #[test]
     fn outcome_reports_per_stage_timings() {
         let o = run(false);
-        let names: Vec<&str> = o.stages.iter().map(|s| s.name).collect();
-        assert_eq!(names, ["route", "insertion", "refine", "evaluate"]);
+        let names: Vec<&str> = o.stages.iter().map(|s| s.name.as_ref()).collect();
+        assert_eq!(
+            names,
+            [
+                "route",
+                "insertion",
+                "optimize",
+                "opt:endpoint-refine",
+                "evaluate"
+            ]
+        );
         assert!(o.stages.iter().all(|s| s.seconds >= 0.0));
-        // Stage wall clocks are disjoint slices of the total runtime.
-        let sum: f64 = o.stages.iter().map(|s| s.seconds).sum();
-        assert!(sum <= o.runtime_s + 1e-6, "{sum} vs {}", o.runtime_s);
+        // Proper stage wall clocks are disjoint slices of the total
+        // runtime; `opt:` entries are nested inside the optimize stage.
+        let stage_sum: f64 = o
+            .stages
+            .iter()
+            .filter(|s| !s.name.starts_with("opt:"))
+            .map(|s| s.seconds)
+            .sum();
+        assert!(
+            stage_sum <= o.runtime_s + 1e-6,
+            "{stage_sum} vs {}",
+            o.runtime_s
+        );
+        let pass_sum: f64 = o
+            .stages
+            .iter()
+            .filter(|s| s.name.starts_with("opt:"))
+            .map(|s| s.seconds)
+            .sum();
+        let optimize = o.stage_seconds("optimize").expect("stage ran");
+        assert!(pass_sum <= optimize + 1e-6, "{pass_sum} vs {optimize}");
         assert_eq!(o.stage_seconds("insertion"), Some(o.stages[1].seconds));
         assert_eq!(o.stage_seconds("nonexistent"), None);
     }
@@ -640,8 +900,9 @@ mod tests {
         let o = DsCts::new(Technology::asap7())
             .skew_refinement(None)
             .run(&d);
-        assert!(o.stage_seconds("refine").is_none());
+        assert!(o.stage_seconds("optimize").is_none());
         assert!(o.refinement.is_none());
+        assert!(o.optimization.is_none());
         assert_eq!(o.stages.len(), 3);
     }
 

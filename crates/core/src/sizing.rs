@@ -15,10 +15,17 @@
 //! whole tree, and a rejected trial is a journal rollback. Metrics remain
 //! bit-identical to the batch evaluator (see the `incremental` module
 //! invariants), so this is a pure speedup.
+//!
+//! The optimizer is packaged as [`SizingPass`] for the composable
+//! [`crate::opt`] schedule API; [`resize_for_skew`] remains as a thin,
+//! bit-identical wrapper that builds a fresh evaluator, runs the pass
+//! once, and reports before/after metrics.
 
 use crate::incremental::IncrementalEval;
+use crate::opt::{OptCtx, OptPass, PassStats};
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
 use dscts_tech::Technology;
+use std::borrow::Cow;
 
 /// Configuration of the sizing pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,9 +62,121 @@ pub struct SizingReport {
     pub after: TreeMetrics,
 }
 
+/// The greedy buffer-sizing optimizer as a composable [`OptPass`].
+///
+/// Re-sizes the final buffer of each leaf path to balance sink arrivals;
+/// changes are kept only when they reduce skew without hurting latency.
+/// [`resize_for_skew`] wraps this pass for one-shot callers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SizingPass {
+    /// The scale alphabet and round cap.
+    pub cfg: SizingConfig,
+}
+
+impl SizingPass {
+    /// The pass's stable name.
+    pub const NAME: &'static str = "sizing";
+
+    /// A pass with the given configuration.
+    pub fn new(cfg: SizingConfig) -> Self {
+        SizingPass { cfg }
+    }
+
+    /// Runs the greedy sweep over an existing evaluator. This is the
+    /// entire optimizer — both [`resize_for_skew`] and the [`OptPass`]
+    /// impl delegate here, so the two paths cannot drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured scales are empty or non-positive.
+    pub fn run_on(&self, eval: &mut IncrementalEval<'_>) -> PassStats {
+        let cfg = &self.cfg;
+        assert!(
+            !cfg.scales.is_empty() && cfg.scales.iter().all(|&s| s > 0.0),
+            "scales must be positive"
+        );
+        // The last buffered trunk edge above each star.
+        let tree = eval.tree();
+        let last_buffered: Vec<Option<usize>> = tree
+            .topo
+            .stars
+            .iter()
+            .map(|s| {
+                let mut v = s.node;
+                loop {
+                    if tree.patterns[v as usize].is_some_and(|p| p.buffers() > 0) {
+                        return Some(v as usize);
+                    }
+                    match tree.topo.nodes[v as usize].parent {
+                        Some(p) if p != 0 => v = p,
+                        _ => return None,
+                    }
+                }
+            })
+            .collect();
+
+        let mut stats = PassStats::default();
+        for _ in 0..cfg.max_rounds {
+            let mut changed = 0usize;
+            // Process stars from the fastest upward: downsizing their last
+            // buffer pads their arrival toward the mean.
+            let mut order: Vec<usize> = (0..eval.tree().topo.stars.len()).collect();
+            order.sort_by(|&a, &b| eval.star_earliest(a).total_cmp(&eval.star_earliest(b)));
+            for si in order {
+                let Some(edge) = last_buffered[si] else {
+                    continue;
+                };
+                let old_scale = eval.buffer_scale(edge);
+                let (current_latency, current_skew) = eval.latency_skew_ps();
+                let mut best = (current_skew, old_scale);
+                for &s in &cfg.scales {
+                    if (s - old_scale).abs() < 1e-12 {
+                        continue;
+                    }
+                    stats.attempted += 1;
+                    // An infeasible scale (overloaded buffer anywhere on the
+                    // dirty path) rolls itself back and returns false.
+                    if !eval.set_buffer_scale(edge, s) {
+                        continue;
+                    }
+                    let (trial_latency, trial_skew) = eval.latency_skew_ps();
+                    if trial_skew < best.0 - 1e-9 && trial_latency <= current_latency + 1e-9 {
+                        best = (trial_skew, s);
+                    }
+                    eval.undo();
+                }
+                if (best.1 - old_scale).abs() > 1e-12 {
+                    let ok = eval.set_buffer_scale(edge, best.1);
+                    debug_assert!(ok, "winning trial scale must stay feasible");
+                    eval.commit();
+                    changed += 1;
+                }
+            }
+            stats.accepted += changed;
+            if changed == 0 {
+                break;
+            }
+        }
+        stats
+    }
+}
+
+impl OptPass for SizingPass {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed(Self::NAME)
+    }
+
+    fn run(&self, ctx: &mut OptCtx<'_>) -> PassStats {
+        self.run_on(ctx.eval_mut())
+    }
+}
+
 /// Greedily re-sizes the final buffer of each leaf path to balance sink
 /// arrivals. Changes are kept only when they reduce skew without hurting
 /// latency; the tree is otherwise left untouched.
+///
+/// Thin wrapper over [`SizingPass::run_on`] — bit-identical to scheduling
+/// a [`SizingPass`] through the [`crate::opt::PassManager`].
 ///
 /// # Panics
 ///
@@ -68,76 +187,12 @@ pub fn resize_for_skew(
     model: EvalModel,
     cfg: &SizingConfig,
 ) -> SizingReport {
-    assert!(
-        !cfg.scales.is_empty() && cfg.scales.iter().all(|&s| s > 0.0),
-        "scales must be positive"
-    );
-    // The last buffered trunk edge above each star.
-    let last_buffered: Vec<Option<usize>> = tree
-        .topo
-        .stars
-        .iter()
-        .map(|s| {
-            let mut v = s.node;
-            loop {
-                if tree.patterns[v as usize].is_some_and(|p| p.buffers() > 0) {
-                    return Some(v as usize);
-                }
-                match tree.topo.nodes[v as usize].parent {
-                    Some(p) if p != 0 => v = p,
-                    _ => return None,
-                }
-            }
-        })
-        .collect();
-
     let mut eval = IncrementalEval::new(tree, tech, model);
     let before = eval.metrics();
-    let mut resized = 0usize;
-
-    for _ in 0..cfg.max_rounds {
-        let mut changed = 0usize;
-        // Process stars from the fastest upward: downsizing their last
-        // buffer pads their arrival toward the mean.
-        let mut order: Vec<usize> = (0..eval.tree().topo.stars.len()).collect();
-        order.sort_by(|&a, &b| eval.star_earliest(a).total_cmp(&eval.star_earliest(b)));
-        for si in order {
-            let Some(edge) = last_buffered[si] else {
-                continue;
-            };
-            let old_scale = eval.buffer_scale(edge);
-            let current_latency = eval.latency_ps();
-            let mut best = (eval.skew_ps(), old_scale);
-            for &s in &cfg.scales {
-                if (s - old_scale).abs() < 1e-12 {
-                    continue;
-                }
-                // An infeasible scale (overloaded buffer anywhere on the
-                // dirty path) rolls itself back and returns false.
-                if !eval.set_buffer_scale(edge, s) {
-                    continue;
-                }
-                if eval.skew_ps() < best.0 - 1e-9 && eval.latency_ps() <= current_latency + 1e-9 {
-                    best = (eval.skew_ps(), s);
-                }
-                eval.undo();
-            }
-            if (best.1 - old_scale).abs() > 1e-12 {
-                let ok = eval.set_buffer_scale(edge, best.1);
-                debug_assert!(ok, "winning trial scale must stay feasible");
-                eval.commit();
-                changed += 1;
-            }
-        }
-        resized += changed;
-        if changed == 0 {
-            break;
-        }
-    }
-
+    let stats = SizingPass::new(cfg.clone()).run_on(&mut eval);
     let after = eval.metrics();
     SizingReport {
-        resized,
+        resized: stats.accepted,
         before,
         after,
     }

@@ -14,10 +14,16 @@
 //! descending order of slack (max-latency − delay). That reading is
 //! implemented here and verified by the Fig. 11 bench: skew drops sharply
 //! while latency and buffer count barely move.
+//!
+//! The optimizer is packaged as [`EndpointRefinePass`] for the composable
+//! [`crate::opt`] schedule API — the default pipeline schedule is exactly
+//! this one pass — with [`refine`] kept as a thin, bit-identical wrapper.
 
 use crate::incremental::IncrementalEval;
+use crate::opt::{OptCtx, OptPass, PassStats};
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
 use dscts_tech::Technology;
+use std::borrow::Cow;
 
 /// Configuration of the refinement step.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,6 +87,103 @@ pub fn endpoint_budget(n_sinks: usize, max_endpoints: usize) -> usize {
     ((n_sinks as f64 * scale_factor(n_sinks)) as usize).min(max_endpoints)
 }
 
+/// The §III-D end-point refinement optimizer as a composable [`OptPass`].
+///
+/// This is the default pipeline's whole optimization schedule (see
+/// [`crate::opt::OptSchedule::default_post_cts`]); [`refine`] wraps it
+/// for one-shot callers. [`PassStats::triggered`] reports whether the
+/// skew-over-latency trigger condition held.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EndpointRefinePass {
+    /// Trigger, budget and round cap.
+    pub cfg: SkewConfig,
+}
+
+impl EndpointRefinePass {
+    /// The pass's stable name. Reserved: the pipeline reconstructs
+    /// [`RefineReport`] ([`crate::Outcome::refinement`]) from the pass
+    /// carrying this name, so a custom [`OptPass`] must not reuse it —
+    /// its stats would be misread as §III-D refinement numbers.
+    pub const NAME: &'static str = "endpoint-refine";
+
+    /// A pass with the given configuration.
+    pub fn new(cfg: SkewConfig) -> Self {
+        EndpointRefinePass { cfg }
+    }
+
+    /// Runs the refinement rounds over an existing evaluator. This is the
+    /// entire optimizer — both [`refine`] and the [`OptPass`] impl
+    /// delegate here, so the two paths cannot drift.
+    pub fn run_on(&self, eval: &mut IncrementalEval<'_>) -> PassStats {
+        let cfg = &self.cfg;
+        let n_sinks = eval.tree().topo.sink_pos.len();
+        let budget_per_round = endpoint_budget(n_sinks, cfg.max_endpoints);
+        let mut stats = PassStats {
+            triggered: false,
+            ..PassStats::default()
+        };
+
+        for _ in 0..cfg.max_rounds {
+            let (current_latency, current_skew) = eval.latency_skew_ps();
+            if current_skew <= cfg.trigger_percent / 100.0 * current_latency {
+                break;
+            }
+            stats.triggered = true;
+            // Rank stars by their earliest sink arrival (fastest first).
+            let mut star_arrival: Vec<(usize, f64)> = (0..eval.tree().topo.stars.len())
+                .filter(|&si| !eval.tree().star_buffers[si])
+                .map(|si| (si, eval.star_earliest(si)))
+                .collect();
+            star_arrival.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+            // Estimate the padding each buffer adds: the buffer delay
+            // driving the star load (shielding the trunk barely moves its
+            // arrival).
+            let mut added_this_round = 0usize;
+            let round_mark = eval.mark();
+            for (si, earliest) in star_arrival {
+                if added_this_round >= budget_per_round {
+                    break;
+                }
+                let pad = eval.tech().buffer().delay_ps(eval.star_load(si));
+                // Resource-aware guard: do not overshoot the current
+                // maximum.
+                if earliest + pad > current_latency {
+                    continue;
+                }
+                stats.attempted += 1;
+                if eval.set_star_buffer(si, true) {
+                    added_this_round += 1;
+                }
+            }
+            if added_this_round == 0 {
+                break;
+            }
+            // Shielding the trunk shifts other arrivals too; accept the
+            // round only when skew actually improved, else roll it back.
+            let (round_latency, round_skew) = eval.latency_skew_ps();
+            if round_skew < current_skew && round_latency <= current_latency + 1e-9 {
+                stats.accepted += added_this_round;
+                eval.commit();
+            } else {
+                eval.undo_to(round_mark);
+                break;
+            }
+        }
+        stats
+    }
+}
+
+impl OptPass for EndpointRefinePass {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed(Self::NAME)
+    }
+
+    fn run(&self, ctx: &mut OptCtx<'_>) -> PassStats {
+        self.run_on(ctx.eval_mut())
+    }
+}
+
 /// Runs skew refinement in place, adding end-point buffers at low-level
 /// centroids. Returns a [`RefineReport`].
 ///
@@ -92,68 +195,23 @@ pub fn endpoint_budget(n_sinks: usize, max_endpoints: usize) -> usize {
 /// Each candidate buffer is applied through [`IncrementalEval`], so a
 /// round costs O(endpoints × (depth + subtree)) instead of a full tree
 /// evaluation per round, and a rejected round is a journal rollback.
+///
+/// Thin wrapper over [`EndpointRefinePass::run_on`] — bit-identical to
+/// scheduling an [`EndpointRefinePass`] through the
+/// [`crate::opt::PassManager`].
 pub fn refine(
     tree: &mut SynthesizedTree,
     tech: &Technology,
     model: EvalModel,
     cfg: &SkewConfig,
 ) -> RefineReport {
-    let n_sinks = tree.topo.sink_pos.len();
-    let budget_per_round = endpoint_budget(n_sinks, cfg.max_endpoints);
     let mut eval = IncrementalEval::new(tree, tech, model);
     let before = eval.metrics();
-    let mut triggered = false;
-    let mut buffers_added = 0usize;
-
-    for _ in 0..cfg.max_rounds {
-        let (current_skew, current_latency) = (eval.skew_ps(), eval.latency_ps());
-        if current_skew <= cfg.trigger_percent / 100.0 * current_latency {
-            break;
-        }
-        triggered = true;
-        // Rank stars by their earliest sink arrival (fastest first).
-        let mut star_arrival: Vec<(usize, f64)> = (0..eval.tree().topo.stars.len())
-            .filter(|&si| !eval.tree().star_buffers[si])
-            .map(|si| (si, eval.star_earliest(si)))
-            .collect();
-        star_arrival.sort_by(|a, b| a.1.total_cmp(&b.1));
-
-        // Estimate the padding each buffer adds: the buffer delay driving
-        // the star load (shielding the trunk barely moves its arrival).
-        let buf = tech.buffer();
-        let mut added_this_round = 0usize;
-        let round_mark = eval.mark();
-        for (si, earliest) in star_arrival {
-            if added_this_round >= budget_per_round {
-                break;
-            }
-            let pad = buf.delay_ps(eval.star_load(si));
-            // Resource-aware guard: do not overshoot the current maximum.
-            if earliest + pad > current_latency {
-                continue;
-            }
-            if eval.set_star_buffer(si, true) {
-                added_this_round += 1;
-            }
-        }
-        if added_this_round == 0 {
-            break;
-        }
-        // Shielding the trunk shifts other arrivals too; accept the round
-        // only when skew actually improved, otherwise roll it back.
-        if eval.skew_ps() < current_skew && eval.latency_ps() <= current_latency + 1e-9 {
-            buffers_added += added_this_round;
-            eval.commit();
-        } else {
-            eval.undo_to(round_mark);
-            break;
-        }
-    }
-
+    let stats = EndpointRefinePass::new(*cfg).run_on(&mut eval);
     let after = eval.metrics();
     RefineReport {
-        triggered,
-        buffers_added,
+        triggered: stats.triggered,
+        buffers_added: stats.accepted,
         before,
         after,
     }

@@ -62,12 +62,9 @@ impl TreeMetrics {
         ArrivalStats::from_arrivals(self.arrivals.iter().copied()).expect("non-empty arrivals")
     }
 
-    /// Dynamic clock-network power `C·V²·f` in µW (the clock switches its
-    /// full capacitance every cycle; no activity derating).
-    ///
-    /// ```
-    /// # // fF · V² · GHz = µW
-    /// ```
+    /// Dynamic clock-network power `C·V²·f` in µW — fF · V² · GHz = µW
+    /// (the clock switches its full capacitance every cycle; no activity
+    /// derating).
     pub fn clock_power_uw(&self, vdd_v: f64, freq_ghz: f64) -> f64 {
         self.switched_cap_ff * vdd_v * vdd_v * freq_ghz
     }

@@ -10,7 +10,7 @@
 //!    distance between their segments into edge lengths `ea + eb = d` that
 //!    equalise Elmore delay, resorting to *wire snaking* (detour wire,
 //!    `ea = 0, eb > d`) when one subtree is too slow to balance within `d`
-//!    (Boese–Kahng / Edahiro, refs. [13], [14] of the paper);
+//!    (Boese–Kahng / Edahiro, refs. \[13\], \[14\] of the paper);
 //! 2. **top-down**: starting from the point of the root merging segment
 //!    nearest the clock source, each child embeds at the point of its
 //!    merging segment nearest its parent.

@@ -1,7 +1,7 @@
 //! Reader/writer for the placed-DEF subset used by this workspace.
 //!
 //! The paper's flow exchanges `post-place` and `post-cts` DEF files between
-//! OpenROAD and the CTS tool ([37]). This module implements the subset those
+//! OpenROAD and the CTS tool (\[37\]). This module implements the subset those
 //! steps need: `DESIGN`, `UNITS`, `DIEAREA`, `ROW` (core box), `COMPONENTS`
 //! (flip-flops, and optionally inserted clock cells), and the clock `PINS`
 //! entry. Workspace-specific metadata that stock DEF cannot carry (cell

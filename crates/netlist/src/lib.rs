@@ -3,7 +3,7 @@
 //! The paper evaluates on five OpenROAD designs (Table II: `jpeg`,
 //! `swerv_wrapper`, `ethmac`, `riscv32i`, `aes`), running the OpenROAD
 //! backend to obtain placed DEF files. Those flows (and the designs'
-//! RTL) are outside this repository, so [`benchgen`] synthesizes placed
+//! RTL) are outside this repository, so `benchgen` synthesizes placed
 //! designs with the **same statistics** — cell count, flip-flop count and
 //! utilization — on an ASAP7-like floorplan. Every CTS algorithm in this
 //! workspace consumes only the data modelled here: sink locations and

@@ -42,7 +42,7 @@ mod ntsv;
 
 pub use buffer::BufferModel;
 pub use layer::{Layer, WireRc};
-pub use nldm::NldmTable;
+pub use nldm::{NldmError, NldmTable};
 pub use ntsv::NtsvModel;
 
 use std::fmt;

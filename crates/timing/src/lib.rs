@@ -11,7 +11,7 @@
 //! which reproduces the paper's Eq. (1) and Eq. (2) closed forms exactly
 //! (verified by unit and property tests in this crate). Slew is propagated
 //! with the PERI rule (`slew² = slew_in² + (ln 9 · elmore)²`), following the
-//! voltage-scaled clock network methodology the paper cites ([34]).
+//! voltage-scaled clock network methodology the paper cites (\[34\]).
 //!
 //! Three layers of API:
 //!

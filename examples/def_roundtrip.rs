@@ -1,7 +1,7 @@
 //! Substrate tour: write a placed design to DEF, parse it back, synthesize
 //! a clock tree for the parsed design, and emit a post-CTS DEF carrying the
 //! inserted buffers and nTSVs — the file exchange the paper's flow performs
-//! around OpenROAD ([37]).
+//! around OpenROAD (\[37\]).
 //!
 //! Run with `cargo run --release --example def_roundtrip`.
 

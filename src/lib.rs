@@ -17,16 +17,20 @@
 //! | [`cluster`] | `dscts-cluster` | capacity-bounded k-means, dual-level hierarchy |
 //! | [`dme`] | `dscts-dme` | zero-skew deferred-merge embedding |
 //! | [`vanginneken`] | `dscts-buffer` | classic single-side buffer insertion |
-//! | [`core`] | `dscts-core` | the staged CTS engine: stages, patterns, DP, skew refinement, DSE, baselines, errors |
+//! | [`core`] | `dscts-core` | the staged CTS engine: stages, patterns, DP, the composable `opt` pass layer, DSE, baselines, errors |
 //!
 //! The synthesis flow itself is a **staged engine**: [`DsCts`] executes
-//! `route → insertion → refine → evaluate`, where each phase is a
+//! `route → insertion → optimize → evaluate`, where each phase is a
 //! [`Stage`] over a shared [`PipelineCtx`] blackboard and is wall-clocked
-//! individually into [`Outcome::stages`]. Unsatisfiable inputs surface as
-//! [`CtsError`] from [`DsCts::try_run`] (the panicking [`DsCts::run`]
-//! wrapper remains for callers that treat them as bugs). Routing and DP
-//! hot paths are rayon-parallel and bit-identical at any thread count;
-//! set `RAYON_NUM_THREADS=1` to reproduce the serial engine exactly.
+//! individually into [`Outcome::stages`]. The optimize stage runs a
+//! composable schedule of [`core::opt::OptPass`]es (by default the
+//! paper's §III-D skew refinement; custom schedules plug in via
+//! `DsCts::schedule`), reporting one `opt:<name>` timing per pass.
+//! Unsatisfiable inputs surface as [`CtsError`] from [`DsCts::try_run`]
+//! (the panicking [`DsCts::run`] wrapper remains for callers that treat
+//! them as bugs). Routing and DP hot paths are rayon-parallel and
+//! bit-identical at any thread count; set `RAYON_NUM_THREADS=1` to
+//! reproduce the serial engine exactly.
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -39,8 +43,10 @@
 //! let outcome = DsCts::new(Technology::asap7()).run(&design);
 //! println!("{}", outcome.metrics);
 //! assert!(outcome.metrics.ntsvs > 0);
-//! // Per-stage wall clock: route, insertion, refine, evaluate.
-//! assert_eq!(outcome.stages.len(), 4);
+//! // Per-stage wall clock: route, insertion, optimize (plus its one
+//! // default opt:endpoint-refine pass), evaluate.
+//! assert_eq!(outcome.stages.len(), 5);
+//! assert!(outcome.stage_seconds("opt:endpoint-refine").is_some());
 //! ```
 //!
 //! Fallible embedding (services, sweeps) goes through [`DsCts::try_run`]:
@@ -69,9 +75,9 @@ pub use dscts_timing as timing;
 pub use dscts_buffer as vanginneken;
 
 pub use dscts_core::{
-    baseline, dse, skew, CtsError, DsCts, EvalModel, HierarchicalRouter, Mode, ModeRule,
-    MoesWeights, Outcome, Pattern, PatternSet, PipelineCtx, PruneMode, RootCand, RoutingStyle,
-    Stage, StageTiming, SynthesizedTree, TreeMetrics,
+    baseline, dse, opt, skew, CtsError, DsCts, EvalModel, HierarchicalRouter, Mode, ModeRule,
+    MoesWeights, OptSchedule, Outcome, Pattern, PatternSet, PipelineCtx, PruneMode, RootCand,
+    RoutingStyle, Stage, StageTiming, SynthesizedTree, TreeMetrics,
 };
 pub use dscts_netlist::{BenchmarkSpec, Design};
 pub use dscts_tech::{BufferModel, Layer, NtsvModel, Side, Technology};

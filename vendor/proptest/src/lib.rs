@@ -3,7 +3,7 @@
 //! The build environment has no access to crates.io, so the workspace
 //! vendors a minimal property-testing harness with the same call shapes:
 //! the [`proptest!`] macro (including `#![proptest_config(..)]`), the
-//! [`Strategy`] trait with `prop_map`, range and tuple strategies,
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`, range and tuple strategies,
 //! `prop::collection::vec`, and the `prop_assert!` family.
 //!
 //! Differences from the real crate, acceptable for this workspace's
@@ -119,7 +119,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         elem: S,
