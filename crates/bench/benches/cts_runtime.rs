@@ -6,15 +6,16 @@
 //! synthesize-then-flip.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dscts_bench::{c2_sizing_workload, fig12_thresholds, forced_refine_config};
+use dscts_bench::{c2_sizing_workload, fig12_thresholds, forced_refine_config, sizing_workload};
 use dscts_core::baseline::{flip_backside, FlipMethod, HTreeCts};
 use dscts_core::dse;
+use dscts_core::mcmm::MultiCornerEval;
 use dscts_core::opt::{AnnealConfig, AnnealedSizingPass, OptSchedule, PassManager};
 use dscts_core::sizing::{resize_for_skew, SizingConfig, SizingPass};
 use dscts_core::skew::{refine, EndpointRefinePass};
 use dscts_core::{DsCts, EvalModel};
 use dscts_netlist::BenchmarkSpec;
-use dscts_tech::Technology;
+use dscts_tech::{CornerSet, Technology};
 use std::hint::black_box;
 
 fn bench_flows(c: &mut Criterion) {
@@ -166,11 +167,77 @@ fn bench_dse_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// MCMM fan-out evaluation on the C4 workload with the three-corner
+/// ASAP7 SS/TT/FF set: the marginal cost of keeping K corners signed
+/// off per trial move. `fanout_mutation` pays K dirty ancestor paths +
+/// subtrees through the resident `MultiCornerEval`; `k_full_evaluates`
+/// is what a non-incremental MCMM loop would pay — K from-scratch
+/// `evaluate()` calls after the same knob write.
+fn bench_mcmm_eval(c: &mut Criterion) {
+    let (tree, tech) = sizing_workload(&BenchmarkSpec::c4_riscv32i());
+    let corners = CornerSet::asap7_pvt(&tech);
+    // The edge a sizing move would touch: the last buffer above a leaf
+    // star, whose dirty region is a path + small subtree (a root-side
+    // buffer would re-time the whole tree and measure construction, not
+    // the dirty-path win).
+    let edge = {
+        let mut v = tree.topo.stars[0].node;
+        loop {
+            if tree.patterns[v as usize].is_some_and(|p| p.buffers() > 0) {
+                break v as usize;
+            }
+            v = tree.topo.nodes[v as usize]
+                .parent
+                .expect("buffered ancestor");
+        }
+    };
+
+    let mut group = c.benchmark_group("mcmm_eval");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("fanout_mutation", "C4x3"),
+        &tree,
+        |b, t| {
+            let mut t = t.clone();
+            let mut mc = MultiCornerEval::new(&mut t, &corners, EvalModel::Elmore);
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                let ok = mc.set_buffer_scale(edge, if flip { 2.0 } else { 1.0 });
+                assert!(ok, "scale toggle stays feasible");
+                mc.commit();
+                black_box(mc.worst_latency_skew_ps())
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("k_full_evaluates", "C4x3"),
+        &tree,
+        |b, t| {
+            let mut t = t.clone();
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                t.buffer_scales[edge] = if flip { 2.0 } else { 1.0 };
+                let mut worst = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+                for corner_tech in corners.techs() {
+                    let m = t.evaluate(corner_tech, EvalModel::Elmore);
+                    worst.0 = worst.0.max(m.latency_ps);
+                    worst.1 = worst.1.max(m.skew_ps);
+                }
+                black_box(worst)
+            });
+        },
+    );
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_flows,
     bench_opt_passes,
     bench_opt_schedule,
-    bench_dse_sweep
+    bench_dse_sweep,
+    bench_mcmm_eval
 );
 criterion_main!(benches);

@@ -23,6 +23,13 @@
 //!   alphabet, no star toggles), verify the annealer beats greedy on skew
 //!   or latency on at least one design, and write quality + runtime per
 //!   record to `BENCH_pr4.json`;
+//! * `baseline --pr5` — run the MCMM robust-vs-nominal comparison on the
+//!   C1/C4/C5 latency-greedy workloads: the default-plus-annealed
+//!   schedule optimized against the nominal objective versus the same
+//!   schedule fanned out over the ASAP7 SS/TT/FF corner set with the
+//!   worst-corner objective, verify the robust run improves worst-corner
+//!   skew at equal resource bounds on at least one design, and write
+//!   per-corner + robust metrics per record to `BENCH_pr5.json`;
 //! * `baseline --check <file>` — re-run the snapshot's workload (the
 //!   design suite, the DSE sweep pair for a `--pr3`-style snapshot, or
 //!   the sizing comparison for a `--pr4`-style one) and exit non-zero if
@@ -34,11 +41,13 @@
 //! Run with `cargo run --release -p dscts-bench --bin baseline [-- FLAGS]`.
 
 use dscts_bench::{all_designs, fig12_thresholds, sizing_workload, DESIGN_IDS};
+use dscts_core::mcmm::{CornerReport, RobustObjective};
 use dscts_core::opt::{AnnealedSizingPass, OptSchedule, PassManager};
 use dscts_core::sizing::{resize_for_skew, SizingConfig};
+use dscts_core::skew::SkewConfig;
 use dscts_core::{dse, DsCts, EvalModel, Outcome, TreeMetrics};
 use dscts_netlist::{BenchmarkSpec, Design};
-use dscts_tech::Technology;
+use dscts_tech::{CornerSet, Technology};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -254,6 +263,163 @@ fn sizing_records_json(records: &[SizingRecord]) -> String {
     rows.join(",\n")
 }
 
+/// One timed MCMM measurement (the `--pr5` workload): the
+/// default-plus-annealed schedule run nominally or fanned out over the
+/// SS/TT/FF corner set with the worst-corner objective, then signed off
+/// in every corner.
+struct McmmRecord {
+    /// `"<design>-mcmm-nominal"` or `"<design>-mcmm-robust"`.
+    name: String,
+    runtime_s: f64,
+    /// Per-corner + robust sign-off of the optimized tree.
+    report: CornerReport,
+}
+
+/// The `--pr5` designs: a small / medium / large slice of Table II (C2
+/// and C3 are the expensive DSE/sizing snapshots' territory).
+const MCMM_IDS: [&str; 3] = ["C1", "C4", "C5"];
+
+fn mcmm_specs() -> [BenchmarkSpec; 3] {
+    [
+        BenchmarkSpec::c1_jpeg(),
+        BenchmarkSpec::c4_riscv32i(),
+        BenchmarkSpec::c5_aes(),
+    ]
+}
+
+/// Runs the robust-vs-nominal MCMM comparison on the C1/C4/C5
+/// latency-greedy workloads: the identical default-plus-annealed
+/// schedule (seed 7), once scored on the nominal objective and once
+/// fanned out over the ASAP7 SS/TT/FF corners with the worst-corner
+/// objective. Asserts the robust run improves worst-corner skew at
+/// equal resource bounds on at least one design — the PR 5 quality
+/// gate, re-checked by `--check BENCH_pr5.json` in CI.
+fn run_mcmm_pair() -> Vec<McmmRecord> {
+    let mut out = Vec::new();
+    println!(
+        "design  arm        time(ms)   worst skew(ps)   worst lat(ps)   spread(ps)   bufs  nTSVs"
+    );
+    for (id, spec) in MCMM_IDS.iter().zip(mcmm_specs()) {
+        let (tree, tech) = sizing_workload(&spec);
+        let corners = CornerSet::asap7_pvt(&tech);
+        let schedule = OptSchedule::default_post_cts(SkewConfig::default())
+            .with(AnnealedSizingPass::default())
+            .seed(7);
+        let manager = PassManager::new(&schedule);
+        let mut record = |name: &str, runtime_s: f64, report: CornerReport| {
+            let r = &report.robust;
+            let m = &report.per_corner[0];
+            println!(
+                "{id:<7} {name:<9} {:>9.1} {:>16.3} {:>15.3} {:>12.3} {:>6} {:>6}",
+                runtime_s * 1e3,
+                r.worst_skew_ps,
+                r.worst_latency_ps,
+                r.arrival_spread_ps,
+                m.buffers,
+                m.ntsvs,
+            );
+            out.push(McmmRecord {
+                name: format!("{id}-mcmm-{name}"),
+                runtime_s,
+                report,
+            });
+        };
+
+        let mut nominal = tree.clone();
+        let t0 = Instant::now();
+        let _ = manager.run(&mut nominal, &tech, EvalModel::Elmore);
+        let dt = t0.elapsed().as_secs_f64();
+        record(
+            "nominal",
+            dt,
+            CornerReport::evaluate(&nominal, &corners, EvalModel::Elmore),
+        );
+
+        let mut robust = tree.clone();
+        let t0 = Instant::now();
+        let _ = manager.run_corners(
+            &mut robust,
+            &corners,
+            EvalModel::Elmore,
+            RobustObjective::WorstCorner,
+        );
+        let dt = t0.elapsed().as_secs_f64();
+        record(
+            "robust",
+            dt,
+            CornerReport::evaluate(&robust, &corners, EvalModel::Elmore),
+        );
+    }
+    // The robust schedule must beat the nominal one on worst-corner skew
+    // at equal resource bounds somewhere — the point of paying K dirty
+    // paths per move. Asserted here (not only under --pr5) so the CI
+    // `--check BENCH_pr5.json` re-run gates quality as well as runtime.
+    let improved_on = mcmm_improved_designs(&out);
+    assert!(
+        !improved_on.is_empty(),
+        "robust optimization improved worst-corner skew nowhere at equal resources"
+    );
+    println!("\nrobust beats nominal on worst-corner skew (equal resources) on: {improved_on:?}");
+    out
+}
+
+/// Designs where the robust arm improved worst-corner skew over the
+/// nominal arm *at equal resource bounds*. Pairs records by name so a
+/// skipped design fails loudly instead of silently misattributing wins.
+fn mcmm_improved_designs(records: &[McmmRecord]) -> Vec<&'static str> {
+    let by_name = |name: String| {
+        records
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing mcmm record {name}"))
+    };
+    MCMM_IDS
+        .into_iter()
+        .filter(|id| {
+            let n = &by_name(format!("{id}-mcmm-nominal")).report;
+            let r = &by_name(format!("{id}-mcmm-robust")).report;
+            n.per_corner[0].buffers == r.per_corner[0].buffers
+                && n.per_corner[0].ntsvs == r.per_corner[0].ntsvs
+                && r.robust.worst_skew_ps < n.robust.worst_skew_ps - 1e-9
+        })
+        .collect()
+}
+
+fn mcmm_records_json(records: &[McmmRecord]) -> String {
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            let corners: Vec<String> = r
+                .report
+                .corner_names
+                .iter()
+                .zip(&r.report.per_corner)
+                .map(|(name, m)| {
+                    format!(
+                        "{{\"corner\": {name:?}, \"latency_ps\": {:.6}, \"skew_ps\": {:.6}}}",
+                        m.latency_ps, m.skew_ps
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"design\": {:?}, \"runtime_s\": {:.6}, \
+                 \"worst_skew_ps\": {:.6}, \"worst_latency_ps\": {:.6}, \
+                 \"arrival_spread_ps\": {:.6}, \"buffers\": {}, \"ntsvs\": {}, \
+                 \"corners\": [{}]}}",
+                r.name,
+                r.runtime_s,
+                r.report.robust.worst_skew_ps,
+                r.report.robust.worst_latency_ps,
+                r.report.robust.arrival_spread_ps,
+                r.report.per_corner[0].buffers,
+                r.report.per_corner[0].ntsvs,
+                corners.join(", "),
+            )
+        })
+        .collect();
+    rows.join(",\n")
+}
+
 fn run_suite(designs: &[Design], tech: &Technology) -> Vec<Record> {
     println!("design   sinks   route(ms)  insert(ms)  optimize(ms)  eval(ms)  total(ms)  latency(ps)  skew(ps)  bufs  nTSVs");
     designs
@@ -399,6 +565,19 @@ fn main() {
         return;
     }
 
+    if args.first().map(String::as_str) == Some("--pr5") {
+        // Nominal vs robust (worst-corner) optimization over the ASAP7
+        // SS/TT/FF corner set — the PR 5 quality + wall-clock snapshot.
+        let records = run_mcmm_pair();
+        let json = format!(
+            "{{\n  \"flow\": \"mcmm_nominal_vs_robust\",\n  \"corners\": [\"SS\", \"TT\", \"FF\"],\n  \"threads\": {},\n  \"records\": [\n{}\n  ]\n}}\n",
+            rayon::current_num_threads(),
+            mcmm_records_json(&records),
+        );
+        write_snapshot(&workspace_root().join("BENCH_pr5.json"), json);
+        return;
+    }
+
     if args.first().map(String::as_str) == Some("--pr2") {
         let designs = all_designs();
         // Two pinned runs: serial, then the ambient thread count. The
@@ -433,9 +612,11 @@ fn main() {
         assert!(!reference.is_empty(), "no runtime records in {file}");
         // Re-run whatever workload the snapshot recorded: sweep snapshots
         // (--pr3) hold sweep records, sizing snapshots (--pr4) hold the
-        // greedy-vs-annealed pairs, everything else the design suite.
+        // greedy-vs-annealed pairs, MCMM snapshots (--pr5) the
+        // nominal-vs-robust pairs, everything else the design suite.
         let is_sweep = reference.iter().all(|(d, _)| d.contains("sweep"));
         let is_sizing = reference.iter().all(|(d, _)| d.contains("-sizing-"));
+        let is_mcmm = reference.iter().all(|(d, _)| d.contains("-mcmm-"));
         let fresh: Vec<(String, f64)> = if is_sweep {
             let design = BenchmarkSpec::c3_ethmac().generate();
             run_sweep_pair(&design, &tech)
@@ -444,6 +625,11 @@ fn main() {
                 .collect()
         } else if is_sizing {
             run_sizing_pair()
+                .into_iter()
+                .map(|r| (r.name, r.runtime_s))
+                .collect()
+        } else if is_mcmm {
+            run_mcmm_pair()
                 .into_iter()
                 .map(|r| (r.name, r.runtime_s))
                 .collect()

@@ -35,6 +35,23 @@
 //! The evaluator borrows the tree mutably and writes accepted knob changes
 //! (`buffer_scales`, `star_buffers`, `patterns`) through to it, so when the
 //! evaluator is dropped the tree is already in its optimized state.
+//!
+//! # Architecture: `CornerState` and the MCMM fan-out
+//!
+//! All per-technology evaluation state (caps, arrivals, slews, star
+//! bases, sink arrivals) and the dirty-path repair logic live in the
+//! crate-internal `CornerState`, parameterized by the tree, a technology
+//! and a journal sink. [`IncrementalEval`] is one `CornerState` plus the
+//! knob-owning tree borrow and a flat journal; the multi-corner engine
+//! ([`crate::mcmm::MultiCornerEval`]) is K `CornerState`s — one per PVT
+//! corner — fanning every knob mutation out under a single shared,
+//! corner-tagged journal. Both run the *same* repair arithmetic, so the
+//! single-nominal-corner MCMM path is bit-identical to this evaluator
+//! (enforced by `mcmm_proptests`).
+//!
+//! The [`TrialEval`] trait abstracts the mutation/undo/query surface the
+//! optimization passes ([`crate::opt`]) need, so every pass runs
+//! unchanged over either evaluator.
 
 use crate::pattern::{Pattern, PatternEval};
 use crate::synth::{resources, star_loads, EvalModel, SynthesizedTree, TreeMetrics};
@@ -44,7 +61,7 @@ use dscts_timing::{wire_slew, ArrivalStats};
 
 /// One overwritten value, recorded for rollback.
 #[derive(Debug, Clone, Copy)]
-enum Entry {
+pub(crate) enum Entry {
     /// `buffer_scales[edge]` previous value.
     Scale(u32, f64),
     /// `patterns[edge]` previous value.
@@ -65,16 +82,33 @@ enum Entry {
     SinkArr(u32, f64),
 }
 
-/// Incremental evaluator over a [`SynthesizedTree`]. See the module docs
-/// for the dirty-path invariants.
-#[derive(Debug)]
-pub struct IncrementalEval<'a> {
-    tree: &'a mut SynthesizedTree,
-    tech: &'a Technology,
-    model: EvalModel,
-    /// Flat trunk adjacency (cloned from the topology's cache so the tree
-    /// can stay mutably borrowed).
-    csr: TreeCsr,
+/// Where a [`CornerState`] records overwritten values. The single-corner
+/// evaluator journals into a flat `Vec<Entry>`; the MCMM engine tags each
+/// entry with its corner index so one shared journal serves every corner.
+pub(crate) trait Journal {
+    /// Records one overwritten value.
+    fn record(&mut self, e: Entry);
+}
+
+impl Journal for Vec<Entry> {
+    fn record(&mut self, e: Entry) {
+        self.push(e);
+    }
+}
+
+/// The resident evaluation state of one tree under one technology: the
+/// per-topology constants plus every quantity the dirty-path repairs
+/// maintain. Owns no tree borrow — [`IncrementalEval`] holds exactly one
+/// of these, [`crate::mcmm::MultiCornerEval`] holds one per corner over
+/// the same tree.
+///
+/// Repair methods never roll themselves back: on infeasibility they
+/// return `false`/`None` with their journal entries in place, and the
+/// owning evaluator reverts through its journal (which also restores the
+/// knob, and — in the MCMM case — every corner touched before the
+/// failing one).
+#[derive(Debug, Clone)]
+pub(crate) struct CornerState {
     /// Per-star unshielded load (wire + sink pins): constant per topology.
     star_load: Vec<f64>,
     /// Per-sink star-branch Elmore delay: constant per topology.
@@ -99,24 +133,27 @@ pub struct IncrementalEval<'a> {
     star_base_slew: Vec<f64>,
     /// Per-sink arrival times (the batch evaluator's `arrivals` vector).
     arrivals: Vec<f64>,
-    journal: Vec<Entry>,
-    /// Journal position at the start of the last mutation.
-    last_mark: usize,
 }
 
-impl<'a> IncrementalEval<'a> {
-    /// Builds the full evaluation state with one batch-equivalent pass.
+impl CornerState {
+    /// Builds the constants and the bottom-up caps with one
+    /// batch-equivalent pass, then propagates arrivals over the whole
+    /// tree.
     ///
     /// # Panics
     ///
     /// Panics if any edge lacks a pattern or is electrically infeasible
-    /// under the current scales (exactly like [`SynthesizedTree::evaluate`]).
-    pub fn new(tree: &'a mut SynthesizedTree, tech: &'a Technology, model: EvalModel) -> Self {
-        let csr = tree.topo.csr().clone();
+    /// under the current scales (exactly like
+    /// [`SynthesizedTree::evaluate`]).
+    pub(crate) fn new(
+        tree: &SynthesizedTree,
+        tech: &Technology,
+        model: EvalModel,
+        csr: &TreeCsr,
+    ) -> Self {
         let topo = &tree.topo;
         let n = topo.nodes.len();
         let rc_front = tech.rc(Side::Front);
-        let buf = tech.buffer();
         let star_load = star_loads(topo, tech);
 
         // Constant star-branch delays and their per-star extremes.
@@ -135,6 +172,7 @@ impl<'a> IncrementalEval<'a> {
         // Bottom-up caps: same arithmetic and order as the batch pass.
         let mut cap = vec![0.0f64; n];
         let mut up_cap = vec![0.0f64; n];
+        let buf = tech.buffer();
         for &v in csr.order().iter().rev() {
             let vu = v as usize;
             if let Some(si) = topo.nodes[vu].star {
@@ -162,11 +200,7 @@ impl<'a> IncrementalEval<'a> {
 
         let n_stars = topo.stars.len();
         let n_sinks = topo.sink_pos.len();
-        let mut this = IncrementalEval {
-            tree,
-            tech,
-            model,
-            csr,
+        let mut this = CornerState {
             star_load,
             branch_d,
             star_min_d,
@@ -178,15 +212,439 @@ impl<'a> IncrementalEval<'a> {
             star_base: vec![0.0; n_stars],
             star_base_slew: vec![0.0; n_stars],
             arrivals: vec![0.0; n_sinks],
-            journal: Vec::new(),
-            last_mark: 0,
         };
         // Top-down arrivals over the whole tree (node 0 = root driver),
         // then discard the bookkeeping journal: this is the base state.
-        let ok = this.recompute_arrivals_from(0, 0);
-        debug_assert!(ok, "construction re-evaluates a feasible tree");
-        this.journal.clear();
+        // A hard assert, not a debug_assert: under a derated corner a
+        // tree that was feasible at nominal can overload a buffer, and a
+        // release build must fail loudly rather than hand the MCMM
+        // engine a half-propagated state.
+        let mut journal = Vec::new();
+        let ok = this.recompute_arrivals_from(tree, tech, model, csr, 0, &mut journal);
+        assert!(
+            ok,
+            "tree is electrically infeasible under technology `{}`",
+            tech.name()
+        );
         this
+    }
+
+    // --- Queries ----------------------------------------------------------
+
+    /// Per-sink arrival times, bit-identical to [`TreeMetrics::arrivals`]
+    /// of a batch evaluation.
+    pub(crate) fn arrivals(&self) -> &[f64] {
+        &self.arrivals
+    }
+
+    /// Downstream capacitance at trunk node `v`.
+    pub(crate) fn load_at(&self, v: usize) -> f64 {
+        self.cap[v]
+    }
+
+    /// Unshielded load of star `si` (wire + sink pins).
+    pub(crate) fn star_load(&self, si: usize) -> f64 {
+        self.star_load[si]
+    }
+
+    /// Earliest sink arrival within star `si`.
+    pub(crate) fn star_earliest(&self, si: usize) -> f64 {
+        self.star_base[si] + self.star_min_d[si]
+    }
+
+    /// `(latency_ps, skew_ps)` in one fold over the stars. Within a star,
+    /// arrivals are `base + d` with `d ≥ 0` constant, and `x ↦ base + x`
+    /// is monotone, so the per-star extremes are attained at the extreme
+    /// `d`s and the fold equals the fold over all sinks.
+    pub(crate) fn latency_skew_ps(&self) -> (f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for (si, &d) in self.star_max_d.iter().enumerate() {
+            if d != f64::NEG_INFINITY {
+                max = max.max(self.star_base[si] + d);
+                min = min.min(self.star_base[si] + self.star_min_d[si]);
+            }
+        }
+        (max, max - min)
+    }
+
+    /// Full metrics of the current state, bit-identical to
+    /// [`SynthesizedTree::evaluate`] of the same tree under the same
+    /// technology.
+    pub(crate) fn metrics(&self, tree: &SynthesizedTree, tech: &Technology) -> TreeMetrics {
+        let stats = ArrivalStats::from_arrivals(self.arrivals.iter().copied())
+            .expect("designs have at least one sink");
+        let res = resources(tree, tech);
+        let mut max_sink_slew = 0.0f64;
+        for (si, s) in tree.topo.stars.iter().enumerate() {
+            for &sk in &s.sinks {
+                max_sink_slew = max_sink_slew.max(wire_slew(
+                    self.star_base_slew[si],
+                    self.branch_d[sk as usize],
+                ));
+            }
+        }
+        TreeMetrics {
+            latency_ps: stats.latency(),
+            skew_ps: stats.skew(),
+            buffers: res.buffers,
+            ntsvs: res.ntsvs,
+            wirelength_nm: tree.topo.total_wirelength(),
+            trunk_wirelength_nm: tree.topo.trunk_wirelength(),
+            switched_cap_ff: res.switched_cap_ff,
+            cell_area_nm2: res.cell_area_nm2,
+            max_sink_slew_ps: max_sink_slew,
+            arrivals: self.arrivals.clone(),
+        }
+    }
+
+    // --- Dirty-path propagation ------------------------------------------
+
+    /// Electrical evaluation of the edge into `v` under the current state.
+    fn eval_edge(
+        &self,
+        tree: &SynthesizedTree,
+        tech: &Technology,
+        v: usize,
+    ) -> Option<PatternEval> {
+        let p = tree.patterns[v].expect("assigned pattern");
+        p.eval_scaled(
+            tree.topo.nodes[v].edge_len,
+            self.cap[v],
+            tech,
+            tree.buffer_scales[v],
+        )
+    }
+
+    /// Recomputes the downstream cap of `v` from its star contribution and
+    /// its children's `up_cap`s, in the batch evaluator's summation order.
+    fn node_cap(&self, tree: &SynthesizedTree, tech: &Technology, csr: &TreeCsr, v: usize) -> f64 {
+        let topo = &tree.topo;
+        let buf = tech.buffer();
+        let mut cap = 0.0f64;
+        if let Some(si) = topo.nodes[v].star {
+            cap += if tree.star_buffers[si as usize] {
+                buf.input_cap_ff()
+            } else {
+                self.star_load[si as usize]
+            };
+        }
+        for &c in csr.children(v as u32) {
+            cap += self.up_cap[c as usize];
+        }
+        cap
+    }
+
+    /// After a knob change on the edge into `edge` (its downstream cap is
+    /// unchanged): refresh its presented cap, push the change up the
+    /// ancestor path, and re-propagate the dirty subtree's arrivals.
+    /// Returns `false` — with the journal entries in place for the owner
+    /// to revert — when the path becomes infeasible.
+    pub(crate) fn repropagate_edge(
+        &mut self,
+        tree: &SynthesizedTree,
+        tech: &Technology,
+        model: EvalModel,
+        csr: &TreeCsr,
+        edge: usize,
+        journal: &mut impl Journal,
+    ) -> bool {
+        let Some(ev) = self.eval_edge(tree, tech, edge) else {
+            return false;
+        };
+        let mut top = edge;
+        if ev.up_cap_ff != self.up_cap[edge] {
+            journal.record(Entry::UpCap(edge as u32, self.up_cap[edge]));
+            self.up_cap[edge] = ev.up_cap_ff;
+            let p = tree.topo.nodes[edge].parent.expect("non-root") as usize;
+            let new_cap = self.node_cap(tree, tech, csr, p);
+            if new_cap != self.cap[p] {
+                journal.record(Entry::Cap(p as u32, self.cap[p]));
+                self.cap[p] = new_cap;
+                top = p;
+                if p != 0 {
+                    match self.propagate_caps_up(tree, tech, csr, p, journal) {
+                        Some(t) => top = t,
+                        None => return false,
+                    }
+                }
+            }
+        }
+        self.recompute_arrivals_from(tree, tech, model, csr, top, journal)
+    }
+
+    /// The state half of a star-buffer toggle (the knob was already
+    /// written to the tree): refresh the star root's cap and either
+    /// re-time the star alone (cap bit-unchanged) or push the cap change
+    /// up and re-propagate the dirty subtree. Returns `false` — journal
+    /// entries left for the owner to revert — on infeasibility.
+    pub(crate) fn apply_star_toggle(
+        &mut self,
+        tree: &SynthesizedTree,
+        tech: &Technology,
+        model: EvalModel,
+        csr: &TreeCsr,
+        si: usize,
+        journal: &mut impl Journal,
+    ) -> bool {
+        let v = tree.topo.stars[si].node as usize;
+        let new_cap = self.node_cap(tree, tech, csr, v);
+        if new_cap == self.cap[v] {
+            // Load at the star root is (bit-)unchanged, so no trunk state
+            // moves — but the star's own stage delay did change.
+            self.recompute_star(tree, tech, model, si, journal);
+            return true;
+        }
+        journal.record(Entry::Cap(v as u32, self.cap[v]));
+        self.cap[v] = new_cap;
+        let top = if v == 0 {
+            0
+        } else {
+            match self.propagate_caps_up(tree, tech, csr, v, journal) {
+                Some(top) => top,
+                None => return false,
+            }
+        };
+        self.recompute_arrivals_from(tree, tech, model, csr, top, journal)
+    }
+
+    /// `cap[start]` just changed (`start` ≠ 0): walk the ancestor path,
+    /// refreshing each edge's presented cap, until a presented cap (or an
+    /// aggregated node cap) is bit-unchanged — typically at the first
+    /// shielding buffer — or the root is reached. Returns the topmost node
+    /// whose downstream cap changed (the arrival-recompute root), or
+    /// `None` when an edge on the path becomes infeasible (caller reverts
+    /// through the journal).
+    fn propagate_caps_up(
+        &mut self,
+        tree: &SynthesizedTree,
+        tech: &Technology,
+        csr: &TreeCsr,
+        start: usize,
+        journal: &mut impl Journal,
+    ) -> Option<usize> {
+        let mut top = start;
+        let mut v = start;
+        while v != 0 {
+            let ev = self.eval_edge(tree, tech, v)?;
+            if ev.up_cap_ff == self.up_cap[v] {
+                break;
+            }
+            journal.record(Entry::UpCap(v as u32, self.up_cap[v]));
+            self.up_cap[v] = ev.up_cap_ff;
+            let p = tree.topo.nodes[v].parent.expect("non-root") as usize;
+            let new_cap = self.node_cap(tree, tech, csr, p);
+            if new_cap == self.cap[p] {
+                break;
+            }
+            journal.record(Entry::Cap(p as u32, self.cap[p]));
+            self.cap[p] = new_cap;
+            top = p;
+            v = p;
+        }
+        Some(top)
+    }
+
+    /// Re-propagates arrivals and slews over the subtree rooted at `top`
+    /// (whose own incoming-edge delay is dirty; `top == 0` re-times the
+    /// root driver and therefore the whole tree), refreshing every star
+    /// stage it passes. Returns `false` — journal entries left for the
+    /// owner to revert — if an edge in the subtree is infeasible (only
+    /// possible for edges whose caps changed, which the cap pass already
+    /// vetted — kept defensive).
+    fn recompute_arrivals_from(
+        &mut self,
+        tree: &SynthesizedTree,
+        tech: &Technology,
+        model: EvalModel,
+        csr: &TreeCsr,
+        top: usize,
+        journal: &mut impl Journal,
+    ) -> bool {
+        let buf = tech.buffer();
+        let mut stack: Vec<u32> = vec![top as u32];
+        while let Some(v) = stack.pop() {
+            let vu = v as usize;
+            let (new_arr, new_slew) = if vu == 0 {
+                let nominal = buf.nominal_slew_ps();
+                let a = match model {
+                    EvalModel::Elmore => buf.delay_ps(self.cap[0]),
+                    EvalModel::Nldm => buf.delay_nldm_ps(nominal, self.cap[0]),
+                };
+                (a, buf.output_slew_ps(nominal, self.cap[0]))
+            } else {
+                let Some(ev) = self.eval_edge(tree, tech, vu) else {
+                    return false;
+                };
+                let p = tree.topo.nodes[vu].parent.expect("non-root") as usize;
+                match (model, ev.stage) {
+                    (EvalModel::Elmore, _) | (EvalModel::Nldm, None) => (
+                        self.arr[p] + ev.delay_ps,
+                        wire_slew(self.slew[p], ev.delay_ps),
+                    ),
+                    (EvalModel::Nldm, Some(st)) => {
+                        let slew_in = wire_slew(self.slew[p], st.pre_delay_ps);
+                        let d_buf = buf.delay_nldm_ps(slew_in, st.load_ff);
+                        (
+                            self.arr[p] + st.pre_delay_ps + d_buf + st.post_delay_ps,
+                            wire_slew(buf.output_slew_ps(slew_in, st.load_ff), st.post_delay_ps),
+                        )
+                    }
+                }
+            };
+            journal.record(Entry::Arr(v, self.arr[vu]));
+            self.arr[vu] = new_arr;
+            journal.record(Entry::Slew(v, self.slew[vu]));
+            self.slew[vu] = new_slew;
+            if let Some(si) = tree.topo.nodes[vu].star {
+                self.recompute_star(tree, tech, model, si as usize, journal);
+            }
+            stack.extend_from_slice(csr.children(v));
+        }
+        true
+    }
+
+    /// Refreshes star `si`'s base arrival/slew (through the optional
+    /// refinement buffer) and its sinks' arrivals, mirroring the batch
+    /// evaluator's sink stage exactly.
+    fn recompute_star(
+        &mut self,
+        tree: &SynthesizedTree,
+        tech: &Technology,
+        model: EvalModel,
+        si: usize,
+        journal: &mut impl Journal,
+    ) {
+        let v = tree.topo.stars[si].node as usize;
+        let buf = tech.buffer();
+        let mut base = self.arr[v];
+        let mut base_slew = self.slew[v];
+        if tree.star_buffers[si] {
+            let slew_in = self.slew[v];
+            base += match model {
+                EvalModel::Elmore => buf.delay_ps(self.star_load[si]),
+                EvalModel::Nldm => buf.delay_nldm_ps(slew_in, self.star_load[si]),
+            };
+            base_slew = buf.output_slew_ps(slew_in, self.star_load[si]);
+        }
+        journal.record(Entry::StarBase(
+            si as u32,
+            self.star_base[si],
+            self.star_base_slew[si],
+        ));
+        self.star_base[si] = base;
+        self.star_base_slew[si] = base_slew;
+        for &sk in &tree.topo.stars[si].sinks {
+            let sku = sk as usize;
+            journal.record(Entry::SinkArr(sk, self.arrivals[sku]));
+            self.arrivals[sku] = base + self.branch_d[sku];
+        }
+    }
+
+    /// Reverts one overwritten numeric value. Knob entries belong to the
+    /// owning evaluator (they mutate the tree, not this state).
+    pub(crate) fn undo_entry(&mut self, e: Entry) {
+        match e {
+            Entry::Cap(v, old) => self.cap[v as usize] = old,
+            Entry::UpCap(v, old) => self.up_cap[v as usize] = old,
+            Entry::Arr(v, old) => self.arr[v as usize] = old,
+            Entry::Slew(v, old) => self.slew[v as usize] = old,
+            Entry::StarBase(si, base, slew) => {
+                self.star_base[si as usize] = base;
+                self.star_base_slew[si as usize] = slew;
+            }
+            Entry::SinkArr(sk, old) => self.arrivals[sk as usize] = old,
+            Entry::Scale(..) | Entry::Pattern(..) | Entry::StarBuffer(..) => {
+                unreachable!("knob entries are reverted by the owning evaluator")
+            }
+        }
+    }
+}
+
+/// The mutation / undo / query surface the optimization passes run over,
+/// implemented by the single-corner [`IncrementalEval`] and the
+/// multi-corner [`crate::mcmm::MultiCornerEval`].
+///
+/// The *objective view* methods ([`TrialEval::latency_skew_ps`],
+/// [`TrialEval::star_earliest`], [`TrialEval::star_load`],
+/// [`TrialEval::tech`], [`TrialEval::metrics`]) are what a pass scores
+/// and ranks with: the single-corner evaluator reports its one corner,
+/// while the MCMM evaluator reports according to its configured
+/// [`crate::mcmm::RobustObjective`] (worst-corner by default) — which is
+/// how the same pass optimizes nominal or worst-corner MOES without
+/// changing a line.
+pub trait TrialEval {
+    /// The underlying tree (knobs reflect all non-undone mutations).
+    fn tree(&self) -> &SynthesizedTree;
+    /// The delay model the evaluator propagates.
+    fn model(&self) -> EvalModel;
+    /// The technology of the objective view (see trait docs).
+    fn tech(&self) -> &Technology;
+    /// Full metrics of the objective view's corner.
+    fn metrics(&self) -> TreeMetrics;
+    /// `(latency_ps, skew_ps)` of the objective view, in one fold.
+    fn latency_skew_ps(&self) -> (f64, f64);
+    /// Downstream capacitance at trunk node `v` (objective view).
+    fn load_at(&self, v: usize) -> f64;
+    /// Unshielded load of star `si` (objective view).
+    fn star_load(&self, si: usize) -> f64;
+    /// Earliest sink arrival within star `si` (objective view).
+    fn star_earliest(&self, si: usize) -> f64;
+    /// Current drive scale of the buffer embedded in edge `edge`.
+    fn buffer_scale(&self, edge: usize) -> f64;
+    /// Re-sizes the buffer embedded in `edge`; `false` = rolled back.
+    fn set_buffer_scale(&mut self, edge: usize, scale: f64) -> bool;
+    /// Re-assigns the pattern of `edge`; `false` = rolled back.
+    fn set_pattern(&mut self, edge: usize, pattern: Pattern) -> bool;
+    /// Adds/removes the refinement buffer of star `si`; `false` = rolled
+    /// back.
+    fn set_star_buffer(&mut self, si: usize, on: bool) -> bool;
+    /// Current journal position (pass to [`TrialEval::undo_to`]).
+    fn mark(&self) -> usize;
+    /// Reverts all state back to `mark`.
+    fn undo_to(&mut self, mark: usize);
+    /// Reverts the most recent mutation.
+    fn undo(&mut self);
+    /// Accepts all mutations so far (undo can no longer cross this point).
+    fn commit(&mut self);
+}
+
+/// Incremental evaluator over a [`SynthesizedTree`]. See the module docs
+/// for the dirty-path invariants.
+#[derive(Debug)]
+pub struct IncrementalEval<'a> {
+    tree: &'a mut SynthesizedTree,
+    tech: &'a Technology,
+    model: EvalModel,
+    /// Flat trunk adjacency (cloned from the topology's cache so the tree
+    /// can stay mutably borrowed).
+    csr: TreeCsr,
+    /// The resident evaluation state under `tech`.
+    state: CornerState,
+    journal: Vec<Entry>,
+    /// Journal position at the start of the last mutation.
+    last_mark: usize,
+}
+
+impl<'a> IncrementalEval<'a> {
+    /// Builds the full evaluation state with one batch-equivalent pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge lacks a pattern or is electrically infeasible
+    /// under the current scales (exactly like [`SynthesizedTree::evaluate`]).
+    pub fn new(tree: &'a mut SynthesizedTree, tech: &'a Technology, model: EvalModel) -> Self {
+        let csr = tree.topo.csr().clone();
+        let state = CornerState::new(tree, tech, model, &csr);
+        IncrementalEval {
+            tree,
+            tech,
+            model,
+            csr,
+            state,
+            journal: Vec::new(),
+            last_mark: 0,
+        }
     }
 
     /// The underlying tree (knobs reflect all non-undone mutations).
@@ -207,24 +665,24 @@ impl<'a> IncrementalEval<'a> {
     /// Per-sink arrival times, bit-identical to
     /// [`TreeMetrics::arrivals`] of a batch evaluation.
     pub fn arrivals(&self) -> &[f64] {
-        &self.arrivals
+        self.state.arrivals()
     }
 
     /// Downstream capacitance at trunk node `v` (what the sink end of its
     /// incoming edge drives) — the incremental replacement for the former
     /// `sizing::probe_load` full pass.
     pub fn load_at(&self, v: usize) -> f64 {
-        self.cap[v]
+        self.state.load_at(v)
     }
 
     /// Unshielded load of star `si` (wire + sink pins).
     pub fn star_load(&self, si: usize) -> f64 {
-        self.star_load[si]
+        self.state.star_load(si)
     }
 
     /// Earliest sink arrival within star `si`.
     pub fn star_earliest(&self, si: usize) -> f64 {
-        self.star_base[si] + self.star_min_d[si]
+        self.state.star_earliest(si)
     }
 
     /// Current drive scale of the buffer embedded in edge `edge`.
@@ -252,44 +710,13 @@ impl<'a> IncrementalEval<'a> {
     /// Trial-move inner loops evaluate their objective through this to
     /// pay one star scan instead of two.
     pub fn latency_skew_ps(&self) -> (f64, f64) {
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        for (si, &d) in self.star_max_d.iter().enumerate() {
-            if d != f64::NEG_INFINITY {
-                max = max.max(self.star_base[si] + d);
-                min = min.min(self.star_base[si] + self.star_min_d[si]);
-            }
-        }
-        (max, max - min)
+        self.state.latency_skew_ps()
     }
 
     /// Full metrics of the current state, bit-identical to
     /// [`SynthesizedTree::evaluate`] on the mutated tree.
     pub fn metrics(&self) -> TreeMetrics {
-        let stats = ArrivalStats::from_arrivals(self.arrivals.iter().copied())
-            .expect("designs have at least one sink");
-        let res = resources(self.tree, self.tech);
-        let mut max_sink_slew = 0.0f64;
-        for (si, s) in self.tree.topo.stars.iter().enumerate() {
-            for &sk in &s.sinks {
-                max_sink_slew = max_sink_slew.max(wire_slew(
-                    self.star_base_slew[si],
-                    self.branch_d[sk as usize],
-                ));
-            }
-        }
-        TreeMetrics {
-            latency_ps: stats.latency(),
-            skew_ps: stats.skew(),
-            buffers: res.buffers,
-            ntsvs: res.ntsvs,
-            wirelength_nm: self.tree.topo.total_wirelength(),
-            trunk_wirelength_nm: self.tree.topo.trunk_wirelength(),
-            switched_cap_ff: res.switched_cap_ff,
-            cell_area_nm2: res.cell_area_nm2,
-            max_sink_slew_ps: max_sink_slew,
-            arrivals: self.arrivals.clone(),
-        }
+        self.state.metrics(self.tree, self.tech)
     }
 
     // --- Mutations -------------------------------------------------------
@@ -313,7 +740,19 @@ impl<'a> IncrementalEval<'a> {
         self.journal
             .push(Entry::Scale(edge as u32, self.tree.buffer_scales[edge]));
         self.tree.buffer_scales[edge] = scale;
-        self.repropagate_edge(edge, mark)
+        if self.state.repropagate_edge(
+            self.tree,
+            self.tech,
+            self.model,
+            &self.csr,
+            edge,
+            &mut self.journal,
+        ) {
+            true
+        } else {
+            self.undo_to(mark);
+            false
+        }
     }
 
     /// Re-assigns the pattern of `edge` (a non-root trunk node). Side
@@ -336,7 +775,19 @@ impl<'a> IncrementalEval<'a> {
         self.journal
             .push(Entry::Pattern(edge as u32, self.tree.patterns[edge]));
         self.tree.patterns[edge] = Some(pattern);
-        self.repropagate_edge(edge, mark)
+        if self.state.repropagate_edge(
+            self.tree,
+            self.tech,
+            self.model,
+            &self.csr,
+            edge,
+            &mut self.journal,
+        ) {
+            true
+        } else {
+            self.undo_to(mark);
+            false
+        }
     }
 
     /// Adds or removes the skew-refinement buffer driving star `si`.
@@ -352,28 +803,19 @@ impl<'a> IncrementalEval<'a> {
         self.journal
             .push(Entry::StarBuffer(si as u32, self.tree.star_buffers[si]));
         self.tree.star_buffers[si] = on;
-        let v = self.tree.topo.stars[si].node as usize;
-        let new_cap = self.node_cap(v);
-        if new_cap == self.cap[v] {
-            // Load at the star root is (bit-)unchanged, so no trunk state
-            // moves — but the star's own stage delay did change.
-            self.recompute_star(si);
-            return true;
-        }
-        self.journal.push(Entry::Cap(v as u32, self.cap[v]));
-        self.cap[v] = new_cap;
-        let top = if v == 0 {
-            0
+        if self.state.apply_star_toggle(
+            self.tree,
+            self.tech,
+            self.model,
+            &self.csr,
+            si,
+            &mut self.journal,
+        ) {
+            true
         } else {
-            match self.propagate_caps_up(v) {
-                Some(top) => top,
-                None => {
-                    self.undo_to(mark);
-                    return false;
-                }
-            }
-        };
-        self.recompute_arrivals_from(top, mark)
+            self.undo_to(mark);
+            false
+        }
     }
 
     // --- Undo machinery --------------------------------------------------
@@ -391,15 +833,7 @@ impl<'a> IncrementalEval<'a> {
                 Entry::Scale(e, old) => self.tree.buffer_scales[e as usize] = old,
                 Entry::Pattern(e, old) => self.tree.patterns[e as usize] = old,
                 Entry::StarBuffer(si, old) => self.tree.star_buffers[si as usize] = old,
-                Entry::Cap(v, old) => self.cap[v as usize] = old,
-                Entry::UpCap(v, old) => self.up_cap[v as usize] = old,
-                Entry::Arr(v, old) => self.arr[v as usize] = old,
-                Entry::Slew(v, old) => self.slew[v as usize] = old,
-                Entry::StarBase(si, base, slew) => {
-                    self.star_base[si as usize] = base;
-                    self.star_base_slew[si as usize] = slew;
-                }
-                Entry::SinkArr(sk, old) => self.arrivals[sk as usize] = old,
+                numeric => self.state.undo_entry(numeric),
             }
         }
         self.last_mark = self.last_mark.min(mark);
@@ -417,181 +851,56 @@ impl<'a> IncrementalEval<'a> {
         self.journal.clear();
         self.last_mark = 0;
     }
+}
 
-    // --- Dirty-path propagation ------------------------------------------
-
-    /// Electrical evaluation of the edge into `v` under the current state.
-    fn eval_edge(&self, v: usize) -> Option<PatternEval> {
-        let p = self.tree.patterns[v].expect("assigned pattern");
-        p.eval_scaled(
-            self.tree.topo.nodes[v].edge_len,
-            self.cap[v],
-            self.tech,
-            self.tree.buffer_scales[v],
-        )
+impl TrialEval for IncrementalEval<'_> {
+    fn tree(&self) -> &SynthesizedTree {
+        IncrementalEval::tree(self)
     }
-
-    /// Recomputes the downstream cap of `v` from its star contribution and
-    /// its children's `up_cap`s, in the batch evaluator's summation order.
-    fn node_cap(&self, v: usize) -> f64 {
-        let topo = &self.tree.topo;
-        let buf = self.tech.buffer();
-        let mut cap = 0.0f64;
-        if let Some(si) = topo.nodes[v].star {
-            cap += if self.tree.star_buffers[si as usize] {
-                buf.input_cap_ff()
-            } else {
-                self.star_load[si as usize]
-            };
-        }
-        for &c in self.csr.children(v as u32) {
-            cap += self.up_cap[c as usize];
-        }
-        cap
+    fn model(&self) -> EvalModel {
+        IncrementalEval::model(self)
     }
-
-    /// After a knob change on the edge into `edge` (its downstream cap is
-    /// unchanged): refresh its presented cap, push the change up the
-    /// ancestor path, and re-propagate the dirty subtree's arrivals.
-    fn repropagate_edge(&mut self, edge: usize, mark: usize) -> bool {
-        let Some(ev) = self.eval_edge(edge) else {
-            self.undo_to(mark);
-            return false;
-        };
-        let mut top = edge;
-        if ev.up_cap_ff != self.up_cap[edge] {
-            self.journal
-                .push(Entry::UpCap(edge as u32, self.up_cap[edge]));
-            self.up_cap[edge] = ev.up_cap_ff;
-            let p = self.tree.topo.nodes[edge].parent.expect("non-root") as usize;
-            let new_cap = self.node_cap(p);
-            if new_cap != self.cap[p] {
-                self.journal.push(Entry::Cap(p as u32, self.cap[p]));
-                self.cap[p] = new_cap;
-                top = p;
-                if p != 0 {
-                    match self.propagate_caps_up(p) {
-                        Some(t) => top = t,
-                        None => {
-                            self.undo_to(mark);
-                            return false;
-                        }
-                    }
-                }
-            }
-        }
-        self.recompute_arrivals_from(top, mark)
+    fn tech(&self) -> &Technology {
+        IncrementalEval::tech(self)
     }
-
-    /// `cap[start]` just changed (`start` ≠ 0): walk the ancestor path,
-    /// refreshing each edge's presented cap, until a presented cap (or an
-    /// aggregated node cap) is bit-unchanged — typically at the first
-    /// shielding buffer — or the root is reached. Returns the topmost node
-    /// whose downstream cap changed (the arrival-recompute root), or
-    /// `None` when an edge on the path becomes infeasible (caller rolls
-    /// back).
-    fn propagate_caps_up(&mut self, start: usize) -> Option<usize> {
-        let mut top = start;
-        let mut v = start;
-        while v != 0 {
-            let ev = self.eval_edge(v)?;
-            if ev.up_cap_ff == self.up_cap[v] {
-                break;
-            }
-            self.journal.push(Entry::UpCap(v as u32, self.up_cap[v]));
-            self.up_cap[v] = ev.up_cap_ff;
-            let p = self.tree.topo.nodes[v].parent.expect("non-root") as usize;
-            let new_cap = self.node_cap(p);
-            if new_cap == self.cap[p] {
-                break;
-            }
-            self.journal.push(Entry::Cap(p as u32, self.cap[p]));
-            self.cap[p] = new_cap;
-            top = p;
-            v = p;
-        }
-        Some(top)
+    fn metrics(&self) -> TreeMetrics {
+        IncrementalEval::metrics(self)
     }
-
-    /// Re-propagates arrivals and slews over the subtree rooted at `top`
-    /// (whose own incoming-edge delay is dirty; `top == 0` re-times the
-    /// root driver and therefore the whole tree), refreshing every star
-    /// stage it passes. Rolls back to `mark` and returns `false` if an
-    /// edge in the subtree is infeasible (only possible for edges whose
-    /// caps changed, which the cap pass already vetted — kept defensive).
-    fn recompute_arrivals_from(&mut self, top: usize, mark: usize) -> bool {
-        let buf = self.tech.buffer();
-        let mut stack: Vec<u32> = vec![top as u32];
-        while let Some(v) = stack.pop() {
-            let vu = v as usize;
-            let (new_arr, new_slew) = if vu == 0 {
-                let nominal = buf.nominal_slew_ps();
-                let a = match self.model {
-                    EvalModel::Elmore => buf.delay_ps(self.cap[0]),
-                    EvalModel::Nldm => buf.delay_nldm_ps(nominal, self.cap[0]),
-                };
-                (a, buf.output_slew_ps(nominal, self.cap[0]))
-            } else {
-                let Some(ev) = self.eval_edge(vu) else {
-                    self.undo_to(mark);
-                    return false;
-                };
-                let p = self.tree.topo.nodes[vu].parent.expect("non-root") as usize;
-                match (self.model, ev.stage) {
-                    (EvalModel::Elmore, _) | (EvalModel::Nldm, None) => (
-                        self.arr[p] + ev.delay_ps,
-                        wire_slew(self.slew[p], ev.delay_ps),
-                    ),
-                    (EvalModel::Nldm, Some(st)) => {
-                        let slew_in = wire_slew(self.slew[p], st.pre_delay_ps);
-                        let d_buf = buf.delay_nldm_ps(slew_in, st.load_ff);
-                        (
-                            self.arr[p] + st.pre_delay_ps + d_buf + st.post_delay_ps,
-                            wire_slew(buf.output_slew_ps(slew_in, st.load_ff), st.post_delay_ps),
-                        )
-                    }
-                }
-            };
-            self.journal.push(Entry::Arr(v, self.arr[vu]));
-            self.arr[vu] = new_arr;
-            self.journal.push(Entry::Slew(v, self.slew[vu]));
-            self.slew[vu] = new_slew;
-            if let Some(si) = self.tree.topo.nodes[vu].star {
-                self.recompute_star(si as usize);
-            }
-            stack.extend_from_slice(self.csr.children(v));
-        }
-        true
+    fn latency_skew_ps(&self) -> (f64, f64) {
+        IncrementalEval::latency_skew_ps(self)
     }
-
-    /// Refreshes star `si`'s base arrival/slew (through the optional
-    /// refinement buffer) and its sinks' arrivals, mirroring the batch
-    /// evaluator's sink stage exactly.
-    fn recompute_star(&mut self, si: usize) {
-        let v = self.tree.topo.stars[si].node as usize;
-        let buf = self.tech.buffer();
-        let mut base = self.arr[v];
-        let mut base_slew = self.slew[v];
-        if self.tree.star_buffers[si] {
-            let slew_in = self.slew[v];
-            base += match self.model {
-                EvalModel::Elmore => buf.delay_ps(self.star_load[si]),
-                EvalModel::Nldm => buf.delay_nldm_ps(slew_in, self.star_load[si]),
-            };
-            base_slew = buf.output_slew_ps(slew_in, self.star_load[si]);
-        }
-        self.journal.push(Entry::StarBase(
-            si as u32,
-            self.star_base[si],
-            self.star_base_slew[si],
-        ));
-        self.star_base[si] = base;
-        self.star_base_slew[si] = base_slew;
-        for &sk in &self.tree.topo.stars[si].sinks {
-            let sku = sk as usize;
-            self.journal.push(Entry::SinkArr(sk, self.arrivals[sku]));
-            self.arrivals[sku] = base + self.branch_d[sku];
-        }
+    fn load_at(&self, v: usize) -> f64 {
+        IncrementalEval::load_at(self, v)
+    }
+    fn star_load(&self, si: usize) -> f64 {
+        IncrementalEval::star_load(self, si)
+    }
+    fn star_earliest(&self, si: usize) -> f64 {
+        IncrementalEval::star_earliest(self, si)
+    }
+    fn buffer_scale(&self, edge: usize) -> f64 {
+        IncrementalEval::buffer_scale(self, edge)
+    }
+    fn set_buffer_scale(&mut self, edge: usize, scale: f64) -> bool {
+        IncrementalEval::set_buffer_scale(self, edge, scale)
+    }
+    fn set_pattern(&mut self, edge: usize, pattern: Pattern) -> bool {
+        IncrementalEval::set_pattern(self, edge, pattern)
+    }
+    fn set_star_buffer(&mut self, si: usize, on: bool) -> bool {
+        IncrementalEval::set_star_buffer(self, si, on)
+    }
+    fn mark(&self) -> usize {
+        IncrementalEval::mark(self)
+    }
+    fn undo_to(&mut self, mark: usize) {
+        IncrementalEval::undo_to(self, mark)
+    }
+    fn undo(&mut self) {
+        IncrementalEval::undo(self)
+    }
+    fn commit(&mut self) {
+        IncrementalEval::commit(self)
     }
 }
 
@@ -700,5 +1009,20 @@ mod tests {
         assert!(inc.load_at(0) > 0.0);
         drop(inc);
         let _ = batch;
+    }
+
+    #[test]
+    fn trial_eval_object_view_matches_inherent() {
+        // The trait surface is a faithful delegate of the inherent API.
+        let (mut t, tech) = tree();
+        let mut inc = IncrementalEval::new(&mut t, &tech, EvalModel::Elmore);
+        let inherent = inc.metrics();
+        let via_trait = TrialEval::metrics(&inc);
+        assert_eq!(inherent, via_trait);
+        let e: &mut dyn TrialEval = &mut inc;
+        assert_eq!(e.latency_skew_ps(), (inherent.latency_ps, inherent.skew_ps));
+        assert!(e.set_star_buffer(0, true));
+        e.undo();
+        assert_eq!(e.metrics(), inherent);
     }
 }

@@ -83,6 +83,7 @@ mod dp;
 pub mod dse;
 mod error;
 pub mod incremental;
+pub mod mcmm;
 pub mod opt;
 mod pattern;
 mod pipeline;
@@ -97,7 +98,8 @@ pub use dp::{
     MoesWeights, PruneMode, RootCand,
 };
 pub use error::CtsError;
-pub use incremental::IncrementalEval;
+pub use incremental::{IncrementalEval, TrialEval};
+pub use mcmm::{CornerReport, MultiCornerEval, RobustMetrics, RobustObjective};
 pub use opt::{
     AnnealConfig, AnnealedSizingPass, OptCtx, OptPass, OptSchedule, PassManager, PassReport,
     PassStats, PatternSearchConfig, PatternSearchPass, ScheduleReport,

@@ -86,33 +86,45 @@
 //! ```
 
 use crate::dp::MoesWeights;
-use crate::incremental::IncrementalEval;
+use crate::incremental::{IncrementalEval, TrialEval};
+use crate::mcmm::{MultiCornerEval, RobustObjective};
 use crate::pattern::PatternSet;
 use crate::skew::{EndpointRefinePass, SkewConfig};
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
-use dscts_tech::Technology;
+use dscts_tech::{CornerSet, Technology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::borrow::Cow;
 use std::fmt;
+use std::marker::PhantomData;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// The shared state one optimization schedule threads through its passes:
-/// the resident [`IncrementalEval`] (which borrows the tree mutably and
-/// writes accepted knobs through) and a deterministic RNG.
+/// the resident evaluator (which borrows the tree mutably and writes
+/// accepted knobs through) and a deterministic RNG.
 ///
-/// The technology and delay model are reachable through the evaluator, so
-/// a pass needs nothing beyond this context.
+/// The evaluator defaults to the single-corner [`IncrementalEval`]; a
+/// multi-corner schedule runs over `OptCtx<MultiCornerEval>` (the
+/// [`MultiOptCtx`] alias) built by [`OptCtx::new_multi`], where every
+/// trial move fans out to all corners and the objective view follows the
+/// configured [`RobustObjective`]. The technology and delay model are
+/// reachable through the evaluator, so a pass needs nothing beyond this
+/// context.
 #[derive(Debug)]
-pub struct OptCtx<'t> {
-    eval: IncrementalEval<'t>,
+pub struct OptCtx<'t, E: TrialEval = IncrementalEval<'t>> {
+    eval: E,
     rng: SmallRng,
+    _tree: PhantomData<&'t mut SynthesizedTree>,
 }
 
+/// An [`OptCtx`] over the multi-corner evaluator — what
+/// [`OptPass::run_multi`] receives.
+pub type MultiOptCtx<'t> = OptCtx<'t, MultiCornerEval<'t>>;
+
 impl<'t> OptCtx<'t> {
-    /// Builds the context: one full evaluation pass over `tree`, plus an
-    /// RNG seeded with `seed`.
+    /// Builds the single-corner context: one full evaluation pass over
+    /// `tree`, plus an RNG seeded with `seed`.
     pub fn new(
         tree: &'t mut SynthesizedTree,
         tech: &'t Technology,
@@ -122,22 +134,43 @@ impl<'t> OptCtx<'t> {
         OptCtx {
             eval: IncrementalEval::new(tree, tech, model),
             rng: SmallRng::seed_from_u64(seed),
+            _tree: PhantomData,
         }
     }
+}
 
+impl<'t> MultiOptCtx<'t> {
+    /// Builds the multi-corner context: one full evaluation pass per
+    /// corner over the same `tree`, scoring through `objective`.
+    pub fn new_multi(
+        tree: &'t mut SynthesizedTree,
+        corners: &'t CornerSet,
+        model: EvalModel,
+        objective: RobustObjective,
+        seed: u64,
+    ) -> Self {
+        OptCtx {
+            eval: MultiCornerEval::new(tree, corners, model).with_objective(objective),
+            rng: SmallRng::seed_from_u64(seed),
+            _tree: PhantomData,
+        }
+    }
+}
+
+impl<'t, E: TrialEval> OptCtx<'t, E> {
     /// The resident evaluator (read-only).
-    pub fn eval(&self) -> &IncrementalEval<'t> {
+    pub fn eval(&self) -> &E {
         &self.eval
     }
 
     /// The resident evaluator, for mutations.
-    pub fn eval_mut(&mut self) -> &mut IncrementalEval<'t> {
+    pub fn eval_mut(&mut self) -> &mut E {
         &mut self.eval
     }
 
     /// The evaluator and the RNG together — for passes (like annealing)
     /// that interleave trial moves with random draws.
-    pub fn parts(&mut self) -> (&mut IncrementalEval<'t>, &mut SmallRng) {
+    pub fn parts(&mut self) -> (&mut E, &mut SmallRng) {
         (&mut self.eval, &mut self.rng)
     }
 
@@ -146,7 +179,7 @@ impl<'t> OptCtx<'t> {
         &mut self.rng
     }
 
-    /// The technology under optimization.
+    /// The technology of the evaluator's objective view.
     pub fn tech(&self) -> &Technology {
         self.eval.tech()
     }
@@ -201,6 +234,21 @@ pub trait OptPass: Send + Sync {
 
     /// Executes the pass over the shared context.
     fn run(&self, ctx: &mut OptCtx<'_>) -> PassStats;
+
+    /// Executes the pass over a multi-corner context (every trial move
+    /// fans out to all corners; the objective view follows the context's
+    /// [`RobustObjective`]). All built-in passes support this by running
+    /// their generic trial loop over the [`TrialEval`] surface; the
+    /// default implementation panics so a custom single-corner pass
+    /// scheduled into a corner-aware pipeline fails loudly instead of
+    /// silently optimizing the wrong objective.
+    fn run_multi(&self, ctx: &mut MultiOptCtx<'_>) -> PassStats {
+        let _ = ctx;
+        panic!(
+            "pass `{}` does not implement multi-corner execution (OptPass::run_multi)",
+            self.name()
+        );
+    }
 }
 
 /// One executed pass: its stats plus metrics either side and wall clock.
@@ -342,16 +390,51 @@ impl<'a> PassManager<'a> {
         self.run_on(&mut ctx)
     }
 
+    /// Runs every pass in order over one resident **multi-corner**
+    /// evaluator (K per-corner states over the same tree), every trial
+    /// move fanned out to all corners and scored through `objective` —
+    /// the robust counterpart of [`PassManager::run`]. The report's
+    /// before/after metrics are the *nominal* corner's (so nominal and
+    /// robust runs compare like for like); cross-corner summaries come
+    /// from [`crate::mcmm::CornerReport::evaluate`] on the finished tree.
+    pub fn run_corners(
+        &self,
+        tree: &mut SynthesizedTree,
+        corners: &CornerSet,
+        model: EvalModel,
+        objective: RobustObjective,
+    ) -> ScheduleReport {
+        let mut ctx = OptCtx::new_multi(tree, corners, model, objective, self.schedule.seed);
+        self.run_multi_on(&mut ctx)
+    }
+
     /// Runs the schedule over an existing context (for drivers that keep
     /// the evaluator resident across schedules).
     pub fn run_on(&self, ctx: &mut OptCtx<'_>) -> ScheduleReport {
+        self.execute(ctx, &|pass, ctx| pass.run(ctx))
+    }
+
+    /// Runs the schedule over an existing multi-corner context.
+    pub fn run_multi_on(&self, ctx: &mut MultiOptCtx<'_>) -> ScheduleReport {
+        self.execute(ctx, &|pass, ctx| pass.run_multi(ctx))
+    }
+
+    /// The schedule loop, shared by the single- and multi-corner entry
+    /// points: reseed per pass, time it, defensively commit, record
+    /// before/after metrics (the evaluator's [`TrialEval::metrics`] —
+    /// nominal-corner metrics for the MCMM evaluator).
+    fn execute<'t, E: TrialEval>(
+        &self,
+        ctx: &mut OptCtx<'t, E>,
+        invoke: &dyn Fn(&dyn OptPass, &mut OptCtx<'t, E>) -> PassStats,
+    ) -> ScheduleReport {
         let before = ctx.eval().metrics();
         let mut passes = Vec::with_capacity(self.schedule.passes.len());
         let mut entering = before.clone();
         for (i, pass) in self.schedule.passes.iter().enumerate() {
             ctx.reseed(self.schedule.seed.wrapping_add(i as u64));
             let t0 = Instant::now();
-            let stats = pass.run(ctx);
+            let stats = invoke(pass.as_ref(), ctx);
             let seconds = t0.elapsed().as_secs_f64();
             // Defensive: a pass that forgot to commit still keeps its work.
             ctx.eval_mut().commit();
@@ -376,18 +459,15 @@ impl<'a> PassManager<'a> {
 }
 
 /// The weighted MOES objective (Eq. 3 shape, [`MoesWeights::weigh`])
-/// over the evaluator's *current* state — O(stars) per call, cheap
-/// enough for inner trial loops. Resource counts are passed in because
-/// the passes track them incrementally; use the [`TreeMetrics`]
-/// convention (`buffers` *includes* the root driver, i.e.
-/// `1 + inserted_buffers()`), so the value agrees exactly with
-/// [`moes_objective_of`] over the same state.
-pub fn moes_objective(
-    w: &MoesWeights,
-    eval: &IncrementalEval<'_>,
-    buffers: i64,
-    ntsvs: i64,
-) -> f64 {
+/// over the evaluator's *current* objective view — O(corners × stars)
+/// per call, cheap enough for inner trial loops. Resource counts are
+/// passed in because the passes track them incrementally; use the
+/// [`TreeMetrics`] convention (`buffers` *includes* the root driver,
+/// i.e. `1 + inserted_buffers()`), so the value agrees exactly with
+/// [`moes_objective_of`] over the same state. Over a multi-corner
+/// evaluator with the worst-corner objective this weighs worst-corner
+/// latency and skew — the robust MOES the MCMM schedule minimizes.
+pub fn moes_objective<E: TrialEval>(w: &MoesWeights, eval: &E, buffers: i64, ntsvs: i64) -> f64 {
     let (latency_ps, skew_ps) = eval.latency_skew_ps();
     w.weigh(latency_ps, buffers as f64, ntsvs as f64, skew_ps)
 }
@@ -481,12 +561,12 @@ impl Default for AnnealedSizingPass {
     }
 }
 
-impl OptPass for AnnealedSizingPass {
-    fn name(&self) -> Cow<'static, str> {
-        Cow::Borrowed(Self::NAME)
-    }
-
-    fn run(&self, ctx: &mut OptCtx<'_>) -> PassStats {
+impl AnnealedSizingPass {
+    /// The annealing loop over any [`TrialEval`] — one implementation
+    /// shared by the single-corner and multi-corner executions, so the
+    /// robust anneal is the nominal anneal with a different objective
+    /// view (and per-corner fan-out inside each trial move).
+    fn anneal<E: TrialEval>(&self, eval: &mut E, rng: &mut SmallRng) -> PassStats {
         let cfg = &self.cfg;
         assert!(
             !cfg.scales.is_empty() && cfg.scales.iter().all(|&s| s > 0.0),
@@ -496,7 +576,6 @@ impl OptPass for AnnealedSizingPass {
             cfg.t0 > 0.0 && cfg.t_end > 0.0 && cfg.t_end <= cfg.t0,
             "temperatures must satisfy 0 < t_end <= t0"
         );
-        let (eval, rng) = ctx.parts();
         let edges: Vec<usize> = (1..eval.tree().topo.nodes.len())
             .filter(|&v| eval.tree().patterns[v].is_some_and(|p| p.buffers() > 0))
             .collect();
@@ -585,6 +664,22 @@ impl OptPass for AnnealedSizingPass {
     }
 }
 
+impl OptPass for AnnealedSizingPass {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed(Self::NAME)
+    }
+
+    fn run(&self, ctx: &mut OptCtx<'_>) -> PassStats {
+        let (eval, rng) = ctx.parts();
+        self.anneal(eval, rng)
+    }
+
+    fn run_multi(&self, ctx: &mut MultiOptCtx<'_>) -> PassStats {
+        let (eval, rng) = ctx.parts();
+        self.anneal(eval, rng)
+    }
+}
+
 // --- Pattern local search ------------------------------------------------
 
 /// Configuration of [`PatternSearchPass`].
@@ -649,14 +744,13 @@ impl Default for PatternSearchPass {
     }
 }
 
-impl OptPass for PatternSearchPass {
-    fn name(&self) -> Cow<'static, str> {
-        Cow::Borrowed(Self::NAME)
-    }
-
-    fn run(&self, ctx: &mut OptCtx<'_>) -> PassStats {
+impl PatternSearchPass {
+    /// The hill-climbing sweep over any [`TrialEval`] — shared by the
+    /// single-corner and multi-corner executions (under a multi-corner
+    /// evaluator a swap must be feasible in *every* corner to be
+    /// proposed, and improvement is judged in the objective view).
+    fn climb<E: TrialEval>(&self, eval: &mut E) -> PassStats {
         let cfg = &self.cfg;
-        let eval = ctx.eval_mut();
         let pass_mark = eval.mark();
         let alphabet = cfg.patterns.patterns();
         let w = &cfg.weights;
@@ -714,6 +808,20 @@ impl OptPass for PatternSearchPass {
         }
         eval.commit();
         stats
+    }
+}
+
+impl OptPass for PatternSearchPass {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed(Self::NAME)
+    }
+
+    fn run(&self, ctx: &mut OptCtx<'_>) -> PassStats {
+        self.climb(ctx.eval_mut())
+    }
+
+    fn run_multi(&self, ctx: &mut MultiOptCtx<'_>) -> PassStats {
+        self.climb(ctx.eval_mut())
     }
 }
 
@@ -868,6 +976,78 @@ mod tests {
             assert_eq!(old.root_side(), new.root_side());
             assert_eq!(old.sink_side(), new.sink_side());
         }
+    }
+
+    #[test]
+    fn robust_schedule_improves_worst_corner_skew_here() {
+        // The PR 5 acceptance experiment in miniature: the same
+        // default-plus-annealed schedule, run once against the nominal
+        // objective and once fanned out over SS/TT/FF with the
+        // worst-corner objective. At equal resource bounds the robust run
+        // must leave less skew in the worst corner.
+        use crate::mcmm::{CornerReport, RobustObjective};
+        use dscts_tech::CornerSet;
+        let (base, tech) = tree();
+        let corners = CornerSet::asap7_pvt(&tech);
+        let schedule = OptSchedule::default_post_cts(SkewConfig::default())
+            .with(AnnealedSizingPass::default())
+            .seed(7);
+        let mgr = PassManager::new(&schedule);
+
+        let mut nominal = base.clone();
+        let _ = mgr.run(&mut nominal, &tech, EvalModel::Elmore);
+        let rn = CornerReport::evaluate(&nominal, &corners, EvalModel::Elmore);
+
+        let mut robust = base.clone();
+        let rep = mgr.run_corners(
+            &mut robust,
+            &corners,
+            EvalModel::Elmore,
+            RobustObjective::WorstCorner,
+        );
+        let rr = CornerReport::evaluate(&robust, &corners, EvalModel::Elmore);
+
+        assert_eq!(
+            rn.per_corner[0].buffers, rr.per_corner[0].buffers,
+            "equal resource bounds"
+        );
+        assert_eq!(rn.per_corner[0].ntsvs, rr.per_corner[0].ntsvs);
+        assert!(
+            rr.robust.worst_skew_ps < rn.robust.worst_skew_ps - 1e-9,
+            "robust {:.3} vs nominal {:.3} worst-corner skew",
+            rr.robust.worst_skew_ps,
+            rn.robust.worst_skew_ps
+        );
+        // The schedule report's metrics are the nominal corner's view.
+        assert_eq!(
+            rep.after,
+            robust.evaluate(corners.nominal_tech(), EvalModel::Elmore)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-corner")]
+    fn custom_pass_without_run_multi_panics_in_corner_mode() {
+        use crate::mcmm::RobustObjective;
+        use dscts_tech::CornerSet;
+        struct NominalOnlyPass;
+        impl OptPass for NominalOnlyPass {
+            fn name(&self) -> Cow<'static, str> {
+                Cow::Borrowed("nominal-only")
+            }
+            fn run(&self, _ctx: &mut OptCtx<'_>) -> PassStats {
+                PassStats::default()
+            }
+        }
+        let (mut t, tech) = tree();
+        let corners = CornerSet::asap7_pvt(&tech);
+        let schedule = OptSchedule::new().with(NominalOnlyPass);
+        let _ = PassManager::new(&schedule).run_corners(
+            &mut t,
+            &corners,
+            EvalModel::Elmore,
+            RobustObjective::WorstCorner,
+        );
     }
 
     #[test]

@@ -51,6 +51,7 @@ use crate::dp::{
     try_run_dp_with_modes, DpConfig, DpResult, ModeRule, MoesWeights, PruneMode, RootCand,
 };
 use crate::error::CtsError;
+use crate::mcmm::{CornerReport, RobustObjective};
 use crate::opt::{OptSchedule, PassManager, ScheduleReport};
 use crate::pattern::{Mode, PatternSet};
 use crate::route::{HierarchicalRouter, RoutingStyle};
@@ -58,8 +59,9 @@ use crate::skew::{refine, EndpointRefinePass, RefineReport, SkewConfig};
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
 use crate::tree::ClockTopo;
 use dscts_netlist::Design;
-use dscts_tech::Technology;
+use dscts_tech::{CornerSet, Technology};
 use std::borrow::Cow;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Pipeline builder. Defaults reproduce the paper's Table III "Ours"
@@ -77,6 +79,12 @@ pub struct DsCts {
     skew: Option<SkewConfig>,
     schedule: Option<OptSchedule>,
     eval: EvalModel,
+    /// MCMM: when set, the optimize stage fans every trial move out to
+    /// all corners (scored by `robust`) and the outcome carries a
+    /// [`CornerReport`]. Arc'd so cloning the pipeline into sweep workers
+    /// shares the expanded per-corner technologies.
+    corners: Option<Arc<CornerSet>>,
+    robust: RobustObjective,
 }
 
 /// Wall-clock measurement of one pipeline stage (or one optimization
@@ -109,6 +117,10 @@ pub struct Outcome {
     pub refinement: Option<RefineReport>,
     /// Per-pass optimization report when the optimize stage ran.
     pub optimization: Option<ScheduleReport>,
+    /// Per-corner metrics and the cross-corner robust summary of the
+    /// final tree, present when the pipeline was configured with
+    /// [`DsCts::corners`].
+    pub corners: Option<CornerReport>,
     /// Per-stage wall-clock timings, in execution order; the optimize
     /// stage is followed by one `opt:<name>` entry per executed pass.
     pub stages: Vec<StageTiming>,
@@ -155,6 +167,9 @@ pub struct PipelineCtx<'a> {
     pub optimization: Option<ScheduleReport>,
     /// Final metrics (deposited by [`EvalStage`]).
     pub metrics: Option<TreeMetrics>,
+    /// Per-corner metrics + robust summary (deposited by [`EvalStage`]
+    /// when the pipeline carries a [`CornerSet`]).
+    pub corner_report: Option<CornerReport>,
 }
 
 impl<'a> PipelineCtx<'a> {
@@ -170,6 +185,7 @@ impl<'a> PipelineCtx<'a> {
             refinement: None,
             optimization: None,
             metrics: None,
+            corner_report: None,
         }
     }
 }
@@ -266,12 +282,32 @@ fn insert_on(
 #[derive(Debug, Clone)]
 pub struct OptimizeStage {
     schedule: OptSchedule,
+    /// MCMM: fan every trial move out to these corners, scoring through
+    /// the objective (see [`DsCts::corners`]).
+    corners: Option<(Arc<CornerSet>, RobustObjective)>,
 }
 
 impl OptimizeStage {
-    /// A stage executing `schedule`.
+    /// A stage executing `schedule` over the single (nominal) corner.
     pub fn new(schedule: OptSchedule) -> Self {
-        OptimizeStage { schedule }
+        OptimizeStage {
+            schedule,
+            corners: None,
+        }
+    }
+
+    /// A stage executing `schedule` over every corner of `corners`,
+    /// scored through `objective` (see
+    /// [`crate::opt::PassManager::run_corners`]).
+    pub fn new_corners(
+        schedule: OptSchedule,
+        corners: Arc<CornerSet>,
+        objective: RobustObjective,
+    ) -> Self {
+        OptimizeStage {
+            schedule,
+            corners: Some((corners, objective)),
+        }
     }
 
     /// Reconstructs the legacy [`RefineReport`] from a schedule run, when
@@ -310,16 +346,24 @@ impl Stage for OptimizeStage {
             .tree
             .as_mut()
             .expect("insertion stage deposits the tree");
-        let report = PassManager::new(&self.schedule).run(tree, tech, eval);
+        let manager = PassManager::new(&self.schedule);
+        let report = match &self.corners {
+            Some((corners, objective)) => manager.run_corners(tree, corners, eval, *objective),
+            None => manager.run(tree, tech, eval),
+        };
         ctx.refinement = Self::refine_report(&report);
         ctx.optimization = Some(report);
         Ok(())
     }
 }
 
-/// Final metric extraction under the configured delay model.
-#[derive(Debug, Clone)]
-pub struct EvalStage;
+/// Final metric extraction under the configured delay model — plus, for
+/// a corner-aware pipeline, one batch evaluation per corner folded into
+/// the [`CornerReport`].
+#[derive(Debug, Clone, Default)]
+pub struct EvalStage {
+    corners: Option<Arc<CornerSet>>,
+}
 
 impl Stage for EvalStage {
     fn name(&self) -> &'static str {
@@ -332,6 +376,9 @@ impl Stage for EvalStage {
             .as_ref()
             .expect("insertion stage deposits the tree");
         ctx.metrics = Some(tree.evaluate(ctx.tech, ctx.eval));
+        if let Some(corners) = &self.corners {
+            ctx.corner_report = Some(CornerReport::evaluate(tree, corners, ctx.eval));
+        }
         Ok(())
     }
 }
@@ -350,6 +397,8 @@ impl DsCts {
             skew: Some(SkewConfig::default()),
             schedule: None,
             eval: EvalModel::Elmore,
+            corners: None,
+            robust: RobustObjective::default(),
         }
     }
 
@@ -444,6 +493,28 @@ impl DsCts {
         self
     }
 
+    /// Enables MCMM: the optimize stage runs its schedule over one
+    /// resident multi-corner evaluator (every trial move fanned out to
+    /// all of `corners`, scored by the configured
+    /// [`DsCts::robust_objective`]), and [`Outcome::corners`] reports
+    /// per-corner metrics plus the cross-corner robust summary of the
+    /// final tree. [`Outcome::metrics`] stays the pipeline technology's
+    /// nominal view, so corner-aware and nominal runs compare like for
+    /// like. The corner set should be expanded from this pipeline's
+    /// technology ([`dscts_tech::CornerSet::expand`]).
+    pub fn corners(mut self, corners: CornerSet) -> Self {
+        self.corners = Some(Arc::new(corners));
+        self
+    }
+
+    /// The cross-corner objective a corner-aware optimize stage scores
+    /// with (default: [`RobustObjective::WorstCorner`]). Ignored until
+    /// [`DsCts::corners`] is set.
+    pub fn robust_objective(mut self, objective: RobustObjective) -> Self {
+        self.robust = objective;
+        self
+    }
+
     /// The technology this pipeline targets.
     pub fn technology(&self) -> &Technology {
         &self.tech
@@ -479,6 +550,16 @@ impl DsCts {
     /// The delay model final metrics and refinement use.
     pub fn delay_model(&self) -> EvalModel {
         self.eval
+    }
+
+    /// The configured corner set, when the pipeline is corner-aware.
+    pub fn corner_set(&self) -> Option<&CornerSet> {
+        self.corners.as_deref()
+    }
+
+    /// The configured cross-corner objective.
+    pub fn robust_config(&self) -> RobustObjective {
+        self.robust
     }
 
     // ---- Staged drivers. ----
@@ -526,13 +607,18 @@ impl DsCts {
     }
 
     /// Runs only the optimize stage on a synthesized tree, in place:
-    /// exactly the configured [`DsCts::effective_schedule`], so any
+    /// exactly the configured [`DsCts::effective_schedule`] — over the
+    /// configured corners when the pipeline is corner-aware — so any
     /// composition with the other staged drivers is bit-identical to
     /// [`DsCts::run`]. Returns `None` (doing nothing) when no pass is
     /// scheduled, mirroring the optional [`OptimizeStage`].
     pub fn optimize_tree(&self, tree: &mut SynthesizedTree) -> Option<ScheduleReport> {
         let schedule = self.effective_schedule()?;
-        Some(PassManager::new(&schedule).run(tree, &self.tech, self.eval))
+        let manager = PassManager::new(&schedule);
+        Some(match &self.corners {
+            Some(corners) => manager.run_corners(tree, corners, self.eval, self.robust),
+            None => manager.run(tree, &self.tech, self.eval),
+        })
     }
 
     /// Runs only the evaluation stage: final metrics under the configured
@@ -563,9 +649,16 @@ impl DsCts {
             }),
         ];
         if let Some(schedule) = self.effective_schedule() {
-            stages.push(Box::new(OptimizeStage::new(schedule)));
+            stages.push(Box::new(match &self.corners {
+                Some(corners) => {
+                    OptimizeStage::new_corners(schedule, Arc::clone(corners), self.robust)
+                }
+                None => OptimizeStage::new(schedule),
+            }));
         }
-        stages.push(Box::new(EvalStage));
+        stages.push(Box::new(EvalStage {
+            corners: self.corners.clone(),
+        }));
         stages
     }
 
@@ -606,6 +699,7 @@ impl DsCts {
             chosen: dp.chosen,
             refinement: ctx.refinement,
             optimization: ctx.optimization,
+            corners: ctx.corner_report,
             stages: timings,
             runtime_s: start.elapsed().as_secs_f64(),
         })
@@ -904,6 +998,57 @@ mod tests {
         assert!(o.refinement.is_none());
         assert!(o.optimization.is_none());
         assert_eq!(o.stages.len(), 3);
+    }
+
+    #[test]
+    fn corner_aware_pipeline_reports_and_composes() {
+        use dscts_tech::CornerSet;
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let tech = Technology::asap7();
+        let pipe = DsCts::new(tech.clone()).corners(CornerSet::asap7_pvt(&tech));
+        let whole = pipe.run(&d);
+        let report = whole.corners.as_ref().expect("corner-aware run");
+        assert_eq!(report.corner_names, ["SS", "TT", "FF"]);
+        assert_eq!(report.nominal, 1);
+        // The nominal corner's metrics are the pipeline metrics (the TT
+        // expansion is arithmetically identical to the base technology).
+        assert_eq!(report.per_corner[1], whole.metrics);
+        assert_eq!(
+            report.robust.worst_latency_ps,
+            report.per_corner[report.robust.worst_latency_corner].latency_ps
+        );
+        assert!(report.robust.worst_latency_ps >= whole.metrics.latency_ps);
+        assert!(report.robust.arrival_spread_ps > 0.0);
+        // Staged drivers stay bit-identical to the monolithic corner run.
+        let topo = pipe.route(&d).expect("routable");
+        let (mut tree, _dp) = pipe.insert(topo).expect("feasible");
+        let opt = pipe.optimize_tree(&mut tree).expect("default schedule");
+        assert_eq!(whole.tree, tree);
+        assert_eq!(pipe.evaluate_tree(&tree), whole.metrics);
+        let whole_opt = whole.optimization.expect("schedule ran");
+        assert_eq!(whole_opt.after, opt.after);
+    }
+
+    #[test]
+    fn nominal_objective_corner_run_matches_plain_run_tree() {
+        // With the Nominal objective the corner fan-out only *observes*
+        // the extra corners: every accept/reject decision reads the
+        // nominal view, so the optimized tree is identical to the plain
+        // single-corner pipeline's (the corners ride along for the
+        // report).
+        use crate::mcmm::RobustObjective;
+        use dscts_tech::CornerSet;
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let tech = Technology::asap7();
+        let plain = DsCts::new(tech.clone()).run(&d);
+        let cornered = DsCts::new(tech.clone())
+            .corners(CornerSet::asap7_pvt(&tech))
+            .robust_objective(RobustObjective::Nominal)
+            .run(&d);
+        assert_eq!(plain.tree, cornered.tree);
+        assert_eq!(plain.metrics, cornered.metrics);
+        assert!(plain.corners.is_none());
+        assert!(cornered.corners.is_some());
     }
 
     #[test]

@@ -21,8 +21,8 @@
 //! bit-identical wrapper that builds a fresh evaluator, runs the pass
 //! once, and reports before/after metrics.
 
-use crate::incremental::IncrementalEval;
-use crate::opt::{OptCtx, OptPass, PassStats};
+use crate::incremental::{IncrementalEval, TrialEval};
+use crate::opt::{MultiOptCtx, OptCtx, OptPass, PassStats};
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
 use dscts_tech::Technology;
 use std::borrow::Cow;
@@ -82,14 +82,17 @@ impl SizingPass {
         SizingPass { cfg }
     }
 
-    /// Runs the greedy sweep over an existing evaluator. This is the
-    /// entire optimizer — both [`resize_for_skew`] and the [`OptPass`]
-    /// impl delegate here, so the two paths cannot drift.
+    /// Runs the greedy sweep over an existing evaluator — any
+    /// [`TrialEval`], so the same sweep sizes for nominal skew over an
+    /// [`IncrementalEval`] or for worst-corner skew over a
+    /// [`crate::mcmm::MultiCornerEval`]. This is the entire optimizer —
+    /// [`resize_for_skew`] and both [`OptPass`] execution paths delegate
+    /// here, so they cannot drift.
     ///
     /// # Panics
     ///
     /// Panics if the configured scales are empty or non-positive.
-    pub fn run_on(&self, eval: &mut IncrementalEval<'_>) -> PassStats {
+    pub fn run_on<E: TrialEval>(&self, eval: &mut E) -> PassStats {
         let cfg = &self.cfg;
         assert!(
             !cfg.scales.is_empty() && cfg.scales.iter().all(|&s| s > 0.0),
@@ -167,6 +170,10 @@ impl OptPass for SizingPass {
     }
 
     fn run(&self, ctx: &mut OptCtx<'_>) -> PassStats {
+        self.run_on(ctx.eval_mut())
+    }
+
+    fn run_multi(&self, ctx: &mut MultiOptCtx<'_>) -> PassStats {
         self.run_on(ctx.eval_mut())
     }
 }

@@ -19,8 +19,8 @@
 //! [`crate::opt`] schedule API — the default pipeline schedule is exactly
 //! this one pass — with [`refine`] kept as a thin, bit-identical wrapper.
 
-use crate::incremental::IncrementalEval;
-use crate::opt::{OptCtx, OptPass, PassStats};
+use crate::incremental::{IncrementalEval, TrialEval};
+use crate::opt::{MultiOptCtx, OptCtx, OptPass, PassStats};
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
 use dscts_tech::Technology;
 use std::borrow::Cow;
@@ -111,10 +111,14 @@ impl EndpointRefinePass {
         EndpointRefinePass { cfg }
     }
 
-    /// Runs the refinement rounds over an existing evaluator. This is the
-    /// entire optimizer — both [`refine`] and the [`OptPass`] impl
-    /// delegate here, so the two paths cannot drift.
-    pub fn run_on(&self, eval: &mut IncrementalEval<'_>) -> PassStats {
+    /// Runs the refinement rounds over an existing evaluator — any
+    /// [`TrialEval`], so the same rounds pad nominal end-points over an
+    /// [`IncrementalEval`] or worst-corner end-points over a
+    /// [`crate::mcmm::MultiCornerEval`] (trigger, ranking and the
+    /// accept/rollback guard all read the objective view). This is the
+    /// entire optimizer — [`refine`] and both [`OptPass`] execution
+    /// paths delegate here, so they cannot drift.
+    pub fn run_on<E: TrialEval>(&self, eval: &mut E) -> PassStats {
         let cfg = &self.cfg;
         let n_sinks = eval.tree().topo.sink_pos.len();
         let budget_per_round = endpoint_budget(n_sinks, cfg.max_endpoints);
@@ -180,6 +184,10 @@ impl OptPass for EndpointRefinePass {
     }
 
     fn run(&self, ctx: &mut OptCtx<'_>) -> PassStats {
+        self.run_on(ctx.eval_mut())
+    }
+
+    fn run_multi(&self, ctx: &mut MultiOptCtx<'_>) -> PassStats {
         self.run_on(ctx.eval_mut())
     }
 }

@@ -103,6 +103,38 @@ impl BufferModel {
         BufferModel::new("BUFx4_ASAP7_75t_R", 2.0, 0.28, 9.0, 80.0, 378, 270)
     }
 
+    /// A copy of this buffer with its delay (and output-slew) behaviour
+    /// scaled by `factor`, for PVT corner derating: the linearised view
+    /// scales `d_intr` and `R_drv` (so `d = f·d_intr + f·R_drv·C_load`
+    /// for every load) and the NLDM view scales both lookup tables via
+    /// [`NldmTable::scaled`]. Input capacitance, maximum load and the
+    /// footprint are corner-invariant, so a derated buffer presents the
+    /// same electrical boundary to the DP and only times differently.
+    ///
+    /// `factor == 1.0` returns a bit-identical model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn derated(&self, factor: f64) -> BufferModel {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "buffer derate factor must be positive and finite"
+        );
+        BufferModel {
+            name: self.name.clone(),
+            input_cap_ff: self.input_cap_ff,
+            drive_res_kohm: self.drive_res_kohm * factor,
+            intrinsic_delay_ps: self.intrinsic_delay_ps * factor,
+            max_load_ff: self.max_load_ff,
+            width_nm: self.width_nm,
+            height_nm: self.height_nm,
+            nominal_slew_ps: self.nominal_slew_ps,
+            delay_table: self.delay_table.scaled(factor),
+            slew_table: self.slew_table.scaled(factor),
+        }
+    }
+
     /// Cell name.
     pub fn name(&self) -> &str {
         &self.name
@@ -216,5 +248,29 @@ mod tests {
     #[should_panic(expected = "input cap")]
     fn rejects_zero_input_cap() {
         let _ = BufferModel::new("bad", 0.0, 0.5, 10.0, 50.0, 1, 1);
+    }
+
+    #[test]
+    fn derated_scales_both_delay_views() {
+        let b = BufferModel::asap7_bufx4();
+        let slow = b.derated(1.2);
+        // Linearised view scales exactly.
+        assert!((slow.delay_ps(30.0) - 1.2 * b.delay_ps(30.0)).abs() < 1e-12);
+        // NLDM view scales exactly (uniform table scaling commutes with
+        // bilinear interpolation).
+        assert!((slow.delay_nldm_ps(20.0, 30.0) - 1.2 * b.delay_nldm_ps(20.0, 30.0)).abs() < 1e-12);
+        assert!(
+            (slow.output_slew_ps(20.0, 30.0) - 1.2 * b.output_slew_ps(20.0, 30.0)).abs() < 1e-12
+        );
+        // Electrical boundary is corner-invariant.
+        assert_eq!(slow.input_cap_ff(), b.input_cap_ff());
+        assert_eq!(slow.max_load_ff(), b.max_load_ff());
+        assert_eq!(slow.footprint_nm(), b.footprint_nm());
+    }
+
+    #[test]
+    fn nominal_derate_is_bit_identical() {
+        let b = BufferModel::asap7_bufx4();
+        assert_eq!(b.derated(1.0), b);
     }
 }

@@ -64,6 +64,22 @@ impl Layer {
         }
     }
 
+    /// A copy of this layer with unit resistance and capacitance scaled
+    /// by `res_factor` / `cap_factor`, for PVT corner derating. Factors of
+    /// `1.0` return a bit-identical layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either factor is not positive and finite (via
+    /// [`Layer::new`]'s parasitic validation).
+    pub fn derated(&self, res_factor: f64, cap_factor: f64) -> Layer {
+        Layer::new(
+            self.name.clone(),
+            self.res_kohm_per_um * res_factor,
+            self.cap_ff_per_um * cap_factor,
+        )
+    }
+
     /// Layer name (e.g. `"M3"`, `"BM1~BM3"`).
     pub fn name(&self) -> &str {
         &self.name

@@ -36,11 +36,13 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod corner;
 mod layer;
 mod nldm;
 mod ntsv;
 
 pub use buffer::BufferModel;
+pub use corner::{Corner, CornerSet, DerateFactors, WireDerate};
 pub use layer::{Layer, WireRc};
 pub use nldm::{NldmError, NldmTable};
 pub use ntsv::NtsvModel;
@@ -87,6 +89,12 @@ pub enum TechError {
     NoLayers,
     /// A numeric parameter was non-positive where positivity is required.
     NonPositive(&'static str),
+    /// A corner derate factor was non-positive, NaN or infinite.
+    BadDerate(&'static str),
+    /// A corner set was built from an empty corner list.
+    NoCorners,
+    /// A corner set's nominal index was out of range.
+    BadNominalCorner,
 }
 
 impl fmt::Display for TechError {
@@ -95,6 +103,11 @@ impl fmt::Display for TechError {
             TechError::UnknownLayer(n) => write!(f, "unknown layer name `{n}`"),
             TechError::NoLayers => write!(f, "technology has no layers"),
             TechError::NonPositive(what) => write!(f, "parameter `{what}` must be positive"),
+            TechError::BadDerate(what) => {
+                write!(f, "derate factor `{what}` must be positive and finite")
+            }
+            TechError::NoCorners => write!(f, "corner set has no corners"),
+            TechError::BadNominalCorner => write!(f, "nominal corner index out of range"),
         }
     }
 }
@@ -201,6 +214,43 @@ impl Technology {
     pub fn layer_by_name(&self, name: &str) -> Option<&Layer> {
         self.layers.iter().find(|l| l.name() == name)
     }
+
+    /// Expands this technology under a PVT [`Corner`]: the designated
+    /// back-side layer takes the corner's back-wire factors, every other
+    /// layer takes the front-wire factors, the buffer takes the delay
+    /// factor (linearised *and* NLDM views, see [`BufferModel::derated`])
+    /// and the nTSV its RC factors. The result is named
+    /// `"<base>@<corner>"`. Electrical boundaries (`max_load_ff`,
+    /// `sink_cap_ff`, footprints) are corner-invariant, and the identity
+    /// corner reproduces this technology's timing bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::BadDerate`] when any factor is non-positive
+    /// or not finite.
+    pub fn derated(&self, corner: &Corner) -> Result<Technology, TechError> {
+        let mut t = self.clone().with_derates(corner.derate())?;
+        t.name = format!("{}@{}", self.name, corner.name());
+        Ok(t)
+    }
+
+    /// Applies a validated factor set in place (shared by
+    /// [`Technology::derated`] and [`TechnologyBuilder::derate`] so the
+    /// two paths cannot drift).
+    fn with_derates(mut self, d: &DerateFactors) -> Result<Technology, TechError> {
+        d.validate()?;
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let w = if i == self.back_idx {
+                d.back_wire
+            } else {
+                d.front_wire
+            };
+            *layer = layer.derated(w.res, w.cap);
+        }
+        self.buffer = self.buffer.derated(d.buffer_delay);
+        self.ntsv = self.ntsv.derated(d.ntsv.res, d.ntsv.cap);
+        Ok(self)
+    }
 }
 
 /// Builder for [`Technology`] (see [`Technology::builder`]).
@@ -231,6 +281,7 @@ pub struct TechnologyBuilder {
     sink_cap_ff: Option<f64>,
     max_load_ff: Option<f64>,
     row_height_nm: Option<i64>,
+    derate: Option<DerateFactors>,
 }
 
 impl TechnologyBuilder {
@@ -288,12 +339,24 @@ impl TechnologyBuilder {
         self
     }
 
+    /// Applies a PVT derate factor set to the assembled technology
+    /// (validated in [`TechnologyBuilder::build`]: non-positive, NaN or
+    /// infinite factors are rejected with [`TechError::BadDerate`]). Use
+    /// [`Technology::derated`] to expand an existing technology under a
+    /// named [`Corner`] instead.
+    pub fn derate(mut self, factors: DerateFactors) -> Self {
+        self.derate = Some(factors);
+        self
+    }
+
     /// Validates and assembles the [`Technology`].
     ///
     /// # Errors
     ///
     /// Returns [`TechError`] when no layers were registered, a referenced
-    /// layer name is unknown, or a parameter is non-positive.
+    /// layer name is unknown, a parameter is non-positive, or a derate
+    /// factor (see [`TechnologyBuilder::derate`]) is non-positive or not
+    /// finite.
     pub fn build(self) -> Result<Technology, TechError> {
         if self.layers.is_empty() {
             return Err(TechError::NoLayers);
@@ -322,7 +385,7 @@ impl TechnologyBuilder {
         if row_height_nm <= 0 {
             return Err(TechError::NonPositive("row_height_nm"));
         }
-        Ok(Technology {
+        let tech = Technology {
             name: if self.name.is_empty() {
                 "custom".to_owned()
             } else {
@@ -336,7 +399,11 @@ impl TechnologyBuilder {
             sink_cap_ff,
             max_load_ff,
             row_height_nm,
-        })
+        };
+        match self.derate {
+            Some(d) => tech.with_derates(&d),
+            None => Ok(tech),
+        }
     }
 }
 
@@ -414,6 +481,71 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, TechError::NonPositive("sink_cap_ff"));
+    }
+
+    #[test]
+    fn builder_rejects_nonpositive_derate() {
+        let base = |d: DerateFactors| {
+            Technology::builder()
+                .layer(Layer::new("MF", 0.02, 0.13))
+                .layer(Layer::new("MB", 0.0005, 0.11))
+                .derate(d)
+                .build()
+        };
+        let err = base(DerateFactors {
+            buffer_delay: 0.0,
+            ..DerateFactors::nominal()
+        })
+        .unwrap_err();
+        assert_eq!(err, TechError::BadDerate("buffer_delay"));
+        assert!(err.to_string().contains("buffer_delay"));
+        let err = base(DerateFactors {
+            front_wire: WireDerate {
+                res: -1.0,
+                cap: 1.0,
+            },
+            ..DerateFactors::nominal()
+        })
+        .unwrap_err();
+        assert_eq!(err, TechError::BadDerate("front_wire.res"));
+    }
+
+    #[test]
+    fn builder_rejects_nan_and_infinite_derate() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Technology::builder()
+                .layer(Layer::new("MF", 0.02, 0.13))
+                .derate(DerateFactors {
+                    ntsv: WireDerate { res: 1.0, cap: bad },
+                    ..DerateFactors::nominal()
+                })
+                .build()
+                .unwrap_err();
+            assert_eq!(err, TechError::BadDerate("ntsv.cap"));
+        }
+    }
+
+    #[test]
+    fn builder_derate_scales_like_technology_derated() {
+        // The builder path and the Corner expansion path share one
+        // implementation; spot-check they agree on the scaled values.
+        let factors = Corner::asap7_ss().derate().to_owned();
+        let plain = Technology::builder()
+            .layer(Layer::new("MF", 0.02, 0.13))
+            .layer(Layer::new("MB", 0.0005, 0.11))
+            .build()
+            .unwrap();
+        let derated = Technology::builder()
+            .layer(Layer::new("MF", 0.02, 0.13))
+            .layer(Layer::new("MB", 0.0005, 0.11))
+            .derate(factors)
+            .build()
+            .unwrap();
+        let via_corner = plain.derated(&Corner::asap7_ss()).unwrap();
+        assert_eq!(derated.rc(Side::Front), via_corner.rc(Side::Front));
+        assert_eq!(derated.rc(Side::Back), via_corner.rc(Side::Back));
+        assert_eq!(derated.buffer(), via_corner.buffer());
+        assert_eq!(derated.ntsv(), via_corner.ntsv());
     }
 
     #[test]

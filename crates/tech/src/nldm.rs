@@ -99,6 +99,35 @@ impl NldmTable {
         NldmTable::new(slew_axis, load_axis, values)
     }
 
+    /// A copy of this table with every value multiplied by `factor` —
+    /// the table-scaling constructor corner derating uses: a slow (SS)
+    /// corner scales a cell's delay and output-slew surfaces up uniformly
+    /// while the slew/load axes (the lookup coordinates) stay put, which
+    /// is exactly how Liberty `k_factor` derates compose with NLDM data.
+    ///
+    /// Scaling by `1.0` returns a bit-identical table (`x * 1.0` preserves
+    /// every finite `f64`), so a nominal corner built through the derating
+    /// path evaluates exactly like the base technology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn scaled(&self, factor: f64) -> NldmTable {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "NLDM scale factor must be positive and finite"
+        );
+        NldmTable {
+            slew_axis: self.slew_axis.clone(),
+            load_axis: self.load_axis.clone(),
+            values: self
+                .values
+                .iter()
+                .map(|row| row.iter().map(|&v| v * factor).collect())
+                .collect(),
+        }
+    }
+
     /// Bilinearly interpolated lookup, clamped to the table envelope.
     pub fn lookup(&self, slew_ps: f64, load_ff: f64) -> f64 {
         let (i0, i1, ft) = Self::bracket(&self.slew_axis, slew_ps);
@@ -191,5 +220,27 @@ mod tests {
     fn from_fn_matches_generator_on_grid() {
         let t = NldmTable::from_fn(vec![1.0, 2.0], vec![3.0, 4.0], |s, l| s * 10.0 + l).unwrap();
         assert_eq!(t.lookup(2.0, 3.0), 23.0);
+    }
+
+    #[test]
+    fn scaled_scales_values_not_axes() {
+        let t = table();
+        let s = t.scaled(1.25);
+        assert_eq!(s.axes(), t.axes());
+        assert_eq!(s.lookup(5.0, 1.0), 8.0 * 1.25);
+        // Interpolation commutes with uniform value scaling.
+        assert!((s.lookup(30.0, 27.5) - 1.25 * t.lookup(30.0, 27.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_scale_is_bit_identical() {
+        let t = table();
+        assert_eq!(t.scaled(1.0), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn scaled_rejects_nan() {
+        let _ = table().scaled(f64::NAN);
     }
 }

@@ -44,6 +44,31 @@ impl NtsvModel {
         NtsvModel::new(0.020, 0.004, 270, 270)
     }
 
+    /// A copy of this nTSV with resistance and capacitance scaled by
+    /// `res_factor` / `cap_factor`, for PVT corner derating (the footprint
+    /// is corner-invariant). Factors of `1.0` return a bit-identical
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either factor is not positive and finite.
+    pub fn derated(&self, res_factor: f64, cap_factor: f64) -> NtsvModel {
+        assert!(
+            res_factor > 0.0 && res_factor.is_finite(),
+            "nTSV resistance derate must be positive and finite"
+        );
+        assert!(
+            cap_factor > 0.0 && cap_factor.is_finite(),
+            "nTSV capacitance derate must be positive and finite"
+        );
+        NtsvModel {
+            res_kohm: self.res_kohm * res_factor,
+            cap_ff: self.cap_ff * cap_factor,
+            width_nm: self.width_nm,
+            height_nm: self.height_nm,
+        }
+    }
+
     /// Series resistance (kΩ).
     pub fn res_kohm(&self) -> f64 {
         self.res_kohm
@@ -78,5 +103,15 @@ mod tests {
     #[should_panic(expected = "resistance")]
     fn rejects_zero_resistance() {
         let _ = NtsvModel::new(0.0, 0.004, 270, 270);
+    }
+
+    #[test]
+    fn derated_scales_rc_keeps_footprint() {
+        let v = NtsvModel::iedm21();
+        let slow = v.derated(1.25, 1.1);
+        assert!((slow.res_kohm() - 0.020 * 1.25).abs() < 1e-15);
+        assert!((slow.cap_ff() - 0.004 * 1.1).abs() < 1e-15);
+        assert_eq!(slow.footprint_nm(), v.footprint_nm());
+        assert_eq!(v.derated(1.0, 1.0), v);
     }
 }

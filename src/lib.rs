@@ -17,7 +17,7 @@
 //! | [`cluster`] | `dscts-cluster` | capacity-bounded k-means, dual-level hierarchy |
 //! | [`dme`] | `dscts-dme` | zero-skew deferred-merge embedding |
 //! | [`vanginneken`] | `dscts-buffer` | classic single-side buffer insertion |
-//! | [`core`] | `dscts-core` | the staged CTS engine: stages, patterns, DP, the composable `opt` pass layer, DSE, baselines, errors |
+//! | [`core`] | `dscts-core` | the staged CTS engine: stages, patterns, DP, the composable `opt` pass layer, the `mcmm` multi-corner subsystem, DSE, baselines, errors |
 //!
 //! The synthesis flow itself is a **staged engine**: [`DsCts`] executes
 //! `route → insertion → optimize → evaluate`, where each phase is a
@@ -59,6 +59,42 @@
 //! let err = DsCts::new(Technology::asap7()).try_run(&design);
 //! assert_eq!(err.unwrap_err(), CtsError::EmptyDesign);
 //! ```
+//!
+//! # Multi-corner (MCMM) robust synthesis
+//!
+//! Expand the technology into PVT corners ([`CornerSet`]) and the same
+//! pipeline — and any optimization schedule — becomes corner-aware:
+//! every trial move fans out to all corners over one resident
+//! multi-corner evaluator ([`core::mcmm::MultiCornerEval`]) and is
+//! scored on the worst corner, so the robust-sized tree holds up at SS
+//! instead of only at nominal. Here a three-corner robust-sizing run
+//! (end-point refinement plus annealed sizing, both fanned out):
+//!
+//! ```
+//! use dscts::core::opt::{AnnealConfig, AnnealedSizingPass};
+//! use dscts::core::skew::SkewConfig;
+//! use dscts::{BenchmarkSpec, CornerSet, DsCts, OptSchedule, Technology};
+//!
+//! let design = BenchmarkSpec::c4_riscv32i().generate();
+//! let tech = Technology::asap7();
+//! let outcome = DsCts::new(tech.clone())
+//!     .corners(CornerSet::asap7_pvt(&tech)) // SS / TT / FF
+//!     .schedule(
+//!         OptSchedule::default_post_cts(SkewConfig::default())
+//!             .with(AnnealedSizingPass::new(AnnealConfig {
+//!                 moves: 1_500,
+//!                 ..AnnealConfig::default()
+//!             }))
+//!             .seed(7),
+//!     )
+//!     .run(&design);
+//! let report = outcome.corners.as_ref().expect("corner-aware run");
+//! assert_eq!(report.corner_names, ["SS", "TT", "FF"]);
+//! // The worst corner (SS) dominates the nominal view, and the spread
+//! // across corners is the OCV proxy the robust objective controls:
+//! assert!(report.robust.worst_latency_ps >= outcome.metrics.latency_ps);
+//! assert!(report.robust.arrival_spread_ps > 0.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -75,9 +111,12 @@ pub use dscts_timing as timing;
 pub use dscts_buffer as vanginneken;
 
 pub use dscts_core::{
-    baseline, dse, opt, skew, CtsError, DsCts, EvalModel, HierarchicalRouter, Mode, ModeRule,
-    MoesWeights, OptSchedule, Outcome, Pattern, PatternSet, PipelineCtx, PruneMode, RootCand,
-    RoutingStyle, Stage, StageTiming, SynthesizedTree, TreeMetrics,
+    baseline, dse, mcmm, opt, skew, CornerReport, CtsError, DsCts, EvalModel, HierarchicalRouter,
+    IncrementalEval, Mode, ModeRule, MoesWeights, MultiCornerEval, OptSchedule, Outcome, Pattern,
+    PatternSet, PipelineCtx, PruneMode, RobustMetrics, RobustObjective, RootCand, RoutingStyle,
+    Stage, StageTiming, SynthesizedTree, TreeMetrics, TrialEval,
 };
 pub use dscts_netlist::{BenchmarkSpec, Design};
-pub use dscts_tech::{BufferModel, Layer, NtsvModel, Side, Technology};
+pub use dscts_tech::{
+    BufferModel, Corner, CornerSet, DerateFactors, Layer, NtsvModel, Side, Technology, WireDerate,
+};
