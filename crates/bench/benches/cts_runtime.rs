@@ -210,6 +210,28 @@ fn bench_mcmm_eval(c: &mut Criterion) {
             });
         },
     );
+    // Same toggle with the corner fan-out forced onto the rayon path:
+    // each of the K=3 per-corner repairs runs on its own thread, journals
+    // into per-corner scratch, and merges in corner order (bit-identical
+    // to the serial arm). On a single-core container the shim degrades to
+    // the serial loop, so expect parity there and a speed-up at ≥2 cores.
+    group.bench_with_input(
+        BenchmarkId::new("fanout_mutation_parallel", "C4x3"),
+        &tree,
+        |b, t| {
+            let mut t = t.clone();
+            let mut mc =
+                MultiCornerEval::new(&mut t, &corners, EvalModel::Elmore).with_parallel(Some(true));
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                let ok = mc.set_buffer_scale(edge, if flip { 2.0 } else { 1.0 });
+                assert!(ok, "scale toggle stays feasible");
+                mc.commit();
+                black_box(mc.worst_latency_skew_ps())
+            });
+        },
+    );
     group.bench_with_input(
         BenchmarkId::new("k_full_evaluates", "C4x3"),
         &tree,

@@ -30,9 +30,17 @@
 //!   worst-corner objective, verify the robust run improves worst-corner
 //!   skew at equal resource bounds on at least one design, and write
 //!   per-corner + robust metrics per record to `BENCH_pr5.json`;
+//! * `baseline --scaling [--quick]` — run the full default pipeline on
+//!   the reproducible `BenchmarkSpec::scaled` fixtures (100k under
+//!   `--quick`; 100k/250k/1M otherwise), record per-stage wall clock +
+//!   peak RSS to `BENCH_pr6.json`, and assert the scaling gates
+//!   in-process: no stage grows worse than O(n log n) across sizes, the
+//!   DP frontier cap shrinks the candidate arena on the largest fixture,
+//!   and the cap is quality-neutral on C1–C5;
 //! * `baseline --check <file>` — re-run the snapshot's workload (the
 //!   design suite, the DSE sweep pair for a `--pr3`-style snapshot, or
-//!   the sizing comparison for a `--pr4`-style one) and exit non-zero if
+//!   the sizing comparison for a `--pr4`-style one; scaling snapshots
+//!   re-run the quick subset) and exit non-zero if
 //!   any record's `runtime_s` regresses more than 25 % against the
 //!   committed snapshot (per record, compared to the most lenient
 //!   committed run). The fresh measurements are written to
@@ -45,7 +53,7 @@ use dscts_core::mcmm::{CornerReport, RobustObjective};
 use dscts_core::opt::{AnnealedSizingPass, OptSchedule, PassManager};
 use dscts_core::sizing::{resize_for_skew, SizingConfig};
 use dscts_core::skew::SkewConfig;
-use dscts_core::{dse, DsCts, EvalModel, Outcome, TreeMetrics};
+use dscts_core::{dse, run_dp, DpConfig, DsCts, EvalModel, Outcome, TreeMetrics};
 use dscts_netlist::{BenchmarkSpec, Design};
 use dscts_tech::{CornerSet, Technology};
 use std::fmt::Write as _;
@@ -420,6 +428,240 @@ fn mcmm_records_json(records: &[McmmRecord]) -> String {
     rows.join(",\n")
 }
 
+/// One scaling-tier measurement: the full default pipeline on a
+/// `BenchmarkSpec::scaled` fixture, with per-stage wall clocks and the
+/// process peak-RSS high-water mark after each stage.
+struct ScalingRecord {
+    /// `"scaled-<n_sinks>"`.
+    name: String,
+    sinks: usize,
+    outcome: Outcome,
+}
+
+/// Sink counts of the scaling tier. `--quick` (the CI smoke subset) runs
+/// only the first entry; the committed `BENCH_pr6.json` records all
+/// three.
+const SCALING_SINKS: [usize; 3] = [100_000, 250_000, 1_000_000];
+
+/// Seed of the scaling fixtures — fixed so the committed snapshot and
+/// every CI re-run measure bit-identical designs.
+const SCALING_SEED: u64 = 1;
+
+/// Frontier cap used by the scaling tier's memory gate. The cap only
+/// engages beyond the DP's full-diversity depth (24 trunk levels), which
+/// no Table II preset reaches — so 8 is tight enough to cut the 1M-sink
+/// candidate arena by ~20 % while leaving C1–C5 bit-identical.
+const SCALING_FRONTIER: usize = 8;
+
+/// Allowed slack over the ideal `n log n` stage-time ratio in
+/// [`assert_scaling_complexity`]. Covers cache effects and allocator
+/// noise, not an extra complexity class: a quadratic stage overshoots
+/// the budget ~280x at the 100k → 1M step.
+const SCALING_SLACK: f64 = 3.0;
+
+/// Stages faster than this on the *small* design are skipped by the
+/// complexity gate — their ratios are timer noise, not scaling signal.
+const SCALING_MIN_STAGE_S: f64 = 0.01;
+
+fn fmt_rss(bytes: Option<u64>) -> String {
+    match bytes {
+        Some(b) => format!("{:.0} MiB", b as f64 / (1 << 20) as f64),
+        None => "n/a".into(),
+    }
+}
+
+/// Runs the scaled-design suite (100k only under `--quick`), then the
+/// two in-process gates: the empirical O(n log n) check between the
+/// smallest and largest design, and the DP frontier memory/quality
+/// gates.
+fn run_scaling(quick: bool, tech: &Technology) -> Vec<ScalingRecord> {
+    let sizes: &[usize] = if quick {
+        &SCALING_SINKS[..1]
+    } else {
+        &SCALING_SINKS
+    };
+    println!("design          sinks   route(s)  insert(s)  optimize(s)  eval(s)  total(s)  peak RSS   latency(ps)  skew(ps)");
+    let mut out = Vec::new();
+    for &n in sizes {
+        let design = BenchmarkSpec::scaled(n, SCALING_SEED).generate();
+        let o = DsCts::new(tech.clone()).run(&design);
+        let s = |name: &str| o.stage_seconds(name).unwrap_or(0.0);
+        println!(
+            "{:<14} {:>7} {:>9.2} {:>10.2} {:>12.2} {:>8.2} {:>9.2} {:>9} {:>12.3} {:>9.3}",
+            design.name,
+            n,
+            s("route"),
+            s("insertion"),
+            s("optimize"),
+            s("evaluate"),
+            o.runtime_s,
+            fmt_rss(o.peak_rss_bytes),
+            o.metrics.latency_ps,
+            o.metrics.skew_ps,
+        );
+        out.push(ScalingRecord {
+            name: design.name.clone(),
+            sinks: n,
+            outcome: o,
+        });
+    }
+    assert_scaling_complexity(&out);
+    run_frontier_gates(quick, tech);
+    out
+}
+
+/// Empirical complexity gate: between the smallest and largest scaled
+/// design, no stage's wall clock may grow faster than `n log n` (with
+/// [`SCALING_SLACK`] headroom). Skipped when only one size ran.
+fn assert_scaling_complexity(records: &[ScalingRecord]) {
+    let (Some(small), Some(large)) = (records.first(), records.last()) else {
+        return;
+    };
+    if small.sinks == large.sinks {
+        return;
+    }
+    let nlogn = |n: usize| n as f64 * (n as f64).ln();
+    let ideal = nlogn(large.sinks) / nlogn(small.sinks);
+    let budget = ideal * SCALING_SLACK;
+    println!(
+        "\ncomplexity gate {} -> {} sinks: ideal n log n ratio {ideal:.1}x, budget {budget:.1}x",
+        small.sinks, large.sinks
+    );
+    for st in &small.outcome.stages {
+        let t_small = st.seconds;
+        let Some(t_large) = large.outcome.stage_seconds(&st.name) else {
+            continue;
+        };
+        if t_small < SCALING_MIN_STAGE_S {
+            println!(
+                "  {:<22} {t_small:.3}s -> {t_large:.3}s (below noise floor, skipped)",
+                st.name
+            );
+            continue;
+        }
+        let ratio = t_large / t_small;
+        println!(
+            "  {:<22} {t_small:.3}s -> {t_large:.3}s ({ratio:.1}x)",
+            st.name
+        );
+        assert!(
+            ratio <= budget,
+            "stage {:?} scales worse than n log n: {ratio:.1}x > {budget:.1}x budget",
+            st.name
+        );
+    }
+    let total_ratio = large.outcome.runtime_s / small.outcome.runtime_s.max(SCALING_MIN_STAGE_S);
+    println!(
+        "  {:<22} {:.3}s -> {:.3}s ({total_ratio:.1}x)",
+        "total", small.outcome.runtime_s, large.outcome.runtime_s
+    );
+    assert!(
+        total_ratio <= budget,
+        "total runtime scales worse than n log n: {total_ratio:.1}x > {budget:.1}x budget"
+    );
+}
+
+/// The DP frontier gates, asserted in-process like the PR 4/5 quality
+/// gates so `--check BENCH_pr6.json` re-verifies them in CI:
+///
+/// * **memory** — on the largest scaled design the tier runs (100k under
+///   `--quick`, 1M otherwise), capping the frontier at
+///   [`SCALING_FRONTIER`] must shrink the stored-candidate arena;
+/// * **quality** — on every Table II preset (C1–C5), the capped DP must
+///   pick a root candidate with bit-identical latency/skew/resources.
+fn run_frontier_gates(quick: bool, tech: &Technology) {
+    let base = DsCts::new(tech.clone());
+    let capped = DpConfig {
+        frontier: Some(SCALING_FRONTIER),
+        ..DpConfig::default()
+    };
+
+    let n = if quick {
+        SCALING_SINKS[0]
+    } else {
+        SCALING_SINKS[SCALING_SINKS.len() - 1]
+    };
+    let design = BenchmarkSpec::scaled(n, SCALING_SEED).generate();
+    let topo = base.route(&design).expect("scaled design routes");
+    let unbounded = run_dp(&topo, tech, &DpConfig::default());
+    let bounded = run_dp(&topo, tech, &capped);
+    println!(
+        "\nfrontier memory gate (scaled-{n}): stored candidates {} -> {} ({:.1} % of unbounded)",
+        unbounded.stored_candidates,
+        bounded.stored_candidates,
+        100.0 * bounded.stored_candidates as f64 / unbounded.stored_candidates as f64,
+    );
+    assert!(
+        bounded.stored_candidates < unbounded.stored_candidates,
+        "frontier cap {SCALING_FRONTIER} did not shrink the candidate arena on scaled-{n}"
+    );
+
+    let mut checked = 0;
+    for (id, spec) in DESIGN_IDS.iter().zip(BenchmarkSpec::all()) {
+        let topo = base.route(&spec.generate()).expect("preset routes");
+        let unbounded = run_dp(&topo, tech, &DpConfig::default());
+        let bounded = run_dp(&topo, tech, &capped);
+        let (u, b) = (
+            unbounded.root_candidates[unbounded.chosen],
+            bounded.root_candidates[bounded.chosen],
+        );
+        assert_eq!(
+            (
+                u.latency_ps.to_bits(),
+                u.skew_ps.to_bits(),
+                u.buffers,
+                u.ntsvs
+            ),
+            (
+                b.latency_ps.to_bits(),
+                b.skew_ps.to_bits(),
+                b.buffers,
+                b.ntsvs
+            ),
+            "{id}: frontier cap {SCALING_FRONTIER} changed the chosen root candidate"
+        );
+        checked += 1;
+    }
+    println!("frontier quality gate: chosen candidate bit-identical on {checked} presets (C1–C5)");
+}
+
+fn scaling_records_json(records: &[ScalingRecord]) -> String {
+    let rss = |b: Option<u64>| b.map_or("null".to_string(), |v| v.to_string());
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            let o = &r.outcome;
+            let stages: Vec<String> = o
+                .stages
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"name\": {:?}, \"seconds\": {:.6}, \"peak_rss_bytes\": {}}}",
+                        s.name,
+                        s.seconds,
+                        rss(s.peak_rss_bytes)
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"design\": {:?}, \"sinks\": {}, \"runtime_s\": {:.6}, \
+                 \"peak_rss_bytes\": {}, \"latency_ps\": {:.6}, \"skew_ps\": {:.6}, \
+                 \"buffers\": {}, \"ntsvs\": {}, \"stages\": [{}]}}",
+                r.name,
+                r.sinks,
+                o.runtime_s,
+                rss(o.peak_rss_bytes),
+                o.metrics.latency_ps,
+                o.metrics.skew_ps,
+                o.metrics.buffers,
+                o.metrics.ntsvs,
+                stages.join(", "),
+            )
+        })
+        .collect();
+    rows.join(",\n")
+}
+
 fn run_suite(designs: &[Design], tech: &Technology) -> Vec<Record> {
     println!("design   sinks   route(ms)  insert(ms)  optimize(ms)  eval(ms)  total(ms)  latency(ps)  skew(ps)  bufs  nTSVs");
     designs
@@ -578,6 +820,23 @@ fn main() {
         return;
     }
 
+    if args.first().map(String::as_str) == Some("--scaling") {
+        // The million-sink scaling tier: full default pipeline on the
+        // reproducible `scaled(n, seed)` fixtures, per-stage wall clock +
+        // peak RSS, with the O(n log n) and DP-frontier gates asserted
+        // in-process. `--quick` (the CI smoke subset) runs only the
+        // smallest fixture and skips the cross-size complexity gate.
+        let quick = args.iter().any(|a| a == "--quick");
+        let records = run_scaling(quick, &tech);
+        let json = format!(
+            "{{\n  \"flow\": \"million_sink_scaling\",\n  \"quick\": {quick},\n  \"seed\": {SCALING_SEED},\n  \"threads\": {},\n  \"records\": [\n{}\n  ]\n}}\n",
+            rayon::current_num_threads(),
+            scaling_records_json(&records),
+        );
+        write_snapshot(&workspace_root().join("BENCH_pr6.json"), json);
+        return;
+    }
+
     if args.first().map(String::as_str) == Some("--pr2") {
         let designs = all_designs();
         // Two pinned runs: serial, then the ambient thread count. The
@@ -617,7 +876,18 @@ fn main() {
         let is_sweep = reference.iter().all(|(d, _)| d.contains("sweep"));
         let is_sizing = reference.iter().all(|(d, _)| d.contains("-sizing-"));
         let is_mcmm = reference.iter().all(|(d, _)| d.contains("-mcmm-"));
-        let fresh: Vec<(String, f64)> = if is_sweep {
+        let is_scaling = reference.iter().all(|(d, _)| d.starts_with("scaled-"));
+        let fresh: Vec<(String, f64)> = if is_scaling {
+            // Re-run only the quick (100k) subset: the committed snapshot
+            // also holds the 250k/1M records, which stay un-checked in CI
+            // — records without a fresh measurement are simply not
+            // compared, and the quick run still asserts the frontier
+            // gates in-process.
+            run_scaling(true, &tech)
+                .into_iter()
+                .map(|r| (r.name, r.outcome.runtime_s))
+                .collect()
+        } else if is_sweep {
             let design = BenchmarkSpec::c3_ethmac().generate();
             run_sweep_pair(&design, &tech)
                 .into_iter()

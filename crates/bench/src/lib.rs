@@ -14,6 +14,27 @@
 //!
 //! Binaries print human-readable tables and write CSV series under
 //! `results/`.
+//!
+//! # Scaling methodology
+//!
+//! The scaling tier (`baseline --scaling`, snapshot `BENCH_pr6.json`)
+//! measures the full default pipeline on the reproducible
+//! `BenchmarkSpec::scaled(n_sinks, seed)` fixtures at 100k, 250k and 1M
+//! sinks. For every stage it records two numbers:
+//!
+//! * **wall clock** — the per-stage timings from
+//!   [`dscts_core::Outcome::stages`], gated in-process so no stage grows
+//!   worse than O(n log n) between the smallest and largest fixture;
+//! * **peak RSS** — the process high-water resident-set mark from
+//!   [`rss::peak_rss_bytes`], sampled after each stage. The probe reads
+//!   `VmHWM` from `/proc/self/status`, so the column is **Linux-only**:
+//!   on other platforms it degrades to `null` in the snapshot and the
+//!   tables print `n/a`. Because `VmHWM` is process-wide and monotone,
+//!   per-stage values identify which stage first pushed the process to a
+//!   given footprint, not each stage's isolated allocation.
+//!
+//! CI runs the quick subset (100k sinks) and diffs runtimes against the
+//! committed snapshot via `baseline --check BENCH_pr6.json`.
 
 use dscts_core::skew::SkewConfig;
 use dscts_core::{run_dp, DpConfig, HierarchicalRouter, MoesWeights, SynthesizedTree};
@@ -22,6 +43,13 @@ use dscts_tech::Technology;
 use rayon::prelude::*;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+
+/// Peak-RSS measurement for the scaling tier — re-exported from the core
+/// crate so bench binaries and external harnesses reach it as
+/// `dscts_bench::rss::peak_rss_bytes()`. See the crate-level "Scaling
+/// methodology" notes for what the number means and the Linux-only
+/// caveat.
+pub use dscts_core::rss;
 
 /// Generates all five Table II designs (order C1..C5). Generation is
 /// per-design deterministic and independent, so it fans out across

@@ -39,6 +39,19 @@
 use dscts_geom::Point;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Above this point count, k-means++ seeding scans a deterministic stride
+/// subsample instead of every point. Chosen above every Table II preset and
+/// the property-test sizes so their seeding (and thus every downstream
+/// result) stays bit-identical to the dense scan; only the new `scaled`
+/// 100k+-sink designs take the subsampled path.
+const SEED_SAMPLE_LIMIT: usize = 65_536;
+
+/// Below this centroid count the naive O(n·k) assignment scan is faster
+/// than building the centroid grid; the two paths compute the same exact
+/// argmin either way.
+const GRID_MIN_K: usize = 16;
 
 /// Seeded k-means++ clustering with optional per-cluster size caps.
 ///
@@ -193,7 +206,23 @@ impl Clustering {
     }
 }
 
+/// k-means++ seeding. For huge inputs the D²-weighted scan is O(n·k) —
+/// quadratic once k grows with n — so past [`SEED_SAMPLE_LIMIT`] the seeds
+/// are drawn from a deterministic stride subsample. Seeds only steer the
+/// Lloyd iterations, which still see every point, so quality is unaffected;
+/// determinism is preserved because the stride depends only on `n`.
 fn kmeanspp_seed(points: &[Point], k: usize, rng: &mut SmallRng) -> Vec<Point> {
+    if points.len() > SEED_SAMPLE_LIMIT {
+        let stride = points.len().div_ceil(SEED_SAMPLE_LIMIT);
+        let sample: Vec<Point> = points.iter().copied().step_by(stride).collect();
+        if sample.len() >= k {
+            return kmeanspp_seed_dense(&sample, k, rng);
+        }
+    }
+    kmeanspp_seed_dense(points, k, rng)
+}
+
+fn kmeanspp_seed_dense(points: &[Point], k: usize, rng: &mut SmallRng) -> Vec<Point> {
     let first = points[rng.random_range(0..points.len())];
     let mut centroids = vec![first];
     let mut d2: Vec<f64> = points
@@ -229,7 +258,28 @@ fn kmeanspp_seed(points: &[Point], k: usize, rng: &mut SmallRng) -> Vec<Point> {
     centroids
 }
 
+/// Assigns every point to its nearest centroid (L1, lowest index wins
+/// ties). Dispatches between the naive scan and the grid-accelerated
+/// search; both compute the identical argmin, so results are bit-identical
+/// regardless of which path runs.
 fn assign(points: &[Point], centroids: &[Point], assignment: &mut [u32]) -> bool {
+    if centroids.len() >= GRID_MIN_K && points.len() >= 64 {
+        let grid = CentroidGrid::build(centroids);
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = grid.nearest(*p, centroids);
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        changed
+    } else {
+        assign_naive(points, centroids, assignment)
+    }
+}
+
+fn assign_naive(points: &[Point], centroids: &[Point], assignment: &mut [u32]) -> bool {
     let mut changed = false;
     for (i, p) in points.iter().enumerate() {
         let mut best = 0u32;
@@ -247,6 +297,124 @@ fn assign(points: &[Point], centroids: &[Point], assignment: &mut [u32]) -> bool
         }
     }
     changed
+}
+
+/// A uniform grid over the centroid bounding box for exact nearest-centroid
+/// queries in roughly O(1) per point (vs the naive O(k) scan).
+///
+/// The query expands square rings of cells outward from the query point's
+/// cell. Any centroid in a ring `r ≥ 1` cell is at L1 distance at least
+/// `(r-1)·cell` from the query point, so the search stops as soon as that
+/// lower bound strictly exceeds the best distance found — equality must
+/// keep searching because a tied centroid with a *lower index* would win
+/// under the naive scan's tie-break, and bit-identity with that scan is
+/// load-bearing for reproducibility.
+struct CentroidGrid {
+    x0: i64,
+    y0: i64,
+    cell: i64,
+    gw: usize,
+    gh: usize,
+    /// CSR offsets into `idx`, one slot per grid cell (row-major).
+    off: Vec<u32>,
+    /// Centroid indices, grouped by cell, ascending within each cell.
+    idx: Vec<u32>,
+}
+
+impl CentroidGrid {
+    fn build(centroids: &[Point]) -> Self {
+        let (mut min_x, mut min_y) = (i64::MAX, i64::MAX);
+        let (mut max_x, mut max_y) = (i64::MIN, i64::MIN);
+        for c in centroids {
+            min_x = min_x.min(c.x);
+            min_y = min_y.min(c.y);
+            max_x = max_x.max(c.x);
+            max_y = max_y.max(c.y);
+        }
+        // ~1 centroid per cell on average: sqrt(k) cells per side.
+        let side_cells = ((centroids.len() as f64).sqrt().ceil() as i64).max(1);
+        let span = (max_x - min_x).max(max_y - min_y).max(1);
+        let cell = (span / side_cells).max(1);
+        let gw = ((max_x - min_x) / cell) as usize + 1;
+        let gh = ((max_y - min_y) / cell) as usize + 1;
+        // Counting sort by cell keeps indices ascending within each cell.
+        let cell_of = |p: Point| -> usize {
+            let cx = ((p.x - min_x) / cell) as usize;
+            let cy = ((p.y - min_y) / cell) as usize;
+            cy * gw + cx
+        };
+        let mut off = vec![0u32; gw * gh + 1];
+        for c in centroids {
+            off[cell_of(*c) + 1] += 1;
+        }
+        for i in 1..off.len() {
+            off[i] += off[i - 1];
+        }
+        let mut idx = vec![0u32; centroids.len()];
+        let mut cursor = off.clone();
+        for (i, c) in centroids.iter().enumerate() {
+            let slot = cell_of(*c);
+            idx[cursor[slot] as usize] = i as u32;
+            cursor[slot] += 1;
+        }
+        CentroidGrid {
+            x0: min_x,
+            y0: min_y,
+            cell,
+            gw,
+            gh,
+            off,
+            idx,
+        }
+    }
+
+    /// Exact nearest centroid to `p`: minimum by `(distance, index)`, the
+    /// same total order the naive scan realises.
+    fn nearest(&self, p: Point, centroids: &[Point]) -> u32 {
+        let cx = (((p.x - self.x0) / self.cell).max(0) as usize).min(self.gw - 1);
+        let cy = (((p.y - self.y0) / self.cell).max(0) as usize).min(self.gh - 1);
+        let mut best = u32::MAX;
+        let mut best_d = i64::MAX;
+        let max_ring = cx.max(self.gw - 1 - cx).max(cy).max(self.gh - 1 - cy);
+        for r in 0..=max_ring {
+            if best != u32::MAX && (r as i64 - 1) * self.cell > best_d {
+                break;
+            }
+            let lo_x = cx.saturating_sub(r);
+            let hi_x = (cx + r).min(self.gw - 1);
+            let lo_y = cy.saturating_sub(r);
+            let hi_y = (cy + r).min(self.gh - 1);
+            let mut scan_cell = |gx: usize, gy: usize| {
+                let slot = gy * self.gw + gx;
+                for &c in &self.idx[self.off[slot] as usize..self.off[slot + 1] as usize] {
+                    let d = p.manhattan(centroids[c as usize]);
+                    if d < best_d || (d == best_d && c < best) {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+            };
+            for gy in lo_y..=hi_y {
+                if r == 0 || gy == lo_y || gy == hi_y {
+                    // Top/bottom edges of the ring: full row span.
+                    for gx in lo_x..=hi_x {
+                        scan_cell(gx, gy);
+                    }
+                } else {
+                    // Interior rows: only the left/right ring columns, and
+                    // only when they actually lie on this ring (not clamped
+                    // away at the grid border).
+                    if cx >= r {
+                        scan_cell(lo_x, gy);
+                    }
+                    if cx + r < self.gw {
+                        scan_cell(hi_x, gy);
+                    }
+                }
+            }
+        }
+        best
+    }
 }
 
 fn recentre(points: &[Point], assignment: &[u32], centroids: &mut [Point]) {
@@ -334,28 +502,39 @@ impl DualHierarchy {
         assert!(hc > 0 && lc > 0, "cluster size bounds must be positive");
         let k_high = sinks.len().div_ceil(hc);
         let high = KMeans::new(k_high).with_seed(seed).with_cap(hc).run(sinks);
-        let mut low = Vec::new();
-        for (h, members) in high.members().into_iter().enumerate() {
-            if members.is_empty() {
-                continue;
-            }
-            let pts: Vec<Point> = members.iter().map(|&i| sinks[i as usize]).collect();
-            let k_low = pts.len().div_ceil(lc);
-            let lowc = KMeans::new(k_low)
-                .with_seed(seed.wrapping_add(h as u64 + 1))
-                .with_cap(lc)
-                .run(&pts);
-            for (c, local) in lowc.members().into_iter().enumerate() {
-                if local.is_empty() {
-                    continue;
+        // The per-high-cluster low-level runs are independent (each gets a
+        // seed derived only from `h`), so fan them out. The collect is
+        // order-preserving and the groups are flattened in high-cluster
+        // order, making the result bit-identical to the sequential loop at
+        // any thread count.
+        let indexed: Vec<(usize, Vec<u32>)> = high.members().into_iter().enumerate().collect();
+        let groups: Vec<Vec<LowCluster>> = indexed
+            .par_iter()
+            .map(|(h, members)| {
+                if members.is_empty() {
+                    return Vec::new();
                 }
-                low.push(LowCluster {
-                    high: h as u32,
-                    centroid: lowc.centroid(c),
-                    sinks: local.iter().map(|&j| members[j as usize]).collect(),
-                });
-            }
-        }
+                let pts: Vec<Point> = members.iter().map(|&i| sinks[i as usize]).collect();
+                let k_low = pts.len().div_ceil(lc);
+                let lowc = KMeans::new(k_low)
+                    .with_seed(seed.wrapping_add(*h as u64 + 1))
+                    .with_cap(lc)
+                    .run(&pts);
+                let mut out = Vec::new();
+                for (c, local) in lowc.members().into_iter().enumerate() {
+                    if local.is_empty() {
+                        continue;
+                    }
+                    out.push(LowCluster {
+                        high: *h as u32,
+                        centroid: lowc.centroid(c),
+                        sinks: local.iter().map(|&j| members[j as usize]).collect(),
+                    });
+                }
+                out
+            })
+            .collect();
+        let low: Vec<LowCluster> = groups.into_iter().flatten().collect();
         DualHierarchy { high, low }
     }
 
@@ -493,5 +672,86 @@ mod tests {
         let pts = vec![Point::new(7, 7); 50];
         let c = KMeans::new(4).with_seed(2).run(&pts);
         assert_eq!(c.assignment().len(), 50);
+    }
+
+    /// Pseudo-random (deterministic) points that do not sit on a lattice,
+    /// so distance ties and cell-boundary cases actually occur.
+    fn scatter(n: usize, seed: u64) -> Vec<Point> {
+        let mut state = seed | 1;
+        let mut next = || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        (0..n)
+            .map(|_| Point::new((next() % 100_000) as i64, (next() % 100_000) as i64))
+            .collect()
+    }
+
+    #[test]
+    fn grid_assign_matches_naive_exactly() {
+        let pts = scatter(5_000, 42);
+        for k in [16usize, 40, 128] {
+            let centroids: Vec<Point> = pts.iter().copied().step_by(pts.len() / k).collect();
+            let mut grid_asn = vec![0u32; pts.len()];
+            let mut naive_asn = vec![0u32; pts.len()];
+            assert!(
+                centroids.len() >= GRID_MIN_K,
+                "gate must take the grid path"
+            );
+            assign(&pts, &centroids, &mut grid_asn);
+            assign_naive(&pts, &centroids, &mut naive_asn);
+            assert_eq!(grid_asn, naive_asn, "grid vs naive diverged at k={k}");
+        }
+    }
+
+    #[test]
+    fn grid_assign_breaks_ties_by_lowest_index() {
+        // Two coincident centroids plus a distant one: every point tied
+        // between 0 and 1 must pick 0, exactly like the naive scan.
+        let pts = scatter(500, 7);
+        let centroids = vec![Point::new(50_000, 50_000); GRID_MIN_K];
+        let mut asn = vec![u32::MAX; pts.len()];
+        assign(&pts, &centroids, &mut asn);
+        assert!(asn.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn grid_assign_handles_points_outside_centroid_bbox() {
+        let mut pts = scatter(200, 3);
+        // Far outside the centroid bounding box on every side.
+        pts.push(Point::new(-5_000_000, -5_000_000));
+        pts.push(Point::new(9_000_000, 123));
+        let centroids: Vec<Point> = pts.iter().copied().take(20).collect();
+        let mut grid_asn = vec![0u32; pts.len()];
+        let mut naive_asn = vec![0u32; pts.len()];
+        assign(&pts, &centroids, &mut grid_asn);
+        assign_naive(&pts, &centroids, &mut naive_asn);
+        assert_eq!(grid_asn, naive_asn);
+    }
+
+    #[test]
+    fn subsampled_seeding_is_deterministic_and_covers() {
+        let pts = scatter(SEED_SAMPLE_LIMIT + 5_000, 11);
+        let a = KMeans::new(4).with_seed(9).with_max_iter(3).run(&pts);
+        let b = KMeans::new(4).with_seed(9).with_max_iter(3).run(&pts);
+        assert_eq!(a, b);
+        assert_eq!(a.sizes().iter().sum::<usize>(), pts.len());
+    }
+
+    #[test]
+    fn dual_hierarchy_is_thread_count_invariant_by_construction() {
+        // The parallel low-level fan-out must be order-preserving: the
+        // result may not depend on how many threads the shim uses.
+        let pts = grid(2_000, 311);
+        let base = DualHierarchy::build(&pts, 400, 25, 5);
+        let again = DualHierarchy::build(&pts, 400, 25, 5);
+        assert_eq!(base.high, again.high);
+        assert_eq!(
+            base.low_clusters().collect::<Vec<_>>(),
+            again.low_clusters().collect::<Vec<_>>()
+        );
     }
 }

@@ -156,6 +156,19 @@ pub struct DpConfig {
     /// Restrict to the front side entirely ({P1, P2}): the "Our Buffered
     /// Clock Tree" flow.
     pub single_side: bool,
+    /// Memory-bounding frontier cap. `None` (the default) leaves candidate
+    /// propagation exactly as configured by `max_cands` — bit-identical to
+    /// the pre-cap DP. `Some(f)` tightens the *stored* per-node candidate
+    /// budget to `max_cands.min(f)` after the provable-dominance prune,
+    /// but only for nodes deeper than `FRONTIER_FULL_DIVERSITY_DEPTH`
+    /// (24) edges from the root (the transient merge working set keeps the
+    /// full `max_cands`-keyed budget everywhere). Near-root diversity —
+    /// what root selection quality rides on — is untouched, while the
+    /// deep subdivision chains of huge designs are bounded
+    /// (the stored total is reported
+    /// in [`DpResult::stored_candidates`]). Dominated candidates are always
+    /// dropped first, so the cap only thins the resource-diverse tail.
+    pub frontier: Option<usize>,
 }
 
 impl Default for DpConfig {
@@ -167,6 +180,7 @@ impl Default for DpConfig {
             mode_rule: ModeRule::AllFull,
             moes: MoesWeights::default(),
             single_side: false,
+            frontier: None,
         }
     }
 }
@@ -195,6 +209,11 @@ pub struct DpResult {
     pub root_candidates: Vec<RootCand>,
     /// Index into `root_candidates` selected by the MOES.
     pub chosen: usize,
+    /// Total candidate records stored across all DP nodes — the peak
+    /// footprint of the candidate arena. This is what
+    /// [`DpConfig::frontier`] bounds; the scaling bench reports it to show
+    /// the cap's effect.
+    pub stored_candidates: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -225,6 +244,16 @@ pub fn run_dp(topo: &ClockTopo, tech: &Technology, cfg: &DpConfig) -> DpResult {
     }
 }
 
+/// Nodes within this many edges of the clock root always keep the full
+/// `max_cands` budget, even under a [`DpConfig::frontier`] cap. Root
+/// selection quality rides on the diversity of the sets near the root,
+/// so the cap must not thin them; 24 levels of trunk (branch points plus
+/// their subdivision segments) cover every Table II preset at the
+/// pipeline's default granularity, so the cap engages only on the deep
+/// subdivision chains of 100k+-sink floorplans — which is exactly where
+/// the candidate arena bloats.
+const FRONTIER_FULL_DIVERSITY_DEPTH: u32 = 24;
+
 /// Read-only inputs shared by every per-node DP computation.
 struct DpCtx<'a> {
     topo: &'a ClockTopo,
@@ -233,12 +262,46 @@ struct DpCtx<'a> {
     patterns: &'a [Pattern],
     csr: &'a TreeCsr,
     modes: &'a [Mode],
+    /// Per-node distance from the clock root, used to gate the frontier
+    /// cap; empty when `cfg.frontier` is `None` (never read then).
+    depths: &'a [u32],
+}
+
+/// Flat SoA arena holding every node's surviving candidate set — the
+/// `TreeCsr`-style replacement for the former `Vec<Vec<Work>>`: one
+/// contiguous `Work` buffer plus per-node `(offset, len)` slots. Sets are
+/// appended in height order (children before parents), so by the time a
+/// node is processed all of its children's slices are already resident.
+struct CandArena {
+    off: Vec<u32>,
+    len: Vec<u32>,
+    works: Vec<Work>,
+}
+
+impl CandArena {
+    fn with_nodes(n: usize) -> Self {
+        CandArena {
+            off: vec![0; n],
+            len: vec![0; n],
+            works: Vec::new(),
+        }
+    }
+
+    fn node(&self, id: usize) -> &[Work] {
+        &self.works[self.off[id] as usize..][..self.len[id] as usize]
+    }
+
+    fn push_set(&mut self, id: usize, set: Vec<Work>) {
+        self.off[id] = self.works.len() as u32;
+        self.len[id] = set.len() as u32;
+        self.works.extend(set);
+    }
 }
 
 /// The merge + insert computation for one DP node. Reads only the
 /// candidate sets of the node's children, so all nodes of equal tree
 /// height are independent and safe to process in parallel.
-fn process_node(idu: usize, ctx: &DpCtx<'_>, sets: &[Vec<Work>]) -> Result<Vec<Work>, CtsError> {
+fn process_node(idu: usize, ctx: &DpCtx<'_>, sets: &CandArena) -> Result<Vec<Work>, CtsError> {
     let DpCtx {
         topo,
         tech,
@@ -246,6 +309,7 @@ fn process_node(idu: usize, ctx: &DpCtx<'_>, sets: &[Vec<Work>]) -> Result<Vec<W
         patterns,
         csr,
         modes,
+        depths,
     } = *ctx;
     let rc_front = tech.rc(Side::Front);
     let max_load = tech.max_load_ff();
@@ -275,7 +339,8 @@ fn process_node(idu: usize, ctx: &DpCtx<'_>, sets: &[Vec<Work>]) -> Result<Vec<W
                 child: [u32::MAX; 2],
             }]
         }
-        (1, None) => sets[kids[0] as usize]
+        (1, None) => sets
+            .node(kids[0] as usize)
             .iter()
             .enumerate()
             .map(|(i, c)| Work {
@@ -293,11 +358,11 @@ fn process_node(idu: usize, ctx: &DpCtx<'_>, sets: &[Vec<Work>]) -> Result<Vec<W
             })
             .collect(),
         (2, None) => {
-            let (a, b) = (kids[0] as usize, kids[1] as usize);
-            let mut out = Vec::with_capacity(sets[a].len() * sets[b].len() / 2);
-            for (i, ca) in sets[a].iter().enumerate() {
+            let (a, b) = (sets.node(kids[0] as usize), sets.node(kids[1] as usize));
+            let mut out = Vec::with_capacity(a.len() * b.len() / 2);
+            for (i, ca) in a.iter().enumerate() {
                 let sa = ca.pattern.expect("stored").root_side();
-                for (j, cb) in sets[b].iter().enumerate() {
+                for (j, cb) in b.iter().enumerate() {
                     // Connectivity constraint: the shared vertex must
                     // have one side.
                     if sa != cb.pattern.expect("stored").root_side() {
@@ -325,7 +390,19 @@ fn process_node(idu: usize, ctx: &DpCtx<'_>, sets: &[Vec<Work>]) -> Result<Vec<W
             })
         }
     };
+    // The merge working set keeps the full `max_cands`-keyed budget even
+    // under a frontier cap: the oversized intermediate is transient (it
+    // never reaches the arena), and thinning it would change *which*
+    // candidates survive rather than merely how many are stored.
     prune(&mut merged, cfg.prune, cfg.max_cands.max(4) * 2);
+    // The frontier tightens only the stored (final) per-node budget, and
+    // only beyond [`FRONTIER_FULL_DIVERSITY_DEPTH`]; with `frontier:
+    // None` this is exactly `max_cands` and the DP is bit-identical to
+    // the uncapped formulation.
+    let budget = match cfg.frontier {
+        Some(f) if depths[idu] > FRONTIER_FULL_DIVERSITY_DEPTH => cfg.max_cands.min(f),
+        _ => cfg.max_cands,
+    };
 
     // --- Insert step: assign a pattern to this edge. ---
     let mode = modes[idu];
@@ -354,7 +431,7 @@ fn process_node(idu: usize, ctx: &DpCtx<'_>, sets: &[Vec<Work>]) -> Result<Vec<W
             });
         }
     }
-    prune(&mut cands, cfg.prune, cfg.max_cands);
+    prune(&mut cands, cfg.prune, budget);
     if cands.is_empty() {
         return Err(CtsError::NoFeasiblePattern {
             node: idu as u32,
@@ -418,7 +495,6 @@ pub fn try_run_dp_with_modes(
     };
 
     let n = topo.nodes.len();
-    let mut sets: Vec<Vec<Work>> = vec![Vec::new(); n];
 
     // Group non-root nodes by height; children strictly precede parents.
     let mut height = vec![0usize; n];
@@ -434,10 +510,35 @@ pub fn try_run_dp_with_modes(
         height[idu] = h;
         max_height = max_height.max(h);
     }
-    let mut by_height: Vec<Vec<u32>> = vec![Vec::new(); max_height + 1];
+    // Flat CSR-style height buckets built in one counting pass (replaces a
+    // `Vec<Vec<u32>>` of per-height bucket allocations); counting sort
+    // keeps node ids ascending within each bucket.
+    let mut height_off = vec![0u32; max_height + 2];
     for id in 1..n {
-        by_height[height[id]].push(id as u32);
+        height_off[height[id] + 1] += 1;
     }
+    for i in 1..height_off.len() {
+        height_off[i] += height_off[i - 1];
+    }
+    let mut height_nodes = vec![0u32; n.saturating_sub(1)];
+    let mut cursor = height_off.clone();
+    for id in 1..n {
+        height_nodes[cursor[height[id]] as usize] = id as u32;
+        cursor[height[id]] += 1;
+    }
+
+    // Root distances, needed only to gate the frontier cap.
+    let depths: Vec<u32> = if cfg.frontier.is_some() {
+        let mut d = vec![0u32; n];
+        for &id in order {
+            if let Some(p) = topo.nodes[id as usize].parent {
+                d[id as usize] = d[p as usize] + 1;
+            }
+        }
+        d
+    } else {
+        Vec::new()
+    };
 
     let ctx = DpCtx {
         topo,
@@ -446,16 +547,19 @@ pub fn try_run_dp_with_modes(
         patterns,
         csr,
         modes,
+        depths: &depths,
     };
-    for group in &by_height {
+    let mut arena = CandArena::with_nodes(n);
+    for h in 0..=max_height {
+        let group = &height_nodes[height_off[h] as usize..height_off[h + 1] as usize];
         let results: Vec<(u32, Result<Vec<Work>, CtsError>)> = group
             .par_iter()
-            .map(|&id| (id, process_node(id as usize, &ctx, &sets)))
+            .map(|&id| (id, process_node(id as usize, &ctx, &arena)))
             .collect();
         // Write back (and surface errors) in node order: deterministic
         // regardless of how the group was scheduled.
         for (id, r) in results {
-            sets[id as usize] = r?;
+            arena.push_set(id as usize, r?);
         }
     }
 
@@ -464,7 +568,7 @@ pub fn try_run_dp_with_modes(
     let buf = tech.buffer();
     let mut root_candidates = Vec::new();
     let mut root_index = Vec::new();
-    for (i, c) in sets[root_edge].iter().enumerate() {
+    for (i, c) in arena.node(root_edge).iter().enumerate() {
         // The clock source drives on the front side.
         if c.pattern.expect("stored").root_side() != Side::Front {
             continue;
@@ -495,7 +599,7 @@ pub fn try_run_dp_with_modes(
     let mut assignment: Vec<Option<Pattern>> = vec![None; n];
     let mut stack = vec![(root_edge, root_index[chosen])];
     while let Some((nid, cidx)) = stack.pop() {
-        let c = &sets[nid][cidx];
+        let c = &arena.node(nid)[cidx];
         assignment[nid] = c.pattern;
         for (k, &ch) in csr.children(nid as u32).iter().enumerate() {
             let ci = c.child[k];
@@ -509,6 +613,7 @@ pub fn try_run_dp_with_modes(
         assignment,
         root_candidates,
         chosen,
+        stored_candidates: arena.works.len(),
     })
 }
 
@@ -852,6 +957,73 @@ mod tests {
             min(&mo),
             min(&lo)
         );
+    }
+
+    #[test]
+    fn frontier_none_is_bit_identical_and_cap_shrinks_memory() {
+        let (topo, tech) = small_topo();
+        let base = run_dp(&topo, &tech, &DpConfig::default());
+        let explicit_none = run_dp(
+            &topo,
+            &tech,
+            &DpConfig {
+                frontier: None,
+                ..DpConfig::default()
+            },
+        );
+        assert_eq!(base.assignment, explicit_none.assignment);
+        assert_eq!(base.root_candidates, explicit_none.root_candidates);
+        assert_eq!(base.chosen, explicit_none.chosen);
+        assert_eq!(base.stored_candidates, explicit_none.stored_candidates);
+        // A cap wider than max_cands changes nothing either.
+        let loose = run_dp(
+            &topo,
+            &tech,
+            &DpConfig {
+                frontier: Some(1 << 20),
+                ..DpConfig::default()
+            },
+        );
+        assert_eq!(base.assignment, loose.assignment);
+        assert_eq!(base.stored_candidates, loose.stored_candidates);
+        // On a shallow topology (max depth within
+        // FRONTIER_FULL_DIVERSITY_DEPTH) even a tight cap never engages:
+        // the run stays bit-identical, not merely equivalent.
+        let tight = run_dp(
+            &topo,
+            &tech,
+            &DpConfig {
+                frontier: Some(8),
+                ..DpConfig::default()
+            },
+        );
+        assert_eq!(base.assignment, tight.assignment);
+        assert_eq!(base.stored_candidates, tight.stored_candidates);
+        // A finer subdivision drives the trunk chains past the
+        // full-diversity depth; there the tight cap bounds the
+        // stored-candidate footprint but still produces a complete,
+        // feasible assignment.
+        let d = BenchmarkSpec::c4_riscv32i().generate();
+        let mut deep_topo = HierarchicalRouter::new().route(&d, &tech);
+        deep_topo.subdivide(2_000);
+        let deep_base = run_dp(&deep_topo, &tech, &DpConfig::default());
+        let deep_tight = run_dp(
+            &deep_topo,
+            &tech,
+            &DpConfig {
+                frontier: Some(8),
+                ..DpConfig::default()
+            },
+        );
+        assert!(
+            deep_tight.stored_candidates < deep_base.stored_candidates,
+            "cap 8 should store fewer candidates on deep chains ({} vs {})",
+            deep_tight.stored_candidates,
+            deep_base.stored_candidates
+        );
+        for a in deep_tight.assignment.iter().skip(1) {
+            assert!(a.is_some());
+        }
     }
 
     #[test]

@@ -133,6 +133,10 @@ pub(crate) struct CornerState {
     star_base_slew: Vec<f64>,
     /// Per-sink arrival times (the batch evaluator's `arrivals` vector).
     arrivals: Vec<f64>,
+    /// Grow-only DFS stack reused by every arrival re-propagation, so a
+    /// trial move performs no per-move heap allocation once the stack has
+    /// reached its high-water mark (asserted by the sizing micro-bench).
+    arrival_scratch: Vec<u32>,
 }
 
 impl CornerState {
@@ -212,6 +216,7 @@ impl CornerState {
             star_base: vec![0.0; n_stars],
             star_base_slew: vec![0.0; n_stars],
             arrivals: vec![0.0; n_sinks],
+            arrival_scratch: Vec::new(),
         };
         // Top-down arrivals over the whole tree (node 0 = root driver),
         // then discard the bookkeeping journal: this is the base state.
@@ -347,7 +352,7 @@ impl CornerState {
         model: EvalModel,
         csr: &TreeCsr,
         edge: usize,
-        journal: &mut impl Journal,
+        journal: &mut (impl Journal + ?Sized),
     ) -> bool {
         let Some(ev) = self.eval_edge(tree, tech, edge) else {
             return false;
@@ -385,7 +390,7 @@ impl CornerState {
         model: EvalModel,
         csr: &TreeCsr,
         si: usize,
-        journal: &mut impl Journal,
+        journal: &mut (impl Journal + ?Sized),
     ) -> bool {
         let v = tree.topo.stars[si].node as usize;
         let new_cap = self.node_cap(tree, tech, csr, v);
@@ -421,7 +426,7 @@ impl CornerState {
         tech: &Technology,
         csr: &TreeCsr,
         start: usize,
-        journal: &mut impl Journal,
+        journal: &mut (impl Journal + ?Sized),
     ) -> Option<usize> {
         let mut top = start;
         let mut v = start;
@@ -459,38 +464,51 @@ impl CornerState {
         model: EvalModel,
         csr: &TreeCsr,
         top: usize,
-        journal: &mut impl Journal,
+        journal: &mut (impl Journal + ?Sized),
     ) -> bool {
         let buf = tech.buffer();
-        let mut stack: Vec<u32> = vec![top as u32];
+        // Grow-only reuse: the stack is taken out of `self` for the
+        // traversal (it cannot live in `self` while `self` is mutably
+        // borrowed below) and put back — including on the infeasible exit —
+        // so steady-state trial moves never touch the allocator.
+        let mut stack = std::mem::take(&mut self.arrival_scratch);
+        stack.clear();
+        stack.push(top as u32);
+        let mut ok = true;
         while let Some(v) = stack.pop() {
             let vu = v as usize;
-            let (new_arr, new_slew) = if vu == 0 {
+            let computed = if vu == 0 {
                 let nominal = buf.nominal_slew_ps();
                 let a = match model {
                     EvalModel::Elmore => buf.delay_ps(self.cap[0]),
                     EvalModel::Nldm => buf.delay_nldm_ps(nominal, self.cap[0]),
                 };
-                (a, buf.output_slew_ps(nominal, self.cap[0]))
+                Some((a, buf.output_slew_ps(nominal, self.cap[0])))
             } else {
-                let Some(ev) = self.eval_edge(tree, tech, vu) else {
-                    return false;
-                };
-                let p = tree.topo.nodes[vu].parent.expect("non-root") as usize;
-                match (model, ev.stage) {
-                    (EvalModel::Elmore, _) | (EvalModel::Nldm, None) => (
-                        self.arr[p] + ev.delay_ps,
-                        wire_slew(self.slew[p], ev.delay_ps),
-                    ),
-                    (EvalModel::Nldm, Some(st)) => {
-                        let slew_in = wire_slew(self.slew[p], st.pre_delay_ps);
-                        let d_buf = buf.delay_nldm_ps(slew_in, st.load_ff);
-                        (
-                            self.arr[p] + st.pre_delay_ps + d_buf + st.post_delay_ps,
-                            wire_slew(buf.output_slew_ps(slew_in, st.load_ff), st.post_delay_ps),
-                        )
+                self.eval_edge(tree, tech, vu).map(|ev| {
+                    let p = tree.topo.nodes[vu].parent.expect("non-root") as usize;
+                    match (model, ev.stage) {
+                        (EvalModel::Elmore, _) | (EvalModel::Nldm, None) => (
+                            self.arr[p] + ev.delay_ps,
+                            wire_slew(self.slew[p], ev.delay_ps),
+                        ),
+                        (EvalModel::Nldm, Some(st)) => {
+                            let slew_in = wire_slew(self.slew[p], st.pre_delay_ps);
+                            let d_buf = buf.delay_nldm_ps(slew_in, st.load_ff);
+                            (
+                                self.arr[p] + st.pre_delay_ps + d_buf + st.post_delay_ps,
+                                wire_slew(
+                                    buf.output_slew_ps(slew_in, st.load_ff),
+                                    st.post_delay_ps,
+                                ),
+                            )
+                        }
                     }
-                }
+                })
+            };
+            let Some((new_arr, new_slew)) = computed else {
+                ok = false;
+                break;
             };
             journal.record(Entry::Arr(v, self.arr[vu]));
             self.arr[vu] = new_arr;
@@ -501,7 +519,8 @@ impl CornerState {
             }
             stack.extend_from_slice(csr.children(v));
         }
-        true
+        self.arrival_scratch = stack;
+        ok
     }
 
     /// Refreshes star `si`'s base arrival/slew (through the optional
@@ -513,7 +532,7 @@ impl CornerState {
         tech: &Technology,
         model: EvalModel,
         si: usize,
-        journal: &mut impl Journal,
+        journal: &mut (impl Journal + ?Sized),
     ) {
         let v = tree.topo.stars[si].node as usize;
         let buf = tech.buffer();

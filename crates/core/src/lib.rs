@@ -88,6 +88,7 @@ pub mod opt;
 mod pattern;
 mod pipeline;
 mod route;
+pub mod rss;
 pub mod sizing;
 pub mod skew;
 mod synth;

@@ -49,10 +49,18 @@ use crate::pattern::Pattern;
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
 use dscts_geom::TreeCsr;
 use dscts_tech::{CornerSet, Technology};
+use rayon::prelude::*;
 
 /// Journal tag marking a knob entry (tree mutation) rather than a
 /// per-corner numeric entry.
 const KNOB: u32 = u32::MAX;
+
+/// Minimum trunk-node count before the auto gate turns the corner-parallel
+/// fan-out on. Below this, a per-corner dirty path is microseconds and the
+/// shim's per-call thread spawn would dominate (the C1–C5 trunks are ~1k
+/// nodes); above it — the 100k+-sink scaled designs — the per-corner
+/// repair work amortizes the spawn.
+const PAR_FANOUT_MIN_NODES: usize = 10_000;
 
 /// A journal adapter that tags every recorded entry with its corner.
 struct TaggedJournal<'j> {
@@ -219,6 +227,13 @@ pub struct MultiCornerEval<'a> {
     /// per star when ranking — without this cache a ranking sweep would
     /// be O(corners × stars²). Invalidated by every mutation and undo.
     focus: std::cell::Cell<Option<usize>>,
+    /// Corner-parallel fan-out control: `Some(true)` forces the parallel
+    /// path, `Some(false)` forces serial, `None` (default) auto-gates on
+    /// tree size and thread count. See [`MultiCornerEval::with_parallel`].
+    parallel: Option<bool>,
+    /// Reusable per-corner scratch journals for the parallel fan-out
+    /// (grow-only, so steady-state parallel mutations allocate nothing).
+    scratch: Vec<Vec<Entry>>,
 }
 
 impl<'a> MultiCornerEval<'a> {
@@ -248,6 +263,8 @@ impl<'a> MultiCornerEval<'a> {
             journal: Vec::new(),
             last_mark: 0,
             focus: std::cell::Cell::new(None),
+            parallel: None,
+            scratch: Vec::new(),
         }
     }
 
@@ -255,6 +272,38 @@ impl<'a> MultiCornerEval<'a> {
     pub fn with_objective(mut self, objective: RobustObjective) -> Self {
         self.objective = objective;
         self
+    }
+
+    /// Controls the corner-parallel mutation fan-out (builder style).
+    ///
+    /// The K per-corner dirty-path repairs of one mutation are independent
+    /// given the shared knob write, so they can run on separate threads.
+    /// `Some(true)` forces the parallel path, `Some(false)` forces the
+    /// serial loop, and `None` (the default) picks automatically: parallel
+    /// only when there is more than one corner, more than one thread, and
+    /// the trunk is at least `PAR_FANOUT_MIN_NODES` nodes (so the repair
+    /// work amortizes the per-mutation thread spawn).
+    ///
+    /// Both paths are bit-identical at any thread count: each corner
+    /// journals into its own scratch buffer and the buffers are merged
+    /// into the shared journal in corner order — exactly the order the
+    /// serial loop would have produced.
+    pub fn with_parallel(mut self, parallel: Option<bool>) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Whether the next mutation will fan out in parallel.
+    fn use_parallel(&self) -> bool {
+        let eligible = self.states.len() > 1;
+        match self.parallel {
+            Some(p) => p && eligible,
+            None => {
+                eligible
+                    && self.tree.topo.nodes.len() >= PAR_FANOUT_MIN_NODES
+                    && rayon::current_num_threads() > 1
+            }
+        }
     }
 
     /// The configured objective view.
@@ -365,37 +414,78 @@ impl<'a> MultiCornerEval<'a> {
     // --- Mutations -------------------------------------------------------
 
     /// Fans a knob mutation out to every corner: `apply(state, tech,
-    /// tagged-journal)` per corner, rolling the knob and every touched
-    /// corner back atomically when any corner reports infeasibility.
+    /// journal)` per corner, rolling the knob and every touched corner
+    /// back atomically when any corner reports infeasibility.
+    ///
+    /// Serially, corners repair one after another into the shared tagged
+    /// journal (with an early break on the first infeasible corner). In
+    /// parallel ([`MultiCornerEval::with_parallel`]), every corner repairs
+    /// concurrently into its own scratch journal and the scratches are
+    /// appended to the shared journal in corner order afterwards — on
+    /// success the shared journal is bit-identical to the serial one, and
+    /// on failure `undo_to(mark)` restores the identical pre-mutation
+    /// state either way.
     fn fan_out(
         &mut self,
         mark: usize,
         apply: impl Fn(
-            &mut CornerState,
-            &SynthesizedTree,
-            &Technology,
-            EvalModel,
-            &TreeCsr,
-            &mut TaggedJournal<'_>,
-        ) -> bool,
+                &mut CornerState,
+                &SynthesizedTree,
+                &Technology,
+                EvalModel,
+                &TreeCsr,
+                &mut dyn Journal,
+            ) -> bool
+            + Sync,
     ) -> bool {
         self.focus.set(None);
         let mut ok = true;
-        for (k, state) in self.states.iter_mut().enumerate() {
-            let mut journal = TaggedJournal {
-                corner: k as u32,
-                journal: &mut self.journal,
-            };
-            if !apply(
-                state,
-                self.tree,
-                self.corners.tech(k),
-                self.model,
-                &self.csr,
-                &mut journal,
-            ) {
-                ok = false;
-                break;
+        if self.use_parallel() {
+            if self.scratch.len() < self.states.len() {
+                self.scratch.resize_with(self.states.len(), Vec::new);
+            }
+            let tree = &*self.tree;
+            let corners = self.corners;
+            let model = self.model;
+            let csr = &self.csr;
+            let apply = &apply;
+            let mut work: Vec<(usize, &mut CornerState, &mut Vec<Entry>, bool)> = self
+                .states
+                .iter_mut()
+                .zip(self.scratch.iter_mut())
+                .enumerate()
+                .map(|(k, (state, buf))| {
+                    buf.clear();
+                    (k, state, buf, true)
+                })
+                .collect();
+            work.par_iter_mut().for_each(|(k, state, buf, corner_ok)| {
+                *corner_ok = apply(state, tree, corners.tech(*k), model, csr, &mut **buf);
+            });
+            ok = work.iter().all(|(.., corner_ok)| *corner_ok);
+            drop(work);
+            for (k, buf) in self.scratch.iter_mut().enumerate() {
+                for e in buf.drain(..) {
+                    self.journal.push((k as u32, e));
+                }
+            }
+        } else {
+            for (k, state) in self.states.iter_mut().enumerate() {
+                let mut journal = TaggedJournal {
+                    corner: k as u32,
+                    journal: &mut self.journal,
+                };
+                if !apply(
+                    state,
+                    self.tree,
+                    self.corners.tech(k),
+                    self.model,
+                    &self.csr,
+                    &mut journal,
+                ) {
+                    ok = false;
+                    break;
+                }
             }
         }
         if !ok {

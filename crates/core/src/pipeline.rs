@@ -97,6 +97,10 @@ pub struct StageTiming {
     pub name: Cow<'static, str>,
     /// Elapsed wall-clock seconds.
     pub seconds: f64,
+    /// Process-wide peak RSS (bytes) sampled when the stage finished,
+    /// via [`crate::rss::peak_rss_bytes`]. Monotone non-decreasing
+    /// across stages (it is a high-water mark); `None` off Linux.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// Everything a pipeline run produces.
@@ -126,6 +130,9 @@ pub struct Outcome {
     pub stages: Vec<StageTiming>,
     /// Wall-clock runtime of the whole pipeline (seconds).
     pub runtime_s: f64,
+    /// Process-wide peak RSS (bytes) at the end of the run, via
+    /// [`crate::rss::peak_rss_bytes`]; `None` off Linux.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 impl Outcome {
@@ -678,15 +685,21 @@ impl DsCts {
             timings.push(StageTiming {
                 name: Cow::Borrowed(stage.name()),
                 seconds: t0.elapsed().as_secs_f64(),
+                peak_rss_bytes: crate::rss::peak_rss_bytes(),
             });
             if !deposited_before {
                 // Whichever stage just deposited the schedule report gets
                 // its per-pass wall clocks folded in right behind it, as
                 // `opt:<name>` entries.
                 if let Some(report) = &ctx.optimization {
+                    // Per-pass rows inherit the optimize stage's sample:
+                    // the passes already finished, so the stage-end
+                    // high-water mark covers all of them.
+                    let stage_peak = timings.last().and_then(|t| t.peak_rss_bytes);
                     timings.extend(report.passes.iter().map(|p| StageTiming {
                         name: Cow::Owned(format!("opt:{}", p.name)),
                         seconds: p.seconds,
+                        peak_rss_bytes: stage_peak,
                     }));
                 }
             }
@@ -702,6 +715,7 @@ impl DsCts {
             corners: ctx.corner_report,
             stages: timings,
             runtime_s: start.elapsed().as_secs_f64(),
+            peak_rss_bytes: crate::rss::peak_rss_bytes(),
         })
     }
 

@@ -199,8 +199,103 @@ fn monotone(tree: &SynthesizedTree, tech: &Technology, model: EvalModel, slow: f
     }
 }
 
+/// Serializes the `RAYON_NUM_THREADS` manipulation of the thread-count
+/// sweep below (the pipeline crate's `ScopedEnv` is crate-private).
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn uniform_derate(f: f64) -> DerateFactors {
+    DerateFactors {
+        front_wire: WireDerate { res: f, cap: f },
+        back_wire: WireDerate { res: f, cap: f },
+        buffer_delay: f,
+        ntsv: WireDerate { res: f, cap: f },
+    }
+}
+
+/// Per-op mutation returns, per-step per-corner `(latency, skew)`, and
+/// the final written-through tree — everything a parallel run must
+/// reproduce bit-identically from the serial reference.
+type ScriptTrace = (Vec<bool>, Vec<Vec<(f64, f64)>>, SynthesizedTree);
+
+/// Applies `ops` through one K-corner evaluator with the given parallel
+/// setting, recording every mutation's return value, every step's
+/// per-corner `(latency, skew)`, and the final written-through tree.
+fn scripted(
+    tree: &SynthesizedTree,
+    corners: &CornerSet,
+    model: EvalModel,
+    ops: &[Op],
+    parallel: Option<bool>,
+) -> ScriptTrace {
+    let buffered: Vec<usize> = (1..tree.topo.nodes.len())
+        .filter(|&i| tree.patterns[i].is_some_and(|p| p.buffers() > 0))
+        .collect();
+    let n_edges = tree.topo.nodes.len() - 1;
+    let n_stars = tree.topo.stars.len();
+    let mut t = tree.clone();
+    let mut mc = MultiCornerEval::new(&mut t, corners, model).with_parallel(parallel);
+    let mut rets = Vec::new();
+    let mut steps = Vec::new();
+    for &op in ops {
+        match op {
+            Op::Scale(i, s) if !buffered.is_empty() => {
+                rets.push(mc.set_buffer_scale(buffered[i % buffered.len()], s));
+            }
+            Op::Scale(..) => {}
+            Op::StarBuffer(i, on) => rets.push(mc.set_star_buffer(i % n_stars, on)),
+            Op::Pattern(i, k) => {
+                let edge = 1 + (i % n_edges);
+                let cur = mc.tree().patterns[edge].expect("assigned");
+                if cur.root_side() == dscts_tech::Side::Front
+                    && cur.sink_side() == dscts_tech::Side::Front
+                {
+                    rets.push(mc.set_pattern(edge, FF_PATTERNS[k % FF_PATTERNS.len()]));
+                }
+            }
+            Op::Undo => mc.undo(),
+            Op::Commit => mc.commit(),
+        }
+        steps.push(
+            (0..mc.corner_count())
+                .map(|c| mc.corner_latency_skew_ps(c))
+                .collect(),
+        );
+    }
+    drop(mc);
+    (rets, steps, t)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn corner_parallel_fanout_is_bit_identical_to_serial(
+        sinks in 60usize..160,
+        seed in 0u64..500,
+        ops in prop::collection::vec(op(), 1..24),
+    ) {
+        let (tree, tech) = small_tree(sinks, seed);
+        let corners = CornerSet::expand(
+            &tech,
+            vec![
+                Corner::nominal("TT"),
+                Corner::new("SS", uniform_derate(1.12)).expect("valid derates"),
+                Corner::new("SF", uniform_derate(1.05)).expect("valid derates"),
+            ],
+            0,
+        )
+        .expect("valid corner set");
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let serial = scripted(&tree, &corners, EvalModel::Elmore, &ops, Some(false));
+        for threads in ["1", "2", "4"] {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            let par = scripted(&tree, &corners, EvalModel::Elmore, &ops, Some(true));
+            std::env::remove_var("RAYON_NUM_THREADS");
+            prop_assert_eq!(&serial.0, &par.0, "mutation outcomes differ at {} threads", threads);
+            prop_assert_eq!(&serial.1, &par.1, "per-corner trajectories differ at {} threads", threads);
+            prop_assert_eq!(&serial.2, &par.2, "written-through trees differ at {} threads", threads);
+        }
+    }
 
     #[test]
     fn single_nominal_corner_matches_incremental_elmore(

@@ -38,6 +38,11 @@ pub struct BenchmarkSpec {
     pub bank_count: usize,
     /// Sink clock-pin capacitance (fF).
     pub sink_cap_ff: f64,
+    /// Left-to-right density ramp for the uniform background sinks: the
+    /// placement density at the right core edge is `1 + density_gradient`
+    /// times the density at the left edge (0 = flat, the Table II preset
+    /// behaviour — bit-identical to the pre-gradient generator).
+    pub density_gradient: f64,
 }
 
 impl BenchmarkSpec {
@@ -96,6 +101,40 @@ impl BenchmarkSpec {
             bank_fraction: 0.7,
             bank_count,
             sink_cap_ff: 1.1,
+            density_gradient: 0.0,
+        }
+    }
+
+    /// A member of the `scaled(n_sinks, seed)` scaling family: a
+    /// reproducible 100k–1M-sink-class design with a clustered floorplan
+    /// (bank count grows with the sink count), a left-to-right
+    /// sink-density gradient, and macro keep-outs the sinks avoid.
+    ///
+    /// Same `(n_sinks, seed)` ⇒ bit-identical design; different seeds
+    /// reshuffle bank centres and sink positions without changing the
+    /// floorplan statistics. Names follow `scaled-{n_sinks}` so bench
+    /// tooling can recognize the family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sinks` is zero.
+    pub fn scaled(n_sinks: usize, seed: u64) -> Self {
+        assert!(n_sinks > 0, "scaling family needs at least one sink");
+        BenchmarkSpec {
+            name: format!("scaled-{n_sinks}"),
+            // SoC-like ratio: ~12 standard cells per flip-flop.
+            num_cells: n_sinks.saturating_mul(12),
+            num_ffs: n_sinks,
+            utilization: 0.55,
+            seed: seed ^ (n_sinks as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            // A few large keep-outs; more on the bigger floorplans.
+            macro_count: 2 + (n_sinks / 100_000).min(4),
+            bank_fraction: 0.6,
+            // Bank count grows with design size so the clustered fraction
+            // stays clumpy instead of collapsing into a few huge blobs.
+            bank_count: (n_sinks / 2_000).clamp(8, 512),
+            sink_cap_ff: 1.1,
+            density_gradient: 1.5,
         }
     }
 
@@ -157,6 +196,12 @@ impl BenchmarkSpec {
         let sigma = (side as f64 * 0.04).max(1.0);
 
         let mut sinks = Vec::with_capacity(self.num_ffs);
+        let gradient = self.density_gradient;
+        assert!(gradient >= 0.0, "density gradient must be non-negative");
+        // Inverse-CDF sample of the linear density ramp f(t) ∝ 1 + g·t
+        // over [0, 1]: F(t) = (t + g·t²/2) / (1 + g/2), solved for t.
+        let ramp =
+            |u: f64, g: f64| -> f64 { ((1.0 + 2.0 * g * u * (1.0 + g / 2.0)).sqrt() - 1.0) / g };
         let place = |rng: &mut SmallRng, banked: bool, idx: usize, banks: &[Point]| -> Point {
             loop {
                 let p = if banked {
@@ -171,6 +216,10 @@ impl BenchmarkSpec {
                         (b.x as f64 + gauss(rng) * sigma).round() as i64,
                         (b.y as f64 + gauss(rng) * sigma).round() as i64,
                     )
+                } else if gradient > 0.0 {
+                    let u: f64 = rng.random_range(0.0..1.0);
+                    let x = (ramp(u, gradient) * side as f64).round() as i64;
+                    Point::new(x, rng.random_range(0..=side))
                 } else {
                     Point::new(rng.random_range(0..=side), rng.random_range(0..=side))
                 };
@@ -287,6 +336,48 @@ mod tests {
             .sum::<f64>()
             / d.sinks.len() as f64;
         assert!(mean < 0.52 * side, "mean {mean} vs side {side}");
+    }
+
+    #[test]
+    fn presets_are_unchanged_by_the_gradient_field() {
+        // The gradient defaults to 0 for every preset, which must keep
+        // the RNG stream — and therefore every Table II design —
+        // bit-identical to the pre-gradient generator.
+        for spec in BenchmarkSpec::all() {
+            assert_eq!(spec.density_gradient, 0.0);
+        }
+    }
+
+    #[test]
+    fn scaled_family_is_deterministic_and_valid() {
+        let a = BenchmarkSpec::scaled(20_000, 1).generate();
+        let b = BenchmarkSpec::scaled(20_000, 1).generate();
+        assert_eq!(a, b);
+        assert_eq!(a.validate(), Ok(()));
+        assert_eq!(a.sink_count(), 20_000);
+        assert_eq!(a.name, "scaled-20000");
+        assert!(!a.macros.is_empty());
+        // A different seed reshuffles positions but keeps the statistics.
+        let c = BenchmarkSpec::scaled(20_000, 2).generate();
+        assert_ne!(a.sinks, c.sinks);
+        assert_eq!(c.sink_count(), 20_000);
+    }
+
+    #[test]
+    fn density_gradient_shifts_background_mass_rightward() {
+        let mut flat = BenchmarkSpec::scaled(10_000, 3);
+        flat.bank_fraction = 0.0;
+        flat.density_gradient = 0.0;
+        let mut ramped = flat.clone();
+        ramped.density_gradient = 1.5;
+        let mean_x = |d: &Design| {
+            d.sinks.iter().map(|s| s.pos.x as f64).sum::<f64>()
+                / (d.sinks.len() as f64 * d.core.width() as f64)
+        };
+        let (f, r) = (mean_x(&flat.generate()), mean_x(&ramped.generate()));
+        // E[x/side] under f(t) ∝ 1 + 1.5·t is ≈ 0.571 vs 0.5 flat.
+        assert!((f - 0.5).abs() < 0.02, "flat mean {f}");
+        assert!(r > f + 0.04, "ramped mean {r} vs flat {f}");
     }
 
     #[test]

@@ -42,6 +42,35 @@ proptest! {
     }
 
     #[test]
+    fn scaled_designs_validate_and_generate_deterministically(
+        n in 1_000usize..50_000,
+        seed in 0u64..1_000,
+    ) {
+        let spec = BenchmarkSpec::scaled(n, seed);
+        let design = spec.generate();
+        // Structural legality at scale: sinks in-core, outside macros,
+        // macros on-die, positive caps.
+        prop_assert_eq!(design.validate(), Ok(()));
+        prop_assert_eq!(design.sink_count(), n);
+        prop_assert_eq!(design.name.as_str(), format!("scaled-{n}").as_str());
+        // Same (n, seed) must reproduce the fixture bit-identically.
+        let again = BenchmarkSpec::scaled(n, seed).generate();
+        prop_assert_eq!(&design, &again);
+    }
+
+    #[test]
+    fn scaled_designs_synthesize_side_legal(
+        n in 400usize..3_000,
+        seed in 0u64..1_000,
+    ) {
+        let design = BenchmarkSpec::scaled(n, seed).generate();
+        let outcome = DsCts::new(Technology::asap7()).skew_refinement(None).run(&design);
+        prop_assert_eq!(outcome.tree.topo.validate(), Ok(()));
+        prop_assert_eq!(outcome.tree.validate_sides(), Ok(()));
+        prop_assert_eq!(outcome.metrics.arrivals.len(), n);
+    }
+
+    #[test]
     fn double_side_never_slower_than_single_side(
         ffs in 60usize..250,
         seed in 0u64..5_000,

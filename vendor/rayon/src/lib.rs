@@ -159,6 +159,72 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
     }
 }
 
+/// Parallel mutable for-each over a slice, chunked across threads. Each
+/// thread owns a disjoint contiguous sub-slice (via `chunks_mut`), so no
+/// synchronisation is needed and `forbid(unsafe_code)` holds.
+fn for_each_mut<T: Send, F: Fn(&mut T) + Sync>(items: &mut [T], f: F) {
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        items.iter_mut().for_each(f);
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .map(|part| {
+                let f = &f;
+                s.spawn(move || part.iter_mut().for_each(f))
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+/// A mutably borrowing parallel iterator over a slice.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Parallel mutable for-each (no results). Items are visited exactly
+    /// once; mutations land in place, so the post-state is identical to a
+    /// sequential `iter_mut().for_each(f)` for pure per-item closures.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        for_each_mut(self.items, f);
+    }
+}
+
+/// `par_iter_mut()` on mutably borrowed collections (shim of
+/// `rayon::iter::IntoParallelRefMutIterator`).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type yielded by mutable reference.
+    type Item: Send + 'a;
+    /// Mutably borrows the collection as a parallel iterator.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
 /// An owning parallel iterator over an index range.
 pub struct ParRange {
     range: Range<usize>,
@@ -238,7 +304,10 @@ impl IntoParallelIterator for Range<usize> {
 
 /// The traits to import for `par_iter` / `into_par_iter` call syntax.
 pub mod prelude {
-    pub use super::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+    pub use super::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator,
+    };
 }
 
 #[cfg(test)]
@@ -292,5 +361,22 @@ mod tests {
         let v: Vec<u8> = Vec::new();
         let out: Vec<u8> = v.par_iter().map(|x| *x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_item_once() {
+        let mut v: Vec<usize> = (0..997).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, (1..998).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_on_empty_and_single() {
+        let mut empty: Vec<i32> = Vec::new();
+        empty.par_iter_mut().for_each(|x| *x = 1);
+        assert!(empty.is_empty());
+        let mut one = vec![41];
+        one.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(one, vec![42]);
     }
 }
