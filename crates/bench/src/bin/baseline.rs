@@ -30,6 +30,12 @@
 //!   worst-corner objective, verify the robust run improves worst-corner
 //!   skew at equal resource bounds on at least one design, and write
 //!   per-corner + robust metrics per record to `BENCH_pr5.json`;
+//! * `baseline --pr7` — run the budgeted-degradation comparison on the
+//!   C1/C4 anneal-heavy workloads: time the unbudgeted run, re-run the
+//!   identical pipeline under a wall-clock deadline at half that time,
+//!   and verify the budgeted run still completes (valid tree, full
+//!   metrics, `degraded` flag raised) inside the unbudgeted wall clock;
+//!   write both arms to `BENCH_pr7.json`;
 //! * `baseline --scaling [--quick]` — run the full default pipeline on
 //!   the reproducible `BenchmarkSpec::scaled` fixtures (100k under
 //!   `--quick`; 100k/250k/1M otherwise), record per-stage wall clock +
@@ -50,15 +56,15 @@
 
 use dscts_bench::{all_designs, fig12_thresholds, sizing_workload, DESIGN_IDS};
 use dscts_core::mcmm::{CornerReport, RobustObjective};
-use dscts_core::opt::{AnnealedSizingPass, OptSchedule, PassManager};
+use dscts_core::opt::{AnnealConfig, AnnealedSizingPass, OptSchedule, PassManager};
 use dscts_core::sizing::{resize_for_skew, SizingConfig};
 use dscts_core::skew::SkewConfig;
-use dscts_core::{dse, run_dp, DpConfig, DsCts, EvalModel, Outcome, TreeMetrics};
+use dscts_core::{dse, run_dp, DpConfig, DsCts, EvalModel, Outcome, RunBudget, TreeMetrics};
 use dscts_netlist::{BenchmarkSpec, Design};
 use dscts_tech::{CornerSet, Technology};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Allowed per-design wall-clock regression in `--check` mode.
 const MAX_RUNTIME_REGRESSION: f64 = 0.25;
@@ -422,6 +428,123 @@ fn mcmm_records_json(records: &[McmmRecord]) -> String {
                 r.report.per_corner[0].buffers,
                 r.report.per_corner[0].ntsvs,
                 corners.join(", "),
+            )
+        })
+        .collect();
+    rows.join(",\n")
+}
+
+/// One timed budgeted-run measurement (the `--pr7` workload): the
+/// anneal-heavy pipeline run to completion, or cut short by a
+/// wall-clock deadline at half the unbudgeted time and salvaged as a
+/// degraded-but-valid outcome.
+struct BudgetRecord {
+    /// `"<design>-budget-full"` or `"<design>-budget-deadline"`.
+    name: String,
+    runtime_s: f64,
+    /// The deadline handed to the run (0 for the unbudgeted arm).
+    deadline_s: f64,
+    /// Whether the run budget truncated the optimization schedule.
+    degraded: bool,
+    metrics: TreeMetrics,
+}
+
+/// The `--pr7` designs: the small and medium anneal workloads (the
+/// deadline lands inside the optimize stage on both).
+const BUDGET_IDS: [&str; 2] = ["C1", "C4"];
+
+fn budget_specs() -> [BenchmarkSpec; 2] {
+    [BenchmarkSpec::c1_jpeg(), BenchmarkSpec::c4_riscv32i()]
+}
+
+/// Runs the budgeted-degradation comparison on the C1/C4 anneal-heavy
+/// workloads: the identical pipeline (seed 7, 20k-move anneal so the
+/// optimize stage dominates) unbudgeted, then under a wall-clock
+/// deadline at half the measured unbudgeted time. Asserts the budgeted
+/// run comes back degraded-but-valid — full metrics, validated sides —
+/// without blowing past the unbudgeted wall clock. Wall-clock halving
+/// is machine-dependent, so this snapshot has no CI `--check` gate; the
+/// deterministic equivalent lives in the core `resilience` test suite.
+fn run_budget_pair() -> Vec<BudgetRecord> {
+    let mut out = Vec::new();
+    println!("design  arm        time(ms)   deadline(ms)   degraded   skew(ps)   latency(ps)");
+    for (id, spec) in BUDGET_IDS.iter().zip(budget_specs()) {
+        let design = spec.generate();
+        let pipeline = || {
+            DsCts::new(Technology::asap7()).schedule(OptSchedule::new().seed(7).with(
+                AnnealedSizingPass::new(AnnealConfig {
+                    moves: 20_000,
+                    ..AnnealConfig::default()
+                }),
+            ))
+        };
+        let mut record = |name: &str, runtime_s: f64, deadline_s: f64, o: &Outcome| {
+            println!(
+                "{id:<7} {name:<9} {:>9.1} {:>14.1} {:>10} {:>10.3} {:>13.3}",
+                runtime_s * 1e3,
+                deadline_s * 1e3,
+                o.degraded,
+                o.metrics.skew_ps,
+                o.metrics.latency_ps,
+            );
+            out.push(BudgetRecord {
+                name: format!("{id}-budget-{name}"),
+                runtime_s,
+                deadline_s,
+                degraded: o.degraded,
+                metrics: o.metrics.clone(),
+            });
+        };
+
+        let t0 = Instant::now();
+        let full = pipeline().run(&design);
+        let full_s = t0.elapsed().as_secs_f64();
+        record("full", full_s, 0.0, &full);
+
+        let deadline = Duration::from_secs_f64(full_s * 0.5);
+        let t0 = Instant::now();
+        let budgeted = pipeline()
+            .budget(RunBudget::new().with_deadline(deadline))
+            .try_run(&design)
+            .expect("mid-optimize deadline degrades, not fails");
+        let budgeted_s = t0.elapsed().as_secs_f64();
+        record("deadline", budgeted_s, deadline.as_secs_f64(), &budgeted);
+
+        assert!(
+            budgeted.degraded,
+            "{id}: half-time deadline must truncate the anneal"
+        );
+        assert_eq!(budgeted.tree.validate_sides(), Ok(()));
+        assert_eq!(
+            budgeted.metrics.arrivals.len(),
+            full.metrics.arrivals.len(),
+            "{id}: degraded outcome must still carry full metrics"
+        );
+        assert!(
+            budgeted_s < full_s,
+            "{id}: budgeted {budgeted_s:.3}s vs full {full_s:.3}s"
+        );
+    }
+    out
+}
+
+fn budget_records_json(records: &[BudgetRecord]) -> String {
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"design\": {:?}, \"runtime_s\": {:.6}, \
+                 \"deadline_s\": {:.6}, \"degraded\": {}, \
+                 \"skew_ps\": {:.6}, \"latency_ps\": {:.6}, \
+                 \"buffers\": {}, \"ntsvs\": {}}}",
+                r.name,
+                r.runtime_s,
+                r.deadline_s,
+                r.degraded,
+                r.metrics.skew_ps,
+                r.metrics.latency_ps,
+                r.metrics.buffers,
+                r.metrics.ntsvs,
             )
         })
         .collect();
@@ -817,6 +940,21 @@ fn main() {
             mcmm_records_json(&records),
         );
         write_snapshot(&workspace_root().join("BENCH_pr5.json"), json);
+        return;
+    }
+
+    if args.first().map(String::as_str) == Some("--pr7") {
+        // Unbudgeted vs half-time deadline on the anneal-heavy C1/C4
+        // workloads — the PR 7 degraded-but-valid snapshot. No `--check`
+        // gate: the halving is wall-clock-relative, machine-dependent by
+        // construction.
+        let records = run_budget_pair();
+        let json = format!(
+            "{{\n  \"flow\": \"budgeted_deadline_degradation\",\n  \"threads\": {},\n  \"records\": [\n{}\n  ]\n}}\n",
+            rayon::current_num_threads(),
+            budget_records_json(&records),
+        );
+        write_snapshot(&workspace_root().join("BENCH_pr7.json"), json);
         return;
     }
 

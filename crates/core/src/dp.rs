@@ -27,10 +27,12 @@
 
 use crate::error::CtsError;
 use crate::pattern::{Mode, Pattern, PatternSet};
+use crate::resilience::{fault, CancelToken};
 use crate::tree::ClockTopo;
 use dscts_geom::TreeCsr;
 use dscts_tech::{Side, Technology};
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// How DP nodes are assigned their insertion [`Mode`] (§III-E).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -302,6 +304,7 @@ impl CandArena {
 /// candidate sets of the node's children, so all nodes of equal tree
 /// height are independent and safe to process in parallel.
 fn process_node(idu: usize, ctx: &DpCtx<'_>, sets: &CandArena) -> Result<Vec<Work>, CtsError> {
+    fault::fault_check(fault::SITE_DP)?;
     let DpCtx {
         topo,
         tech,
@@ -477,6 +480,25 @@ pub fn try_run_dp_with_modes(
     cfg: &DpConfig,
     modes: &[Mode],
 ) -> Result<DpResult, CtsError> {
+    try_run_dp_with_modes_cancel(topo, tech, cfg, modes, None)
+}
+
+/// [`try_run_dp_with_modes`] with a cooperative [`CancelToken`] checked
+/// between height groups of the candidate propagation — the pipeline's
+/// mid-insertion budget checkpoint. `None` (what every pre-existing entry
+/// point passes) is bit-identical to the uncancellable path.
+///
+/// # Panics
+///
+/// Panics if `modes.len() != topo.nodes.len()` (a caller bug, not a
+/// data-dependent failure).
+pub fn try_run_dp_with_modes_cancel(
+    topo: &ClockTopo,
+    tech: &Technology,
+    cfg: &DpConfig,
+    modes: &[Mode],
+    cancel: Option<&CancelToken>,
+) -> Result<DpResult, CtsError> {
     assert_eq!(modes.len(), topo.nodes.len(), "mode vector arity");
     let csr = topo.csr();
     if csr.children(0).len() != 1 {
@@ -551,10 +573,29 @@ pub fn try_run_dp_with_modes(
     };
     let mut arena = CandArena::with_nodes(n);
     for h in 0..=max_height {
+        // Budget checkpoint between height groups: the DP is the long
+        // loop of the insertion stage, and a group boundary is the only
+        // place where stopping leaves no half-written arena state.
+        if let Some(token) = cancel {
+            token.check("dp")?;
+        }
         let group = &height_nodes[height_off[h] as usize..height_off[h + 1] as usize];
         let results: Vec<(u32, Result<Vec<Work>, CtsError>)> = group
             .par_iter()
-            .map(|&id| (id, process_node(id as usize, &ctx, &arena)))
+            .map(|&id| {
+                // Panic isolation per worker closure: the rayon shim
+                // re-raises worker panics on the joining thread, but
+                // catching here pins the failure to the offending node's
+                // computation and keeps the whole group's results typed.
+                let r = catch_unwind(AssertUnwindSafe(|| process_node(id as usize, &ctx, &arena)))
+                    .unwrap_or_else(|payload| {
+                        Err(CtsError::Internal {
+                            stage: "dp",
+                            payload: crate::resilience::panic_message(payload.as_ref()),
+                        })
+                    });
+                (id, r)
+            })
             .collect();
         // Write back (and surface errors) in node order: deterministic
         // regardless of how the group was scheduled.
@@ -588,6 +629,7 @@ pub fn try_run_dp_with_modes(
     if root_candidates.is_empty() {
         return Err(CtsError::NoRootCandidate);
     }
+    // invariant: the empty case returned NoRootCandidate just above.
     let chosen = root_candidates
         .iter()
         .enumerate()

@@ -44,6 +44,24 @@ pub enum CtsError {
     /// The routed topology failed structural validation; carries the
     /// violation description.
     InvalidTopology(String),
+    /// A panic escaped a stage or a parallel worker and was caught at the
+    /// isolation boundary; carries the stage name and the panic payload.
+    /// These are bugs (or injected faults), never data-dependent
+    /// infeasibilities, so the recovery ladder does not retry them.
+    Internal {
+        /// Name of the stage (or injection site) the panic escaped from.
+        stage: &'static str,
+        /// The stringified panic payload.
+        payload: String,
+    },
+    /// The run's [`RunBudget`](crate::resilience::RunBudget) expired before
+    /// a mandatory stage could finish; carries the stage that observed the
+    /// cooperative cancellation. Optional stages (optimization) truncate
+    /// into a `degraded` [`Outcome`](crate::Outcome) instead.
+    Cancelled {
+        /// Name of the stage that observed the cancellation.
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for CtsError {
@@ -72,6 +90,12 @@ impl fmt::Display for CtsError {
             CtsError::InvalidTopology(why) => {
                 write!(f, "routed topology is invalid: {why}")
             }
+            CtsError::Internal { stage, payload } => {
+                write!(f, "internal error in stage `{stage}`: {payload}")
+            }
+            CtsError::Cancelled { stage } => {
+                write!(f, "run budget exhausted during stage `{stage}`")
+            }
         }
     }
 }
@@ -93,6 +117,16 @@ mod tests {
         .to_string()
         .contains("feasible"));
         assert!(CtsError::NoRootCandidate.to_string().contains("feasible"));
+        // The `run` wrapper re-panics with the display text, so the caught
+        // payload must survive the round trip through `Internal`.
+        let internal = CtsError::Internal {
+            stage: "insertion",
+            payload: "scales must be positive".to_owned(),
+        };
+        assert!(internal.to_string().contains("scales must be positive"));
+        assert!(CtsError::Cancelled { stage: "route" }
+            .to_string()
+            .contains("budget"));
     }
 
     #[test]

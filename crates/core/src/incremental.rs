@@ -54,6 +54,7 @@
 //! unchanged over either evaluator.
 
 use crate::pattern::{Pattern, PatternEval};
+use crate::resilience::fault;
 use crate::synth::{resources, star_loads, EvalModel, SynthesizedTree, TreeMetrics};
 use dscts_geom::TreeCsr;
 use dscts_tech::{Side, Technology};
@@ -759,6 +760,8 @@ impl<'a> IncrementalEval<'a> {
         self.journal
             .push(Entry::Scale(edge as u32, self.tree.buffer_scales[edge]));
         self.tree.buffer_scales[edge] = scale;
+        // The injected fault fires *after* propagation so the rollback
+        // must revert a fully repropagated dirty path, not just the knob.
         if self.state.repropagate_edge(
             self.tree,
             self.tech,
@@ -766,7 +769,8 @@ impl<'a> IncrementalEval<'a> {
             &self.csr,
             edge,
             &mut self.journal,
-        ) {
+        ) && !fault::fault_infeasible(fault::SITE_INCREMENTAL)
+        {
             true
         } else {
             self.undo_to(mark);
@@ -801,7 +805,8 @@ impl<'a> IncrementalEval<'a> {
             &self.csr,
             edge,
             &mut self.journal,
-        ) {
+        ) && !fault::fault_infeasible(fault::SITE_INCREMENTAL)
+        {
             true
         } else {
             self.undo_to(mark);
@@ -829,7 +834,8 @@ impl<'a> IncrementalEval<'a> {
             &self.csr,
             si,
             &mut self.journal,
-        ) {
+        ) && !fault::fault_infeasible(fault::SITE_INCREMENTAL)
+        {
             true
         } else {
             self.undo_to(mark);

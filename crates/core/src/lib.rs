@@ -74,6 +74,59 @@
 //! let obj = |m| dscts_core::opt::moes_objective_of(&w, m);
 //! assert!(obj(&tuned.metrics) <= obj(&outcome.metrics) + 1e-9);
 //! ```
+//!
+//! # Failure model & recovery
+//!
+//! The engine is built to be embedded in long-lived services, so every
+//! failure is *typed*, *bounded* and — where the failure is data-dependent
+//! rather than a bug — *recoverable*. The [`resilience`] module holds the
+//! machinery; this section is the contract.
+//!
+//! **Error taxonomy.** All failures surface as [`CtsError`] from
+//! [`DsCts::try_run`] (the panicking [`DsCts::run`] wrapper re-panics with
+//! the display text for legacy consumers). Three families:
+//!
+//! - *Input errors* — [`CtsError::EmptyDesign`],
+//!   [`CtsError::MalformedTrunk`], [`CtsError::InvalidTopology`]: the
+//!   design or routed topology is structurally unusable. Not retried.
+//! - *Data-dependent infeasibilities* — [`CtsError::NoFeasiblePattern`],
+//!   [`CtsError::NoRootCandidate`], [`CtsError::IllegalSides`]: a valid
+//!   input has no solution under the *current* configuration. These are
+//!   exactly the errors the recovery ladder retries.
+//! - *Execution faults* — [`CtsError::Internal`] (a panic caught at a
+//!   stage or parallel-worker isolation boundary; carries the stage name
+//!   and panic payload) and [`CtsError::Cancelled`] (the run budget
+//!   expired inside a mandatory stage). Internal errors are bugs or
+//!   injected faults and are never retried.
+//!
+//! **Budget semantics.** [`DsCts::budget`] attaches a
+//! [`resilience::RunBudget`] (wall-clock deadline and/or max optimization
+//! trials). The minted [`resilience::CancelToken`] is checked
+//! cooperatively at stage boundaries and inside the long loops (per-height
+//! DP propagation, DSE sweep classes, optimization trial loops, MCMM
+//! corner fan-out). Cancellation before the tree exists (route/insertion)
+//! aborts with [`CtsError::Cancelled`]; cancellation during optimization
+//! *truncates the schedule* instead — remaining passes are skipped, the
+//! cheap evaluation stage still runs, and the result is a valid partial
+//! [`Outcome`] with [`Outcome::degraded`] set. With no budget configured,
+//! results are bit-identical to an unbudgeted build.
+//!
+//! **Recovery ladder.** [`DsCts::recovery`] attaches a
+//! [`resilience::RecoveryPolicy`]. On a recoverable error the pipeline
+//! deterministically retries with cumulative relaxations, in ladder order:
+//! (1) widen the pattern alphabet to [`PatternSet::Extended`], (2) raise
+//! `DpConfig::max_cands` ×4, (3) fall back to single-side. Every rung is
+//! recorded as a [`resilience::RecoveryStep`] in [`Outcome::recovery`],
+//! so a successful recovery documents exactly what it cost; an exhausted
+//! ladder returns the last error. No randomness: identical inputs take
+//! identical ladders.
+//!
+//! **Fault injection.** The `fault-inject` feature compiles named
+//! injection sites into the hot paths ([`resilience::fault`]); the
+//! harness's proptests assert that every injected failure yields a typed
+//! error (never a propagated panic) and leaves evaluator journals fully
+//! rolled back. Without the feature the checks are constants the
+//! optimizer deletes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -87,6 +140,7 @@ pub mod mcmm;
 pub mod opt;
 mod pattern;
 mod pipeline;
+pub mod resilience;
 mod route;
 pub mod rss;
 pub mod sizing;
@@ -95,8 +149,8 @@ mod synth;
 mod tree;
 
 pub use dp::{
-    mode_vector, run_dp, try_run_dp, try_run_dp_with_modes, DpConfig, DpResult, ModeRule,
-    MoesWeights, PruneMode, RootCand,
+    mode_vector, run_dp, try_run_dp, try_run_dp_with_modes, try_run_dp_with_modes_cancel, DpConfig,
+    DpResult, ModeRule, MoesWeights, PruneMode, RootCand,
 };
 pub use error::CtsError;
 pub use incremental::{IncrementalEval, TrialEval};
@@ -110,6 +164,7 @@ pub use pipeline::{
     DsCts, EvalStage, InsertionStage, OptimizeStage, Outcome, PipelineCtx, RouteStage, Stage,
     StageTiming,
 };
+pub use resilience::{CancelToken, RecoveryPolicy, RecoveryStep, Relaxation, RunBudget};
 pub use route::{HierarchicalRouter, RoutingStyle};
 pub use sizing::SizingPass;
 pub use skew::EndpointRefinePass;

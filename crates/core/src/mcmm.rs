@@ -46,6 +46,7 @@
 
 use crate::incremental::{CornerState, Entry, Journal, TrialEval};
 use crate::pattern::Pattern;
+use crate::resilience::{fault, CancelToken};
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
 use dscts_geom::TreeCsr;
 use dscts_tech::{CornerSet, Technology};
@@ -234,6 +235,9 @@ pub struct MultiCornerEval<'a> {
     /// Reusable per-corner scratch journals for the parallel fan-out
     /// (grow-only, so steady-state parallel mutations allocate nothing).
     scratch: Vec<Vec<Entry>>,
+    /// Optional run-budget token: a deadline firing mid-move rejects the
+    /// move (fully rolled back) instead of leaving corners half-repaired.
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> MultiCornerEval<'a> {
@@ -265,6 +269,7 @@ impl<'a> MultiCornerEval<'a> {
             focus: std::cell::Cell::new(None),
             parallel: None,
             scratch: Vec::new(),
+            cancel: None,
         }
     }
 
@@ -291,6 +296,15 @@ impl<'a> MultiCornerEval<'a> {
     pub fn with_parallel(mut self, parallel: Option<bool>) -> Self {
         self.parallel = parallel;
         self
+    }
+
+    /// Attaches (or clears) a run-budget cancellation token. Once the
+    /// token trips, every subsequent mutation is rejected — knob and all
+    /// corners rolled back, `false` returned — exactly like an infeasible
+    /// corner, so a budgeted optimization pass winds down through its
+    /// normal reject path. `None` (the default) never rejects.
+    pub fn set_cancel(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
     }
 
     /// Whether the next mutation will fan out in parallel.
@@ -439,6 +453,15 @@ impl<'a> MultiCornerEval<'a> {
             + Sync,
     ) -> bool {
         self.focus.set(None);
+        // An expired budget (or an injected MCMM fault) rejects the move
+        // through the same path as an infeasible corner: the already
+        // journaled knob rolls back and the caller sees `false`.
+        if fault::fault_infeasible(fault::SITE_MCMM)
+            || self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+        {
+            self.undo_to(mark);
+            return false;
+        }
         let mut ok = true;
         if self.use_parallel() {
             if self.scratch.len() < self.states.len() {

@@ -89,6 +89,7 @@ use crate::dp::MoesWeights;
 use crate::incremental::{IncrementalEval, TrialEval};
 use crate::mcmm::{MultiCornerEval, RobustObjective};
 use crate::pattern::PatternSet;
+use crate::resilience::CancelToken;
 use crate::skew::{EndpointRefinePass, SkewConfig};
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
 use dscts_tech::{CornerSet, Technology};
@@ -115,6 +116,7 @@ use std::time::Instant;
 pub struct OptCtx<'t, E: TrialEval = IncrementalEval<'t>> {
     eval: E,
     rng: SmallRng,
+    cancel: Option<CancelToken>,
     _tree: PhantomData<&'t mut SynthesizedTree>,
 }
 
@@ -134,6 +136,7 @@ impl<'t> OptCtx<'t> {
         OptCtx {
             eval: IncrementalEval::new(tree, tech, model),
             rng: SmallRng::seed_from_u64(seed),
+            cancel: None,
             _tree: PhantomData,
         }
     }
@@ -152,6 +155,7 @@ impl<'t> MultiOptCtx<'t> {
         OptCtx {
             eval: MultiCornerEval::new(tree, corners, model).with_objective(objective),
             rng: SmallRng::seed_from_u64(seed),
+            cancel: None,
             _tree: PhantomData,
         }
     }
@@ -194,6 +198,20 @@ impl<'t, E: TrialEval> OptCtx<'t, E> {
     /// depends on how many draws its predecessors consumed.
     pub fn reseed(&mut self, seed: u64) {
         self.rng = SmallRng::seed_from_u64(seed);
+    }
+
+    /// The run's cooperative cancellation token, if a
+    /// [`crate::resilience::RunBudget`] governs this schedule. Built-in
+    /// passes poll it inside their trial loops and charge each attempted
+    /// move to the trial budget; custom passes that ignore it are still
+    /// truncated at the next pass boundary.
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Attaches (or clears) the cancellation token.
+    pub fn set_cancel(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
     }
 }
 
@@ -279,6 +297,11 @@ pub struct ScheduleReport {
     pub after: TreeMetrics,
     /// One report per pass, in execution order.
     pub passes: Vec<PassReport>,
+    /// Whether a run budget expired before every scheduled pass finished.
+    /// The tree is still a valid, committed configuration — the schedule
+    /// was cut short, not corrupted — and the pipeline surfaces this as
+    /// [`crate::Outcome::degraded`].
+    pub truncated: bool,
 }
 
 /// An ordered list of [`OptPass`]es plus the RNG seed — the value a
@@ -386,7 +409,23 @@ impl<'a> PassManager<'a> {
         tech: &Technology,
         model: EvalModel,
     ) -> ScheduleReport {
+        self.run_cancel(tree, tech, model, None)
+    }
+
+    /// [`PassManager::run`] under a run budget: the token is polled at
+    /// every pass boundary and inside the built-in passes' trial loops.
+    /// Cancellation truncates the schedule — finished work is kept, the
+    /// report is flagged [`ScheduleReport::truncated`]. `None` is
+    /// bit-identical to [`PassManager::run`].
+    pub fn run_cancel(
+        &self,
+        tree: &mut SynthesizedTree,
+        tech: &Technology,
+        model: EvalModel,
+        cancel: Option<&CancelToken>,
+    ) -> ScheduleReport {
         let mut ctx = OptCtx::new(tree, tech, model, self.schedule.seed);
+        ctx.set_cancel(cancel.cloned());
         self.run_on(&mut ctx)
     }
 
@@ -404,7 +443,25 @@ impl<'a> PassManager<'a> {
         model: EvalModel,
         objective: RobustObjective,
     ) -> ScheduleReport {
+        self.run_corners_cancel(tree, corners, model, objective, None)
+    }
+
+    /// [`PassManager::run_corners`] under a run budget — the multi-corner
+    /// counterpart of [`PassManager::run_cancel`]. The token additionally
+    /// reaches the evaluator's per-corner fan-out, so a deadline firing
+    /// mid-move rolls that move back in every corner before the schedule
+    /// truncates.
+    pub fn run_corners_cancel(
+        &self,
+        tree: &mut SynthesizedTree,
+        corners: &CornerSet,
+        model: EvalModel,
+        objective: RobustObjective,
+        cancel: Option<&CancelToken>,
+    ) -> ScheduleReport {
         let mut ctx = OptCtx::new_multi(tree, corners, model, objective, self.schedule.seed);
+        ctx.eval_mut().set_cancel(cancel.cloned());
+        ctx.set_cancel(cancel.cloned());
         self.run_multi_on(&mut ctx)
     }
 
@@ -431,7 +488,14 @@ impl<'a> PassManager<'a> {
         let before = ctx.eval().metrics();
         let mut passes = Vec::with_capacity(self.schedule.passes.len());
         let mut entering = before.clone();
+        let mut truncated = false;
         for (i, pass) in self.schedule.passes.iter().enumerate() {
+            if ctx.cancel().is_some_and(CancelToken::is_cancelled) {
+                // Budget expired between passes: keep what earlier passes
+                // committed, skip the rest of the schedule.
+                truncated = true;
+                break;
+            }
             ctx.reseed(self.schedule.seed.wrapping_add(i as u64));
             let t0 = Instant::now();
             let stats = invoke(pass.as_ref(), ctx);
@@ -450,10 +514,13 @@ impl<'a> PassManager<'a> {
             });
             entering = after;
         }
+        // A budget that fired inside the final pass still truncated it.
+        truncated |= ctx.cancel().is_some_and(CancelToken::is_cancelled);
         ScheduleReport {
             before,
             after: entering,
             passes,
+            truncated,
         }
     }
 }
@@ -565,8 +632,15 @@ impl AnnealedSizingPass {
     /// The annealing loop over any [`TrialEval`] — one implementation
     /// shared by the single-corner and multi-corner executions, so the
     /// robust anneal is the nominal anneal with a different objective
-    /// view (and per-corner fan-out inside each trial move).
-    fn anneal<E: TrialEval>(&self, eval: &mut E, rng: &mut SmallRng) -> PassStats {
+    /// view (and per-corner fan-out inside each trial move). A cancelled
+    /// budget stops proposing moves; the pass still reverts to its best
+    /// accepted configuration, so truncation never corrupts the tree.
+    fn anneal<E: TrialEval>(
+        &self,
+        eval: &mut E,
+        rng: &mut SmallRng,
+        cancel: Option<&CancelToken>,
+    ) -> PassStats {
         let cfg = &self.cfg;
         assert!(
             !cfg.scales.is_empty() && cfg.scales.iter().all(|&s| s > 0.0),
@@ -602,6 +676,12 @@ impl AnnealedSizingPass {
         let mut stats = PassStats::default();
 
         for i in 0..cfg.moves {
+            if let Some(token) = cancel {
+                if token.is_cancelled() {
+                    break;
+                }
+                token.record_trial();
+            }
             // Geometric decay from exactly t0 (move 0) toward t_end, as a
             // pure function of the move index so no-op/infeasible
             // proposals cannot skip a cooling step.
@@ -670,13 +750,15 @@ impl OptPass for AnnealedSizingPass {
     }
 
     fn run(&self, ctx: &mut OptCtx<'_>) -> PassStats {
+        let cancel = ctx.cancel().cloned();
         let (eval, rng) = ctx.parts();
-        self.anneal(eval, rng)
+        self.anneal(eval, rng, cancel.as_ref())
     }
 
     fn run_multi(&self, ctx: &mut MultiOptCtx<'_>) -> PassStats {
+        let cancel = ctx.cancel().cloned();
         let (eval, rng) = ctx.parts();
-        self.anneal(eval, rng)
+        self.anneal(eval, rng, cancel.as_ref())
     }
 }
 
@@ -748,8 +830,10 @@ impl PatternSearchPass {
     /// The hill-climbing sweep over any [`TrialEval`] — shared by the
     /// single-corner and multi-corner executions (under a multi-corner
     /// evaluator a swap must be feasible in *every* corner to be
-    /// proposed, and improvement is judged in the objective view).
-    fn climb<E: TrialEval>(&self, eval: &mut E) -> PassStats {
+    /// proposed, and improvement is judged in the objective view). A
+    /// cancelled budget ends the sweep after the current edge; accepted
+    /// swaps are kept and the side gate still runs.
+    fn climb<E: TrialEval>(&self, eval: &mut E, cancel: Option<&CancelToken>) -> PassStats {
         let cfg = &self.cfg;
         let pass_mark = eval.mark();
         let alphabet = cfg.patterns.patterns();
@@ -761,9 +845,18 @@ impl PatternSearchPass {
         let mut cur = moes_objective(w, eval, buffers, ntsvs);
         let mut stats = PassStats::default();
 
-        for _ in 0..cfg.max_rounds {
+        'rounds: for _ in 0..cfg.max_rounds {
             let mut improved = false;
             for v in 1..n {
+                if let Some(token) = cancel {
+                    if token.is_cancelled() {
+                        break 'rounds;
+                    }
+                    token.record_trial();
+                }
+                // invariant: every trunk edge leaves the DP with a pattern;
+                // the synthesizer rejects unassigned nodes before this pass
+                // can ever see the tree.
                 let p = eval.tree().patterns[v].expect("assigned pattern");
                 // Best strictly-improving same-sides alternative for this
                 // edge (best-improvement keeps the sweep deterministic).
@@ -817,11 +910,13 @@ impl OptPass for PatternSearchPass {
     }
 
     fn run(&self, ctx: &mut OptCtx<'_>) -> PassStats {
-        self.climb(ctx.eval_mut())
+        let cancel = ctx.cancel().cloned();
+        self.climb(ctx.eval_mut(), cancel.as_ref())
     }
 
     fn run_multi(&self, ctx: &mut MultiOptCtx<'_>) -> PassStats {
-        self.climb(ctx.eval_mut())
+        let cancel = ctx.cancel().cloned();
+        self.climb(ctx.eval_mut(), cancel.as_ref())
     }
 }
 

@@ -47,13 +47,12 @@
 //! counterpart runs, so any composition of them is bit-identical to the
 //! monolithic `run`.
 
-use crate::dp::{
-    try_run_dp_with_modes, DpConfig, DpResult, ModeRule, MoesWeights, PruneMode, RootCand,
-};
+use crate::dp::{DpConfig, DpResult, ModeRule, MoesWeights, PruneMode, RootCand};
 use crate::error::CtsError;
 use crate::mcmm::{CornerReport, RobustObjective};
 use crate::opt::{OptSchedule, PassManager, ScheduleReport};
 use crate::pattern::{Mode, PatternSet};
+use crate::resilience::{fault, CancelToken, RecoveryPolicy, RecoveryStep, Relaxation, RunBudget};
 use crate::route::{HierarchicalRouter, RoutingStyle};
 use crate::skew::{refine, EndpointRefinePass, RefineReport, SkewConfig};
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
@@ -61,6 +60,7 @@ use crate::tree::ClockTopo;
 use dscts_netlist::Design;
 use dscts_tech::{CornerSet, Technology};
 use std::borrow::Cow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -85,6 +85,12 @@ pub struct DsCts {
     /// shares the expanded per-corner technologies.
     corners: Option<Arc<CornerSet>>,
     robust: RobustObjective,
+    /// Resilience: wall-clock/trial budget observed cooperatively by the
+    /// stages (see [`DsCts::budget`]).
+    budget: Option<RunBudget>,
+    /// Resilience: deterministic retry ladder for data-dependent
+    /// infeasibilities (see [`DsCts::recovery`]).
+    recovery: Option<RecoveryPolicy>,
 }
 
 /// Wall-clock measurement of one pipeline stage (or one optimization
@@ -133,6 +139,15 @@ pub struct Outcome {
     /// Process-wide peak RSS (bytes) at the end of the run, via
     /// [`crate::rss::peak_rss_bytes`]; `None` off Linux.
     pub peak_rss_bytes: Option<u64>,
+    /// Whether a [`RunBudget`] expired mid-run and the optimization
+    /// schedule was truncated: the tree is valid and fully evaluated, but
+    /// some scheduled passes were skipped or cut short. Always `false`
+    /// without a budget.
+    pub degraded: bool,
+    /// The [`RecoveryPolicy`] relaxations this run needed, in ladder
+    /// order. Empty when the first attempt succeeded (always, without a
+    /// policy).
+    pub recovery: Vec<RecoveryStep>,
 }
 
 impl Outcome {
@@ -177,6 +192,13 @@ pub struct PipelineCtx<'a> {
     /// Per-corner metrics + robust summary (deposited by [`EvalStage`]
     /// when the pipeline carries a [`CornerSet`]).
     pub corner_report: Option<CornerReport>,
+    /// Cooperative cancellation token for this run, when a [`RunBudget`]
+    /// is configured. Stages check it at their boundary; long loops check
+    /// it inside.
+    pub cancel: Option<CancelToken>,
+    /// Set by a stage that truncated work under cancellation (the
+    /// optimize stage); folded into [`Outcome::degraded`].
+    pub degraded: bool,
 }
 
 impl<'a> PipelineCtx<'a> {
@@ -193,7 +215,14 @@ impl<'a> PipelineCtx<'a> {
             optimization: None,
             metrics: None,
             corner_report: None,
+            cancel: None,
+            degraded: false,
         }
+    }
+
+    /// The cancellation token, when the run is budgeted.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 }
 
@@ -223,6 +252,9 @@ impl Stage for RouteStage {
     }
 
     fn run(&self, ctx: &mut PipelineCtx<'_>) -> Result<(), CtsError> {
+        if let Some(cancel) = &ctx.cancel {
+            cancel.check(self.name())?;
+        }
         let mut topo = HierarchicalRouter::new()
             .hc(self.hc)
             .lc(self.lc)
@@ -248,8 +280,12 @@ impl Stage for InsertionStage {
     }
 
     fn run(&self, ctx: &mut PipelineCtx<'_>) -> Result<(), CtsError> {
+        if let Some(cancel) = &ctx.cancel {
+            cancel.check(self.name())?;
+        }
+        // invariant: the engine only runs insertion after route.
         let topo = ctx.topo.take().expect("route stage deposits the topology");
-        let (tree, dp) = insert_on(topo, ctx.tech, &self.dp, None)?;
+        let (tree, dp) = insert_on(topo, ctx.tech, &self.dp, None, ctx.cancel.as_ref())?;
         ctx.dp = Some(dp);
         ctx.tree = Some(tree);
         Ok(())
@@ -265,14 +301,16 @@ fn insert_on(
     tech: &Technology,
     cfg: &DpConfig,
     modes: Option<&[Mode]>,
+    cancel: Option<&CancelToken>,
 ) -> Result<(SynthesizedTree, DpResult), CtsError> {
     let dp = match modes {
-        Some(modes) => try_run_dp_with_modes(&topo, tech, cfg, modes)?,
+        Some(modes) => crate::dp::try_run_dp_with_modes_cancel(&topo, tech, cfg, modes, cancel)?,
         None => {
             let modes = crate::dp::mode_vector(&topo, cfg.mode_rule);
-            try_run_dp_with_modes(&topo, tech, cfg, &modes)?
+            crate::dp::try_run_dp_with_modes_cancel(&topo, tech, cfg, &modes, cancel)?
         }
     };
+    fault::fault_check(fault::SITE_SYNTH)?;
     let tree = SynthesizedTree::new(topo, dp.assignment.clone());
     // Always-on legality gate: the seed only checked sides under
     // debug_assert, silently skipping it in release builds.
@@ -349,15 +387,22 @@ impl Stage for OptimizeStage {
     fn run(&self, ctx: &mut PipelineCtx<'_>) -> Result<(), CtsError> {
         let eval = ctx.eval;
         let tech = ctx.tech;
+        let cancel = ctx.cancel.clone();
+        // invariant: the engine only runs optimize after insertion.
         let tree = ctx
             .tree
             .as_mut()
             .expect("insertion stage deposits the tree");
         let manager = PassManager::new(&self.schedule);
         let report = match &self.corners {
-            Some((corners, objective)) => manager.run_corners(tree, corners, eval, *objective),
-            None => manager.run(tree, tech, eval),
+            Some((corners, objective)) => {
+                manager.run_corners_cancel(tree, corners, eval, *objective, cancel.as_ref())
+            }
+            None => manager.run_cancel(tree, tech, eval, cancel.as_ref()),
         };
+        // A truncated schedule is the *degraded but valid* outcome the
+        // budget promises: skip the rest, still evaluate, flag it.
+        ctx.degraded |= report.truncated;
         ctx.refinement = Self::refine_report(&report);
         ctx.optimization = Some(report);
         Ok(())
@@ -378,6 +423,10 @@ impl Stage for EvalStage {
     }
 
     fn run(&self, ctx: &mut PipelineCtx<'_>) -> Result<(), CtsError> {
+        // No cancellation check: evaluation is cheap and always runs, so a
+        // budget-truncated run still yields a fully-measured outcome.
+        fault::fault_check(fault::SITE_EVAL)?;
+        // invariant: the engine only runs evaluate after insertion.
         let tree = ctx
             .tree
             .as_ref()
@@ -406,6 +455,8 @@ impl DsCts {
             eval: EvalModel::Elmore,
             corners: None,
             robust: RobustObjective::default(),
+            budget: None,
+            recovery: None,
         }
     }
 
@@ -522,9 +573,42 @@ impl DsCts {
         self
     }
 
+    /// Attaches a [`RunBudget`]: the run checks the minted
+    /// [`CancelToken`] at stage boundaries and inside the long loops.
+    /// Cancellation before the tree exists aborts with
+    /// [`CtsError::Cancelled`]; cancellation during optimization
+    /// truncates the schedule and the run completes with
+    /// [`Outcome::degraded`] set. An unlimited budget (the default when
+    /// this is never called) changes nothing.
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = (!budget.is_unlimited()).then_some(budget);
+        self
+    }
+
+    /// Attaches a [`RecoveryPolicy`]: on a recoverable error
+    /// ([`CtsError::NoFeasiblePattern`], [`CtsError::NoRootCandidate`],
+    /// [`CtsError::IllegalSides`]) the run deterministically retries with
+    /// the ladder's relaxations applied cumulatively, recording each rung
+    /// in [`Outcome::recovery`]. Without a policy (the default) the first
+    /// error is returned as before.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
     /// The technology this pipeline targets.
     pub fn technology(&self) -> &Technology {
         &self.tech
+    }
+
+    /// The configured run budget, when one is set.
+    pub fn run_budget(&self) -> Option<&RunBudget> {
+        self.budget.as_ref()
+    }
+
+    /// The configured recovery policy, when one is set.
+    pub fn recovery_policy(&self) -> Option<&RecoveryPolicy> {
+        self.recovery.as_ref()
     }
 
     /// The DP configuration this pipeline will run.
@@ -582,6 +666,7 @@ impl DsCts {
     pub fn route(&self, design: &Design) -> Result<ClockTopo, CtsError> {
         let mut ctx = PipelineCtx::new(design, &self.tech, self.eval);
         self.route_stage().run(&mut ctx)?;
+        // invariant: RouteStage::run deposits topo on every Ok return.
         Ok(ctx.topo.expect("route stage deposits the topology"))
     }
 
@@ -589,7 +674,7 @@ impl DsCts {
     /// under this pipeline's configuration, tree construction and the
     /// side-legality gate.
     pub fn insert(&self, topo: ClockTopo) -> Result<(SynthesizedTree, DpResult), CtsError> {
-        insert_on(topo, &self.tech, &self.dp, None)
+        insert_on(topo, &self.tech, &self.dp, None, None)
     }
 
     /// [`DsCts::insert`] with a precomputed per-node [`Mode`] vector,
@@ -600,7 +685,7 @@ impl DsCts {
         topo: ClockTopo,
         modes: &[Mode],
     ) -> Result<(SynthesizedTree, DpResult), CtsError> {
-        insert_on(topo, &self.tech, &self.dp, Some(modes))
+        insert_on(topo, &self.tech, &self.dp, Some(modes), None)
     }
 
     /// Runs only the legacy skew-refinement pass on a synthesized tree,
@@ -673,15 +758,88 @@ impl DsCts {
     ///
     /// Returns [`CtsError`] when the design is unroutable (no sinks), the
     /// DP is infeasible under the configured constraints, or the
-    /// synthesized tree fails side validation.
+    /// synthesized tree fails side validation. With a [`DsCts::budget`],
+    /// an expired deadline inside route/insertion reports
+    /// [`CtsError::Cancelled`] while later expiry degrades the outcome
+    /// instead; with a [`DsCts::recovery`] policy, recoverable errors are
+    /// deterministically retried down the relaxation ladder. A panic
+    /// escaping any stage is caught at the stage boundary and reported as
+    /// [`CtsError::Internal`].
     pub fn try_run(&self, design: &Design) -> Result<Outcome, CtsError> {
+        // One token for the whole run: recovery retries share the same
+        // deadline/trial budget instead of resetting it per attempt.
+        let token = self.budget.as_ref().map(RunBudget::token);
+        let first = self.try_run_once(design, token.as_ref());
+        let err = match first {
+            Ok(outcome) => return Ok(outcome),
+            Err(err) => err,
+        };
+        let Some(policy) = &self.recovery else {
+            return Err(err);
+        };
+        if !RecoveryPolicy::recoverable(&err) {
+            return Err(err);
+        }
+        // Deterministic ladder: apply each relaxation cumulatively and
+        // retry the whole stage sequence; record every rung taken.
+        let mut steps = Vec::new();
+        let mut relaxed = self.clone();
+        let mut last_err = err;
+        for &rung in policy.ladder() {
+            steps.push(RecoveryStep {
+                error: last_err.clone(),
+                relaxation: rung,
+            });
+            relaxed = relaxed.apply_relaxation(rung);
+            match relaxed.try_run_once(design, token.as_ref()) {
+                Ok(mut outcome) => {
+                    outcome.recovery = steps;
+                    return Ok(outcome);
+                }
+                Err(e) if RecoveryPolicy::recoverable(&e) => last_err = e,
+                // Cancellation/internal errors end the ladder immediately:
+                // more relaxations cannot help.
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// One relaxation rung applied to this configuration.
+    fn apply_relaxation(mut self, rung: Relaxation) -> Self {
+        match rung {
+            Relaxation::WidenPatternSet => self.dp.patterns = PatternSet::Extended,
+            Relaxation::RaiseMaxCandidates(k) => {
+                self.dp.max_cands = self.dp.max_cands.saturating_mul(k as usize);
+            }
+            Relaxation::SingleSide => self.dp.single_side = true,
+        }
+        self
+    }
+
+    /// One full stage-sequence attempt: the pre-resilience `try_run`
+    /// body, plus the cancellation token on the blackboard and a
+    /// `catch_unwind` isolation boundary around every stage (the vendored
+    /// rayon shim re-raises worker panics on the joining thread, so this
+    /// boundary also catches panics from parallel sections).
+    fn try_run_once(
+        &self,
+        design: &Design,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Outcome, CtsError> {
         let start = Instant::now();
         let mut ctx = PipelineCtx::new(design, &self.tech, self.eval);
+        ctx.cancel = cancel.cloned();
         let mut timings = Vec::new();
         for stage in self.stages() {
             let deposited_before = ctx.optimization.is_some();
             let t0 = Instant::now();
-            stage.run(&mut ctx)?;
+            catch_unwind(AssertUnwindSafe(|| stage.run(&mut ctx))).unwrap_or_else(|payload| {
+                Err(CtsError::Internal {
+                    stage: stage.name(),
+                    payload: crate::resilience::panic_message(payload.as_ref()),
+                })
+            })?;
             timings.push(StageTiming {
                 name: Cow::Borrowed(stage.name()),
                 seconds: t0.elapsed().as_secs_f64(),
@@ -704,6 +862,8 @@ impl DsCts {
                 }
             }
         }
+        // invariant: the stage sequence always contains insertion and
+        // evaluate, and every stage returned Ok above.
         let dp = ctx.dp.expect("insertion stage ran");
         Ok(Outcome {
             tree: ctx.tree.expect("insertion stage ran"),
@@ -716,6 +876,8 @@ impl DsCts {
             stages: timings,
             runtime_s: start.elapsed().as_secs_f64(),
             peak_rss_bytes: crate::rss::peak_rss_bytes(),
+            degraded: ctx.degraded,
+            recovery: Vec::new(),
         })
     }
 

@@ -12,6 +12,7 @@
 //! by the ablation benches to reproduce the paper's wirelength argument.
 
 use crate::error::CtsError;
+use crate::resilience::fault;
 use crate::tree::{ClockTopo, LeafStar, TrunkNode};
 use dscts_cluster::DualHierarchy;
 use dscts_dme::{RoutedTree, Terminal, Topology, ZstDme};
@@ -119,6 +120,7 @@ impl HierarchicalRouter {
         if design.sinks.is_empty() {
             return Err(CtsError::EmptyDesign);
         }
+        fault::fault_check(fault::SITE_ROUTE)?;
         let sinks = design.sink_positions();
         let hier = DualHierarchy::build(&sinks, self.hc, self.lc, self.seed);
         let rc = tech.rc(Side::Front);
@@ -169,7 +171,11 @@ impl HierarchicalRouter {
             let mut m = members;
             let xs: Vec<i64> = m.iter().map(|&s| sinks[s as usize].x).collect();
             let ys: Vec<i64> = m.iter().map(|&s| sinks[s as usize].y).collect();
-            let span = |v: &[i64]| v.iter().max().unwrap() - v.iter().min().unwrap();
+            // invariant: this branch requires members.len() > 1 (the <= 1
+            // case pushed the cluster above), so both extrema exist.
+            let span = |v: &[i64]| {
+                v.iter().max().copied().unwrap_or(0) - v.iter().min().copied().unwrap_or(0)
+            };
             if span(&xs) >= span(&ys) {
                 m.sort_by_key(|&s| (sinks[s as usize].x, sinks[s as usize].y));
             } else {
@@ -316,6 +322,8 @@ impl TopoBuilder {
         map[0] = under;
         let mut anchors = vec![u32::MAX; tree.terminal_count()];
         for (i, n) in tree.nodes().iter().enumerate().skip(1) {
+            // invariant: DME emits exactly one parentless node, its source,
+            // which is index 0 and skipped here.
             let parent = map[n.parent.expect("non-root") as usize];
             debug_assert_ne!(parent, u32::MAX, "parent grafted before child");
             let id = self.nodes.len() as u32;
@@ -348,6 +356,8 @@ impl TopoBuilder {
             .into_iter()
             .enumerate()
             .map(|(i, (_, mut star))| {
+                // invariant: each star id appears in exactly one leaf-level
+                // graft's star_ids, which fills star_node[i].
                 star.node = self.star_node[i].expect("every star grafted");
                 star
             })

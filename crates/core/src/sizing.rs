@@ -23,6 +23,7 @@
 
 use crate::incremental::{IncrementalEval, TrialEval};
 use crate::opt::{MultiOptCtx, OptCtx, OptPass, PassStats};
+use crate::resilience::CancelToken;
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
 use dscts_tech::Technology;
 use std::borrow::Cow;
@@ -93,6 +94,23 @@ impl SizingPass {
     ///
     /// Panics if the configured scales are empty or non-positive.
     pub fn run_on<E: TrialEval>(&self, eval: &mut E) -> PassStats {
+        self.run_on_cancel(eval, None)
+    }
+
+    /// [`SizingPass::run_on`] under a run budget. The token is polled
+    /// between stars and each attempted scale is charged to the trial
+    /// budget; cancellation keeps every already-committed resize (accepted
+    /// moves commit per star, so truncation never corrupts the tree).
+    /// `None` is bit-identical to [`SizingPass::run_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured scales are empty or non-positive.
+    pub fn run_on_cancel<E: TrialEval>(
+        &self,
+        eval: &mut E,
+        cancel: Option<&CancelToken>,
+    ) -> PassStats {
         let cfg = &self.cfg;
         assert!(
             !cfg.scales.is_empty() && cfg.scales.iter().all(|&s| s > 0.0),
@@ -119,6 +137,7 @@ impl SizingPass {
             .collect();
 
         let mut stats = PassStats::default();
+        let mut cancelled = false;
         for _ in 0..cfg.max_rounds {
             let mut changed = 0usize;
             // Process stars from the fastest upward: downsizing their last
@@ -126,6 +145,10 @@ impl SizingPass {
             let mut order: Vec<usize> = (0..eval.tree().topo.stars.len()).collect();
             order.sort_by(|&a, &b| eval.star_earliest(a).total_cmp(&eval.star_earliest(b)));
             for si in order {
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    cancelled = true;
+                    break;
+                }
                 let Some(edge) = last_buffered[si] else {
                     continue;
                 };
@@ -137,6 +160,9 @@ impl SizingPass {
                         continue;
                     }
                     stats.attempted += 1;
+                    if let Some(token) = cancel {
+                        token.record_trial();
+                    }
                     // An infeasible scale (overloaded buffer anywhere on the
                     // dirty path) rolls itself back and returns false.
                     if !eval.set_buffer_scale(edge, s) {
@@ -156,7 +182,7 @@ impl SizingPass {
                 }
             }
             stats.accepted += changed;
-            if changed == 0 {
+            if changed == 0 || cancelled {
                 break;
             }
         }
@@ -170,11 +196,13 @@ impl OptPass for SizingPass {
     }
 
     fn run(&self, ctx: &mut OptCtx<'_>) -> PassStats {
-        self.run_on(ctx.eval_mut())
+        let cancel = ctx.cancel().cloned();
+        self.run_on_cancel(ctx.eval_mut(), cancel.as_ref())
     }
 
     fn run_multi(&self, ctx: &mut MultiOptCtx<'_>) -> PassStats {
-        self.run_on(ctx.eval_mut())
+        let cancel = ctx.cancel().cloned();
+        self.run_on_cancel(ctx.eval_mut(), cancel.as_ref())
     }
 }
 

@@ -21,6 +21,7 @@
 
 use crate::incremental::{IncrementalEval, TrialEval};
 use crate::opt::{MultiOptCtx, OptCtx, OptPass, PassStats};
+use crate::resilience::CancelToken;
 use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
 use dscts_tech::Technology;
 use std::borrow::Cow;
@@ -119,6 +120,20 @@ impl EndpointRefinePass {
     /// entire optimizer — [`refine`] and both [`OptPass`] execution
     /// paths delegate here, so they cannot drift.
     pub fn run_on<E: TrialEval>(&self, eval: &mut E) -> PassStats {
+        self.run_on_cancel(eval, None)
+    }
+
+    /// [`EndpointRefinePass::run_on`] under a run budget. The token is
+    /// polled between padded end-points and each attempted pad is charged
+    /// to the trial budget; cancellation ends the current round early (the
+    /// round's accept-or-rollback guard still runs, so the tree is left in
+    /// a committed, skew-improving state). `None` is bit-identical to
+    /// [`EndpointRefinePass::run_on`].
+    pub fn run_on_cancel<E: TrialEval>(
+        &self,
+        eval: &mut E,
+        cancel: Option<&CancelToken>,
+    ) -> PassStats {
         let cfg = &self.cfg;
         let n_sinks = eval.tree().topo.sink_pos.len();
         let budget_per_round = endpoint_budget(n_sinks, cfg.max_endpoints);
@@ -126,6 +141,7 @@ impl EndpointRefinePass {
             triggered: false,
             ..PassStats::default()
         };
+        let mut cancelled = false;
 
         for _ in 0..cfg.max_rounds {
             let (current_latency, current_skew) = eval.latency_skew_ps();
@@ -149,6 +165,10 @@ impl EndpointRefinePass {
                 if added_this_round >= budget_per_round {
                     break;
                 }
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    cancelled = true;
+                    break;
+                }
                 let pad = eval.tech().buffer().delay_ps(eval.star_load(si));
                 // Resource-aware guard: do not overshoot the current
                 // maximum.
@@ -156,6 +176,9 @@ impl EndpointRefinePass {
                     continue;
                 }
                 stats.attempted += 1;
+                if let Some(token) = cancel {
+                    token.record_trial();
+                }
                 if eval.set_star_buffer(si, true) {
                     added_this_round += 1;
                 }
@@ -173,6 +196,9 @@ impl EndpointRefinePass {
                 eval.undo_to(round_mark);
                 break;
             }
+            if cancelled {
+                break;
+            }
         }
         stats
     }
@@ -184,11 +210,13 @@ impl OptPass for EndpointRefinePass {
     }
 
     fn run(&self, ctx: &mut OptCtx<'_>) -> PassStats {
-        self.run_on(ctx.eval_mut())
+        let cancel = ctx.cancel().cloned();
+        self.run_on_cancel(ctx.eval_mut(), cancel.as_ref())
     }
 
     fn run_multi(&self, ctx: &mut MultiOptCtx<'_>) -> PassStats {
-        self.run_on(ctx.eval_mut())
+        let cancel = ctx.cancel().cloned();
+        self.run_on_cancel(ctx.eval_mut(), cancel.as_ref())
     }
 }
 

@@ -129,7 +129,10 @@ impl Topology {
         }
         let xs: Vec<i64> = idx.iter().map(|&i| terminals[i as usize].pos.x).collect();
         let ys: Vec<i64> = idx.iter().map(|&i| terminals[i as usize].pos.y).collect();
-        let span = |v: &[i64]| v.iter().max().unwrap() - v.iter().min().unwrap();
+        // invariant: the idx.len() == 1 case returned above, so the slices
+        // are non-empty and both extrema exist.
+        let span =
+            |v: &[i64]| v.iter().max().copied().unwrap_or(0) - v.iter().min().copied().unwrap_or(0);
         if span(&xs) >= span(&ys) {
             idx.sort_by_key(|&i| (terminals[i as usize].pos.x, terminals[i as usize].pos.y));
         } else {

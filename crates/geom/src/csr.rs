@@ -58,7 +58,9 @@ impl TreeCsr {
             child_index[i + 1] += child_index[i];
         }
         let mut cursor: Vec<u32> = child_index[..n].to_vec();
-        let mut child_list = vec![0u32; *child_index.last().unwrap() as usize];
+        // invariant: child_index has n + 1 >= 1 entries, so last() exists.
+        let total_children = child_index.last().copied().unwrap_or(0);
+        let mut child_list = vec![0u32; total_children as usize];
         for (i, p) in parents.iter().enumerate() {
             if let Some(p) = p {
                 child_list[cursor[*p as usize] as usize] = i as u32;

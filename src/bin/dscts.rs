@@ -15,13 +15,18 @@
 //!   --out <file.def>   write the post-CTS DEF
 //!   --nldm             evaluate with NLDM + slew instead of Elmore
 //!   --size             run the post-CTS buffer-sizing pass
+//!   --deadline-ms <N>  wall-clock run budget (degraded-but-valid on expiry)
+//!   --recover          retry infeasible runs down the relaxation ladder
 //! ```
 
 use dscts::baseline::{flip_backside, FlipMethod, HTreeCts};
 use dscts::core::sizing::{resize_for_skew, SizingConfig};
 use dscts::netlist::def::{parse_def, write_def_with_extras, ExtraComponent};
-use dscts::{BenchmarkSpec, Design, DsCts, EvalModel, ModeRule, Technology};
+use dscts::{
+    BenchmarkSpec, Design, DsCts, EvalModel, ModeRule, RecoveryPolicy, RunBudget, Technology,
+};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     match run() {
@@ -69,6 +74,15 @@ fn run() -> Result<(), String> {
         let t: u32 = f.parse().map_err(|_| format!("bad --fanout value `{f}`"))?;
         pipeline = pipeline.mode_rule(ModeRule::FanoutThreshold(t));
     }
+    if let Some(ms) = get("--deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("bad --deadline-ms value `{ms}`"))?;
+        pipeline = pipeline.budget(RunBudget::new().with_deadline(Duration::from_millis(ms)));
+    }
+    if has("--recover") {
+        pipeline = pipeline.recovery(RecoveryPolicy::default());
+    }
 
     // Staged flows report which phase failed via CtsError instead of
     // panicking; per-stage wall clocks come along for free.
@@ -83,6 +97,15 @@ fn run() -> Result<(), String> {
             cells.join(" | "),
             o.runtime_s * 1e3
         );
+        if o.degraded {
+            println!("NOTE: run budget expired mid-optimization; schedule truncated (tree is valid, metrics complete)");
+        }
+        for step in &o.recovery {
+            println!(
+                "recovered: {} -> retried with {:?}",
+                step.error, step.relaxation
+            );
+        }
     };
     let mut tree = match flow.as_str() {
         "ours" => {
@@ -196,5 +219,9 @@ OPTIONS:
   --out <file>     write the post-CTS DEF with inserted clock cells
   --nldm           evaluate with NLDM tables + slew propagation
   --size           run the post-CTS buffer-sizing pass
+  --deadline-ms <N>  wall-clock run budget; expiry mid-optimization yields a
+                     degraded-but-valid tree, earlier expiry aborts typed
+  --recover        on infeasibility, retry down the relaxation ladder
+                   (extended patterns, more candidates, single-side)
   -h, --help       show this help
 ";
