@@ -170,3 +170,23 @@ pub use sizing::SizingPass;
 pub use skew::EndpointRefinePass;
 pub use synth::{EvalModel, SynthesizedTree, TreeMetrics};
 pub use tree::{ClockTopo, LeafStar, TrunkNode};
+
+// Send + Sync hygiene: the service layer shares routed artifacts across a
+// worker pool and hands pipelines/tokens between threads, so thread
+// safety of these types is API contract, not accident. Assert it at
+// compile time (the hand-rolled equivalent of `static_assertions`);
+// losing an impl — e.g. by caching with `Rc` or a raw pointer inside
+// `ClockTopo` — becomes a build error here instead of a distant
+// type-inference error in a downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ClockTopo>();
+    assert_send_sync::<dscts_geom::TreeCsr>();
+    assert_send_sync::<dscts_tech::Technology>();
+    assert_send_sync::<dscts_tech::CornerSet>();
+    assert_send_sync::<OptSchedule>();
+    assert_send_sync::<SynthesizedTree>();
+    assert_send_sync::<DsCts>();
+    assert_send_sync::<CancelToken>();
+    assert_send_sync::<CtsError>();
+};

@@ -192,15 +192,40 @@ impl CornerReport {
 
     /// Evaluates `tree` under every corner of `corners` (batch
     /// evaluation per corner) and folds the robust summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assigned pattern is infeasible under one of the
+    /// corner technologies — possible whenever a corner derates
+    /// capacitances upward; sign-off paths should use
+    /// [`CornerReport::try_evaluate`] instead.
     pub fn evaluate(tree: &SynthesizedTree, corners: &CornerSet, model: EvalModel) -> CornerReport {
-        CornerReport::from_per_corner(
+        CornerReport::try_evaluate(tree, corners, model).expect("tree feasible at every corner")
+    }
+
+    /// Fallible [`CornerReport::evaluate`]: a pattern the DP chose near
+    /// its buffer's max-load budget at nominal can overload that buffer
+    /// under a capacitance-derating corner. That is a data-dependent
+    /// infeasibility of *this* tree at *this* corner, reported as the
+    /// typed [`CtsError::NoFeasiblePattern`] of the first offending
+    /// corner (in corner order) so callers can retry through the
+    /// recovery ladder — relaxations change the pattern assignment —
+    /// instead of crashing mid-sign-off.
+    ///
+    /// [`CtsError::NoFeasiblePattern`]: crate::CtsError::NoFeasiblePattern
+    pub fn try_evaluate(
+        tree: &SynthesizedTree,
+        corners: &CornerSet,
+        model: EvalModel,
+    ) -> Result<CornerReport, crate::CtsError> {
+        Ok(CornerReport::from_per_corner(
             corners,
             corners
                 .techs()
                 .iter()
-                .map(|tech| tree.evaluate(tech, model))
-                .collect(),
-        )
+                .map(|tech| tree.try_evaluate(tech, model))
+                .collect::<Result<Vec<_>, _>>()?,
+        ))
     }
 }
 
@@ -861,6 +886,49 @@ mod tests {
         assert_eq!(
             report.robust.worst_latency_corner, 0,
             "SS is the slow corner"
+        );
+    }
+
+    /// `try_evaluate` is bit-identical to `evaluate` on feasible corner
+    /// sets, and reports the typed `NoFeasiblePattern` (instead of
+    /// panicking) when a corner derates capacitances past a pattern
+    /// buffer's max load — the corner sign-off failure mode a service
+    /// retry ladder recovers from.
+    #[test]
+    fn corner_report_try_evaluate_types_corner_infeasibility() {
+        use dscts_tech::{Corner, DerateFactors, WireDerate};
+        let (t, tech) = tree();
+        let corners = CornerSet::asap7_pvt(&tech);
+        let report = CornerReport::try_evaluate(&t, &corners, EvalModel::Nldm)
+            .expect("tree feasible at the PVT preset");
+        assert_eq!(
+            report,
+            CornerReport::evaluate(&t, &corners, EvalModel::Nldm)
+        );
+
+        // A hostile corner: wire capacitance ×50 overloads any embedded
+        // buffer the DP placed against its nominal max-load budget.
+        let overload = WireDerate {
+            res: 1.0,
+            cap: 50.0,
+        };
+        let hot = Corner::new(
+            "HOT",
+            DerateFactors {
+                front_wire: overload,
+                back_wire: overload,
+                buffer_delay: 1.0,
+                ntsv: overload,
+            },
+        )
+        .expect("valid derates");
+        let hostile =
+            CornerSet::expand(&tech, vec![hot, Corner::nominal("TT")], 1).expect("valid set");
+        let err = CornerReport::try_evaluate(&t, &hostile, EvalModel::Nldm)
+            .expect_err("overloaded corner must fail typed");
+        assert!(
+            matches!(err, crate::CtsError::NoFeasiblePattern { .. }),
+            "expected the typed data-dependent infeasibility, got {err:?}"
         );
     }
 

@@ -688,6 +688,31 @@ impl DsCts {
         insert_on(topo, &self.tech, &self.dp, Some(modes), None)
     }
 
+    /// [`DsCts::insert`] observing an external [`CancelToken`]: the DP's
+    /// per-height propagation loop checkpoints the token and reports
+    /// [`CtsError::Cancelled`] once it trips. With `None` (or an untripped
+    /// token) the result is bit-identical to [`DsCts::insert`]. Batch and
+    /// service drivers use this so externally-owned deadlines reach the
+    /// insertion hot loop, not just stage boundaries.
+    pub fn insert_cancel(
+        &self,
+        topo: ClockTopo,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(SynthesizedTree, DpResult), CtsError> {
+        insert_on(topo, &self.tech, &self.dp, None, cancel)
+    }
+
+    /// [`DsCts::insert_with_modes`] observing an external [`CancelToken`]
+    /// (see [`DsCts::insert_cancel`] for the checkpoint semantics).
+    pub fn insert_with_modes_cancel(
+        &self,
+        topo: ClockTopo,
+        modes: &[Mode],
+        cancel: Option<&CancelToken>,
+    ) -> Result<(SynthesizedTree, DpResult), CtsError> {
+        insert_on(topo, &self.tech, &self.dp, Some(modes), cancel)
+    }
+
     /// Runs only the legacy skew-refinement pass on a synthesized tree,
     /// in place, ignoring any custom schedule. Returns `None` (doing
     /// nothing) when refinement is disabled. Most staged drivers want
@@ -710,6 +735,29 @@ impl DsCts {
         Some(match &self.corners {
             Some(corners) => manager.run_corners(tree, corners, self.eval, self.robust),
             None => manager.run(tree, &self.tech, self.eval),
+        })
+    }
+
+    /// [`DsCts::optimize_tree`] observing an external [`CancelToken`]:
+    /// once the token trips, the schedule *truncates* — remaining passes
+    /// are skipped, [`ScheduleReport::truncated`] is set, and the tree is
+    /// left in the valid state the last completed checkpoint produced.
+    /// With `None` (or an untripped token) the result is bit-identical to
+    /// [`DsCts::optimize_tree`]. This is the checkpoint that lets sweep
+    /// classes and service jobs degrade mid-optimization instead of
+    /// overshooting their deadline by a whole schedule.
+    pub fn optimize_tree_cancel(
+        &self,
+        tree: &mut SynthesizedTree,
+        cancel: Option<&CancelToken>,
+    ) -> Option<ScheduleReport> {
+        let schedule = self.effective_schedule()?;
+        let manager = PassManager::new(&schedule);
+        Some(match &self.corners {
+            Some(corners) => {
+                manager.run_corners_cancel(tree, corners, self.eval, self.robust, cancel)
+            }
+            None => manager.run_cancel(tree, &self.tech, self.eval, cancel),
         })
     }
 
@@ -790,7 +838,7 @@ impl DsCts {
                 error: last_err.clone(),
                 relaxation: rung,
             });
-            relaxed = relaxed.apply_relaxation(rung);
+            relaxed = relaxed.with_relaxation(rung);
             match relaxed.try_run_once(design, token.as_ref()) {
                 Ok(mut outcome) => {
                     outcome.recovery = steps;
@@ -805,8 +853,12 @@ impl DsCts {
         Err(last_err)
     }
 
-    /// One relaxation rung applied to this configuration.
-    fn apply_relaxation(mut self, rung: Relaxation) -> Self {
+    /// One [`Relaxation`] rung applied to this configuration — the same
+    /// transformation [`DsCts::try_run`]'s recovery ladder applies
+    /// internally, public so external retry drivers (the service layer's
+    /// per-job ladder) relax a pipeline exactly the way the built-in
+    /// ladder would.
+    pub fn with_relaxation(mut self, rung: Relaxation) -> Self {
         match rung {
             Relaxation::WidenPatternSet => self.dp.patterns = PatternSet::Extended,
             Relaxation::RaiseMaxCandidates(k) => {

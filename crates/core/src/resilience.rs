@@ -162,8 +162,10 @@ impl CancelToken {
 /// Best-effort stringification of a caught panic payload (`panic!` with a
 /// literal yields `&str`, with a format string `String`; anything else is
 /// opaque). Feeds [`CtsError::Internal`]'s payload so the panicking `run`
-/// wrapper's re-panic preserves the original message.
-pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// wrapper's re-panic preserves the original message. Public so embedders
+/// with their own `catch_unwind` isolation boundaries (worker pools,
+/// service layers) can produce the same typed payloads.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -355,62 +357,125 @@ pub mod fault {
 
         /// Installs the plan process-globally until the guard drops.
         ///
-        /// The guard holds a lock serializing installations, so parallel
-        /// `#[test]`s that each install a plan run one at a time and
-        /// never observe each other's faults.
+        /// Arming is **per-plan-scoped**: exactly one plan is active at a
+        /// time, and `install` *blocks* until any previously installed
+        /// plan's guard has dropped, so parallel `#[test]`s (and service
+        /// chaos controllers) that each install a plan run one at a time
+        /// and never observe each other's faults. The sites themselves
+        /// stay process-global — every thread executing pipeline code
+        /// while a plan is active observes its arms, which is exactly
+        /// what a multi-worker chaos run needs.
+        ///
+        /// Unlike the earlier guard (which held a `MutexGuard` and was
+        /// therefore `!Send`), the returned [`FaultGuard`] carries only
+        /// its plan's generation number: it can be armed on a controller
+        /// thread and dropped on another, and a late drop can never clear
+        /// a *newer* plan installed in between.
         #[cfg(feature = "fault-inject")]
         pub fn install(self) -> FaultGuard {
-            let lock = registry::INSTALL
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
-            *registry::plan().lock().unwrap_or_else(|p| p.into_inner()) = Some(
-                self.arms
-                    .into_iter()
-                    .map(|arm| registry::ArmState { arm, fired: false })
-                    .collect(),
-            );
-            FaultGuard { _lock: lock }
+            let arms = self
+                .arms
+                .into_iter()
+                .map(|arm| registry::ArmState { arm, fired: false })
+                .collect();
+            FaultGuard {
+                generation: registry::install(arms),
+            }
         }
     }
 
-    /// RAII handle for an installed [`FaultPlan`]; clears it on drop.
+    /// RAII handle for an installed [`FaultPlan`]; clears the plan on
+    /// drop (releasing the next queued [`FaultPlan::install`], if any).
+    /// `Send`, so a chaos controller can hand it across threads.
     #[cfg(feature = "fault-inject")]
+    #[derive(Debug)]
     pub struct FaultGuard {
-        _lock: std::sync::MutexGuard<'static, ()>,
+        generation: u64,
+    }
+
+    #[cfg(feature = "fault-inject")]
+    impl FaultGuard {
+        /// Arms of this plan that have not fired yet. Lets a chaos
+        /// harness verify its faults were actually consumed mid-run.
+        pub fn unfired(&self) -> usize {
+            registry::unfired(self.generation)
+        }
     }
 
     #[cfg(feature = "fault-inject")]
     impl Drop for FaultGuard {
         fn drop(&mut self) {
-            *registry::plan().lock().unwrap_or_else(|p| p.into_inner()) = None;
+            registry::clear(self.generation);
         }
     }
 
     #[cfg(feature = "fault-inject")]
     mod registry {
         use super::FaultArm;
-        use std::sync::{Mutex, OnceLock};
+        use std::sync::{Condvar, Mutex};
 
         pub(super) struct ArmState {
             pub(super) arm: FaultArm,
             pub(super) fired: bool,
         }
 
-        /// Serializes [`super::FaultPlan::install`] across test threads.
-        pub(super) static INSTALL: Mutex<()> = Mutex::new(());
+        /// The active plan, tagged with the generation its guard owns.
+        /// A plain global (not thread-local) because the vendored rayon
+        /// shim runs workers on scoped `std::thread`s that would not
+        /// inherit thread-local state — and because service chaos runs
+        /// *want* worker threads to observe the active plan.
+        struct State {
+            active: Option<(u64, Vec<ArmState>)>,
+            next_generation: u64,
+        }
 
-        /// The active plan; a plain global (not thread-local) because the
-        /// vendored rayon shim runs workers on scoped `std::thread`s that
-        /// would not inherit thread-local state.
-        pub(super) fn plan() -> &'static Mutex<Option<Vec<ArmState>>> {
-            static PLAN: OnceLock<Mutex<Option<Vec<ArmState>>>> = OnceLock::new();
-            PLAN.get_or_init(|| Mutex::new(None))
+        static STATE: Mutex<State> = Mutex::new(State {
+            active: None,
+            next_generation: 0,
+        });
+        /// Signalled when the active plan clears, releasing the next
+        /// blocked `install`.
+        static FREED: Condvar = Condvar::new();
+
+        /// Blocks until no plan is active, then installs `arms` and
+        /// returns the new plan's generation.
+        pub(super) fn install(arms: Vec<ArmState>) -> u64 {
+            let mut state = STATE.lock().unwrap_or_else(|p| p.into_inner());
+            while state.active.is_some() {
+                state = FREED.wait(state).unwrap_or_else(|p| p.into_inner());
+            }
+            state.next_generation += 1;
+            let generation = state.next_generation;
+            state.active = Some((generation, arms));
+            generation
+        }
+
+        /// Clears the plan **iff** it is still the one `generation`
+        /// installed; a stale guard dropping late cannot clear a newer
+        /// plan.
+        pub(super) fn clear(generation: u64) {
+            let mut state = STATE.lock().unwrap_or_else(|p| p.into_inner());
+            if state.active.as_ref().is_some_and(|(g, _)| *g == generation) {
+                state.active = None;
+            }
+            drop(state);
+            FREED.notify_one();
+        }
+
+        /// Unfired arms remaining in the `generation` plan (0 once it
+        /// cleared or was superseded).
+        pub(super) fn unfired(generation: u64) -> usize {
+            let state = STATE.lock().unwrap_or_else(|p| p.into_inner());
+            match &state.active {
+                Some((g, arms)) if *g == generation => arms.iter().filter(|a| !a.fired).count(),
+                _ => 0,
+            }
         }
 
         /// Visits `site`; reports the kind of the arm that fires, if any.
         pub(super) fn visit(site: &str) -> Option<super::FaultKind> {
-            let mut guard = plan().lock().unwrap_or_else(|p| p.into_inner());
-            let arms = guard.as_mut()?;
+            let mut guard = STATE.lock().unwrap_or_else(|p| p.into_inner());
+            let (_, arms) = guard.active.as_mut()?;
             for state in arms.iter_mut() {
                 if state.fired || state.arm.site != site {
                     continue;

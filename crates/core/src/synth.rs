@@ -8,6 +8,7 @@
 //! the DP or the NLDM + slew-propagation model used for final sign-off
 //! numbers (§IV-A).
 
+use crate::error::CtsError;
 use crate::pattern::Pattern;
 use crate::tree::ClockTopo;
 use dscts_geom::Point;
@@ -211,8 +212,36 @@ impl SynthesizedTree {
     ///
     /// # Panics
     ///
-    /// Panics if any edge lacks a pattern.
+    /// Panics if any edge lacks a pattern, or if an assigned pattern is
+    /// electrically infeasible under `tech`. The latter cannot happen
+    /// under the technology the DP selected the patterns with, but *can*
+    /// under a different (derated corner) technology — use
+    /// [`SynthesizedTree::try_evaluate`] there.
     pub fn evaluate(&self, tech: &Technology, model: EvalModel) -> TreeMetrics {
+        self.try_evaluate(tech, model)
+            .expect("chosen pattern feasible")
+    }
+
+    /// Fallible [`SynthesizedTree::evaluate`]: reports a typed
+    /// [`CtsError::NoFeasiblePattern`] naming the offending edge when an
+    /// assigned pattern is electrically infeasible under `tech`.
+    ///
+    /// This is the corner sign-off case: a derated corner raises wire
+    /// and pin capacitances, so a pattern the DP chose right up against
+    /// its buffer's max-load budget at nominal can overload that buffer
+    /// at the corner. Corner-evaluation paths must treat this as a
+    /// data-dependent infeasibility (it is recoverable — relaxations
+    /// change the pattern assignment), not as a crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge lacks a pattern (a structural invariant,
+    /// independent of `tech`).
+    pub fn try_evaluate(
+        &self,
+        tech: &Technology,
+        model: EvalModel,
+    ) -> Result<TreeMetrics, CtsError> {
         let topo = &self.topo;
         let csr = topo.csr();
         let order = csr.order();
@@ -244,7 +273,10 @@ impl SynthesizedTree {
                         tech,
                         self.buffer_scales[cu],
                     )
-                    .expect("chosen pattern feasible");
+                    .ok_or(CtsError::NoFeasiblePattern {
+                        node: c,
+                        edge_len_nm: topo.nodes[cu].edge_len,
+                    })?;
                 cap[vu] += ev.up_cap_ff;
             }
         }
@@ -263,6 +295,8 @@ impl SynthesizedTree {
             for &c in csr.children(v) {
                 let cu = c as usize;
                 let p = self.patterns[cu].expect("assigned pattern");
+                // Identical call to the bottom-up pass (the cap vector is
+                // fixed by now), which already vetted feasibility.
                 let ev = p
                     .eval_scaled(
                         topo.nodes[cu].edge_len,
@@ -270,7 +304,7 @@ impl SynthesizedTree {
                         tech,
                         self.buffer_scales[cu],
                     )
-                    .expect("chosen pattern feasible");
+                    .expect("feasibility vetted bottom-up");
                 match (model, ev.stage) {
                     (EvalModel::Elmore, _) => {
                         arr[cu] = arr[vu] + ev.delay_ps;
@@ -316,7 +350,7 @@ impl SynthesizedTree {
         let res = resources(self, tech);
         let stats = ArrivalStats::from_arrivals(arrivals.iter().copied())
             .expect("designs have at least one sink");
-        TreeMetrics {
+        Ok(TreeMetrics {
             latency_ps: stats.latency(),
             skew_ps: stats.skew(),
             buffers: res.buffers,
@@ -327,7 +361,7 @@ impl SynthesizedTree {
             cell_area_nm2: res.cell_area_nm2,
             max_sink_slew_ps: max_sink_slew,
             arrivals,
-        }
+        })
     }
 }
 

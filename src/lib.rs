@@ -18,6 +18,7 @@
 //! | [`dme`] | `dscts-dme` | zero-skew deferred-merge embedding |
 //! | [`vanginneken`] | `dscts-buffer` | classic single-side buffer insertion |
 //! | [`core`] | `dscts-core` | the staged CTS engine: stages, patterns, DP, the composable `opt` pass layer, the `mcmm` multi-corner subsystem, DSE, baselines, errors |
+//! | [`service`] | `dscts-service` | multi-tenant job service: route-once design cache, bounded worker pool, admission control, quarantine, graceful drain |
 //!
 //! The synthesis flow itself is a **staged engine**: [`DsCts`] executes
 //! `route → insertion → optimize → evaluate`, where each phase is a
@@ -104,6 +105,7 @@ pub use dscts_core as core;
 pub use dscts_dme as dme;
 pub use dscts_geom as geom;
 pub use dscts_netlist as netlist;
+pub use dscts_service as service;
 pub use dscts_tech as tech;
 pub use dscts_timing as timing;
 
