@@ -50,7 +50,7 @@
 //!   any record's `runtime_s` regresses more than 25 % against the
 //!   committed snapshot (per record, compared to the most lenient
 //!   committed run). Wall-clock-relative snapshots (`BENCH_pr7.json`'s
-//!   deadline-halving arms, `BENCH_pr8.json`'s service loadtest) are
+//!   deadline-halving arms, the `BENCH_pr8/pr9.json` service loadtests) are
 //!   skipped with a message and exit 0 — their runtimes are only
 //!   meaningful on the recording machine. The fresh measurements are
 //!   written to `BENCH_check_*.json` so CI can archive runtime

@@ -9,6 +9,12 @@
 //! This file holds exactly one `#[test]`: the counter is process-global,
 //! and a concurrently running sibling test would charge its allocations
 //! to the measured window.
+//!
+//! The test also pins the telemetry layer's no-collector contract: a
+//! collector is installed and uninstalled *before* the evaluators are
+//! built, so every pre-resolved metric handle lands on its `None`
+//! branch and the measured windows prove the disabled instrumentation
+//! costs zero allocations per move.
 
 use dscts_bench::sizing_workload;
 use dscts_core::mcmm::MultiCornerEval;
@@ -49,6 +55,18 @@ const MEASURED_MOVES: usize = 256;
 
 #[test]
 fn steady_state_sizing_moves_do_not_allocate() {
+    // Install-then-uninstall a telemetry collector up front: the hot
+    // loops below must behave exactly as if it never existed (handles
+    // resolved after the drop are `None`, entry points are one relaxed
+    // atomic load), which this test's zero-allocation windows enforce.
+    {
+        let collector = std::sync::Arc::new(dscts_core::telemetry::Telemetry::new());
+        let guard = dscts_core::telemetry::install(std::sync::Arc::clone(&collector));
+        drop(guard);
+        assert!(!dscts_core::telemetry::enabled());
+        std::hint::black_box(collector);
+    }
+
     let (tree, tech) = sizing_workload(&BenchmarkSpec::c4_riscv32i());
     let edge = (1..tree.topo.nodes.len())
         .find(|&i| tree.patterns[i].is_some_and(|p| p.buffers() > 0))

@@ -500,6 +500,12 @@ pub fn try_run_dp_with_modes_cancel(
     cancel: Option<&CancelToken>,
 ) -> Result<DpResult, CtsError> {
     assert_eq!(modes.len(), topo.nodes.len(), "mode vector arity");
+    // Whole-DP span plus per-height-group progress counters; handles
+    // are resolved once here so the loop body never touches the
+    // registry (and is a plain `None` branch with no collector).
+    let _span = dscts_telemetry::Span::enter("dp");
+    let height_counters =
+        dscts_telemetry::active().map(|t| (t.counter("dp.height_groups"), t.counter("dp.nodes")));
     let csr = topo.csr();
     if csr.children(0).len() != 1 {
         return Err(CtsError::InvalidTopology(format!(
@@ -580,6 +586,10 @@ pub fn try_run_dp_with_modes_cancel(
             token.check("dp")?;
         }
         let group = &height_nodes[height_off[h] as usize..height_off[h + 1] as usize];
+        if let Some((groups, nodes)) = &height_counters {
+            groups.incr();
+            nodes.add(group.len() as u64);
+        }
         let results: Vec<(u32, Result<Vec<Work>, CtsError>)> = group
             .par_iter()
             .map(|&id| {

@@ -127,6 +127,39 @@
 //! error (never a propagated panic) and leaves evaluator journals fully
 //! rolled back. Without the feature the checks are constants the
 //! optimizer deletes.
+//!
+//! # Observability
+//!
+//! The pipeline is instrumented with the zero-dependency
+//! [`telemetry`] crate (`dscts-telemetry`, re-exported here). With no
+//! collector installed every site is one relaxed atomic load — outcomes
+//! stay bit-identical and the sizing hot loop allocation-free (both are
+//! asserted by tests). Install one with
+//! `telemetry::install(Arc::new(telemetry::Telemetry::new()))` and the
+//! engine records:
+//!
+//! - **Span histograms** (`span.<site>`, seconds): one per pipeline
+//!   stage (`span.route`, `span.insertion`, `span.optimize`,
+//!   `span.evaluate` — equal to the [`Outcome::stages`] wall clocks),
+//!   `span.dp` for whole DP runs, `span.dse.class` per mode-equivalence
+//!   class, and `span.pass.<name>` per optimization pass.
+//! - **Counters**: `pipeline.runs`, `pipeline.degraded`,
+//!   `pipeline.panics_caught`, `pipeline.recovery.<rung>` (one per
+//!   [`Relaxation::label`]), `dp.height_groups`, `dp.nodes`,
+//!   `dse.classes`, `opt.trials_attempted`, `opt.trials_accepted`,
+//!   `mcmm.corner_evals`, and `fault.unfired_arms` (chaos arms a
+//!   dropped fault plan never consumed).
+//! - **Gauges**: `process.peak_rss_bytes` (high-water mark).
+//! - **Sweep-outcome records**: one per evaluated
+//!   [`dse::ModeClass`] — design features (name, sinks, distinct
+//!   fanouts, threshold range, intra-side node count) plus resulting
+//!   metrics — the training rows future learned-DSE work consumes.
+//!
+//! Export via [`telemetry::Telemetry::snapshot`] →
+//! [`telemetry::TelemetrySnapshot::to_jsonl`]: self-describing JSON
+//! lines (`{"record":"counter"|"gauge"|"histogram"|"sweep",...}`)
+//! written by a hand-rolled serializer and checked in-process by the
+//! crate's own JSON parser.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -147,6 +180,12 @@ pub mod sizing;
 pub mod skew;
 mod synth;
 mod tree;
+
+/// The zero-dependency observability layer (`dscts-telemetry`),
+/// re-exported so pipeline embedders install collectors without a
+/// separate dependency. See the crate-level "Observability" section for
+/// the metric names this engine emits.
+pub use dscts_telemetry as telemetry;
 
 pub use dp::{
     mode_vector, run_dp, try_run_dp, try_run_dp_with_modes, try_run_dp_with_modes_cancel, DpConfig,

@@ -263,6 +263,11 @@ pub struct MultiCornerEval<'a> {
     /// Optional run-budget token: a deadline firing mid-move rejects the
     /// move (fully rolled back) instead of leaving corners half-repaired.
     cancel: Option<CancelToken>,
+    /// Telemetry counter for corner fan-outs, resolved once at
+    /// construction: the per-move hot path is a branch on `None` when no
+    /// collector is installed — no atomic, no lock, no allocation (the
+    /// bench crate's counting-allocator harness pins this).
+    corner_evals: Option<dscts_telemetry::Counter>,
 }
 
 impl<'a> MultiCornerEval<'a> {
@@ -295,6 +300,7 @@ impl<'a> MultiCornerEval<'a> {
             parallel: None,
             scratch: Vec::new(),
             cancel: None,
+            corner_evals: dscts_telemetry::active().map(|t| t.counter("mcmm.corner_evals")),
         }
     }
 
@@ -486,6 +492,9 @@ impl<'a> MultiCornerEval<'a> {
         {
             self.undo_to(mark);
             return false;
+        }
+        if let Some(counter) = &self.corner_evals {
+            counter.add(self.states.len() as u64);
         }
         let mut ok = true;
         if self.use_parallel() {

@@ -500,6 +500,15 @@ impl<'a> PassManager<'a> {
             let t0 = Instant::now();
             let stats = invoke(pass.as_ref(), ctx);
             let seconds = t0.elapsed().as_secs_f64();
+            // Per-pass telemetry reuses the report's wall clock (one
+            // measurement, two consumers) and aggregates trial counts.
+            if let Some(tel) = dscts_telemetry::active() {
+                tel.record_duration(&format!("span.pass.{}", pass.name()), seconds);
+                tel.counter("opt.trials_attempted")
+                    .add(stats.attempted as u64);
+                tel.counter("opt.trials_accepted")
+                    .add(stats.accepted as u64);
+            }
             // Defensive: a pass that forgot to commit still keeps its work.
             ctx.eval_mut().commit();
             let after = ctx.eval().metrics();

@@ -59,6 +59,7 @@ use crate::synth::{EvalModel, SynthesizedTree, TreeMetrics};
 use crate::tree::ClockTopo;
 use dscts_netlist::Design;
 use dscts_tech::{CornerSet, Technology};
+use dscts_telemetry as telemetry;
 use std::borrow::Cow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -834,6 +835,13 @@ impl DsCts {
         let mut relaxed = self.clone();
         let mut last_err = err;
         for &rung in policy.ladder() {
+            // Rung counters ("pipeline.recovery.<rung>") make ladder
+            // climbs visible in the metrics snapshot without parsing
+            // per-outcome recovery vectors.
+            if let Some(tel) = telemetry::active() {
+                tel.counter(&format!("pipeline.recovery.{}", rung.label()))
+                    .incr();
+            }
             steps.push(RecoveryStep {
                 error: last_err.clone(),
                 relaxation: rung,
@@ -887,14 +895,21 @@ impl DsCts {
             let deposited_before = ctx.optimization.is_some();
             let t0 = Instant::now();
             catch_unwind(AssertUnwindSafe(|| stage.run(&mut ctx))).unwrap_or_else(|payload| {
+                telemetry::count("pipeline.panics_caught", 1);
                 Err(CtsError::Internal {
                     stage: stage.name(),
                     payload: crate::resilience::panic_message(payload.as_ref()),
                 })
             })?;
+            let seconds = t0.elapsed().as_secs_f64();
+            // Stage spans share the already-taken wall clock instead of
+            // re-measuring, so instrumented timings equal Outcome's.
+            if let Some(tel) = telemetry::active() {
+                tel.record_duration(&format!("span.{}", stage.name()), seconds);
+            }
             timings.push(StageTiming {
                 name: Cow::Borrowed(stage.name()),
-                seconds: t0.elapsed().as_secs_f64(),
+                seconds,
                 peak_rss_bytes: crate::rss::peak_rss_bytes(),
             });
             if !deposited_before {
@@ -912,6 +927,15 @@ impl DsCts {
                         peak_rss_bytes: stage_peak,
                     }));
                 }
+            }
+        }
+        if let Some(tel) = telemetry::active() {
+            tel.counter("pipeline.runs").incr();
+            if ctx.degraded {
+                tel.counter("pipeline.degraded").incr();
+            }
+            if let Some(rss) = crate::rss::peak_rss_bytes() {
+                tel.gauge("process.peak_rss_bytes").max(rss as i64);
             }
         }
         // invariant: the stage sequence always contains insertion and

@@ -194,6 +194,18 @@ pub enum Relaxation {
     SingleSide,
 }
 
+impl Relaxation {
+    /// A stable low-cardinality slug, used as the metric-name suffix of
+    /// the `pipeline.recovery.<rung>` counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Relaxation::WidenPatternSet => "widen_pattern_set",
+            Relaxation::RaiseMaxCandidates(_) => "raise_max_candidates",
+            Relaxation::SingleSide => "single_side",
+        }
+    }
+}
+
 impl std::fmt::Display for Relaxation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -405,6 +417,13 @@ pub mod fault {
     #[cfg(feature = "fault-inject")]
     impl Drop for FaultGuard {
         fn drop(&mut self) {
+            // Account arms that never fired before the plan vanishes:
+            // `fault.unfired_arms` in the metrics snapshot replaces the
+            // ad-hoc per-harness bookkeeping chaos drivers used to do.
+            let unfired = registry::unfired(self.generation);
+            if unfired > 0 {
+                dscts_telemetry::count("fault.unfired_arms", unfired as u64);
+            }
             registry::clear(self.generation);
         }
     }

@@ -18,22 +18,34 @@
 //!    still complete clean work on live workers.
 //! 5. **Drain**: a final burst is submitted and the service shut down
 //!    gracefully; still-queued jobs must get typed cancellations.
+//! 6. **Telemetry validation**: the run executes under an installed
+//!    [`dscts_telemetry`] collector; the final snapshot is serialized
+//!    to JSON-lines, every line re-parsed in-process with the crate's
+//!    own parser (schema check per record kind), and the counters are
+//!    cross-checked against [`ServiceStats`]
+//!    — in particular `service.accepted == completed + failed +
+//!    cancelled`. `--telemetry <path>` writes the JSONL out for CI
+//!    artifacts.
 //!
 //! Invariants asserted (process exits non-zero on violation): zero lost
 //! jobs (every accepted submission resolves to exactly one terminal
-//! response), no worker death, bit-identity, and — under chaos —
-//! quarantine engagement. Throughput lands in `BENCH_pr8.json`.
+//! response), no worker death, bit-identity, telemetry consistency, and
+//! — under chaos — quarantine engagement. Throughput plus p50/p95/p99
+//! job latency (from the `job.wall_s` histogram) land in
+//! `BENCH_pr9.json`.
 
 use dscts_core::DsCts;
 use dscts_netlist::{BenchmarkSpec, Design};
 use dscts_service::{
     job_pipeline, CtsService, DesignKey, DrainMode, JobKind, JobRequest, JobResponse, Rejected,
-    ServiceConfig,
+    ServiceConfig, ServiceStats,
 };
 use dscts_tech::{CornerSet, Technology};
+use dscts_telemetry as telemetry;
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -42,6 +54,7 @@ struct Args {
     jobs: usize,
     workers: usize,
     out: Option<PathBuf>,
+    telemetry: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -51,6 +64,7 @@ fn parse_args() -> Args {
         jobs: 0,
         workers: 4,
         out: None,
+        telemetry: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -72,6 +86,11 @@ fn parse_args() -> Args {
             "--out" => {
                 args.out = Some(PathBuf::from(
                     it.next().unwrap_or_else(|| die("--out needs a path")),
+                ))
+            }
+            "--telemetry" => {
+                args.telemetry = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--telemetry needs a path")),
                 ))
             }
             other => die(&format!("unknown argument: {other}")),
@@ -115,6 +134,12 @@ fn main() {
     if args.chaos && !chaos {
         println!("note: --chaos requested but the fault-inject feature is off; running clean");
     }
+
+    // The whole run executes under a live collector: phase 6 validates
+    // the snapshot against the service's own stats, so the loadtest
+    // doubles as the telemetry smoke test.
+    let collector = Arc::new(telemetry::Telemetry::new());
+    let _telemetry_guard = telemetry::install(Arc::clone(&collector));
 
     let tech = Technology::asap7();
     let base = DsCts::new(tech.clone());
@@ -373,8 +398,11 @@ fn main() {
     }
 
     // ---- Phase 4 (chaos): quarantine the poisoned design. --------------
+    // The quarantine proof runs on a second service instance whose jobs
+    // also land in the process-global telemetry counters, so its final
+    // stats are kept for phase 6's exact cross-check.
     #[cfg(feature = "fault-inject")]
-    if chaos {
+    let aux_stats: Option<ServiceStats> = if chaos {
         use dscts_core::resilience::fault::*;
         println!("phase 4: poison one design until quarantine engages");
         // A dedicated instance with the default (tight) strike threshold:
@@ -441,7 +469,7 @@ fn main() {
             quarantine_svc.live_workers() == 2,
             "no quarantine-service worker died absorbing the panics",
         );
-        quarantine_svc.shutdown(DrainMode::Graceful);
+        let quarantine_stats = quarantine_svc.shutdown(DrainMode::Graceful).stats;
         // The pool must still do clean work afterwards.
         let ticket = service
             .submit(JobRequest {
@@ -459,7 +487,12 @@ fn main() {
             service.live_workers() == args.workers,
             "no worker died across the chaos phase",
         );
-    }
+        Some(quarantine_stats)
+    } else {
+        None
+    };
+    #[cfg(not(feature = "fault-inject"))]
+    let aux_stats: Option<ServiceStats> = None;
 
     // ---- Phase 5: graceful drain cancels queued jobs typed. ------------
     println!("phase 5: drain");
@@ -512,10 +545,192 @@ fn main() {
         report.stats.cache_hits,
     );
 
+    // ---- Phase 6: telemetry snapshot validation. -----------------------
+    println!("phase 6: telemetry snapshot validation");
+    let snap = collector.snapshot();
+    let jsonl = snap.to_jsonl();
+    let mut record_counts: HashMap<&'static str, u64> = HashMap::new();
+    for line in jsonl.lines() {
+        let v = telemetry::parse_json(line)
+            .unwrap_or_else(|e| die(&format!("telemetry line failed to parse ({e}): {line}")));
+        let kind = v
+            .get("record")
+            .and_then(telemetry::Json::as_str)
+            .unwrap_or_else(|| die(&format!("telemetry line lacks a record kind: {line}")));
+        // Canonical kind plus the fields its schema requires.
+        let (kind, fields): (&'static str, &[&str]) = match kind {
+            "meta" => ("meta", &["schema", "version"]),
+            "counter" => ("counter", &["name", "value"]),
+            "gauge" => ("gauge", &["name", "value"]),
+            "histogram" => (
+                "histogram",
+                &[
+                    "name", "count", "sum_s", "p50_s", "p95_s", "p99_s", "le", "counts",
+                ],
+            ),
+            "sweep" => (
+                "sweep",
+                &[
+                    "design",
+                    "sinks",
+                    "distinct_fanouts",
+                    "mode_class",
+                    "threshold_lo",
+                    "threshold_hi",
+                    "intra_nodes",
+                    "latency_ps",
+                    "skew_ps",
+                    "buffers",
+                    "ntsvs",
+                    "trunk_wirelength_nm",
+                    "switched_cap_ff",
+                ],
+            ),
+            other => die(&format!("unknown telemetry record kind {other:?}: {line}")),
+        };
+        for field in fields {
+            if v.get(field).is_none() {
+                die(&format!("telemetry {kind} record lacks {field:?}: {line}"));
+            }
+        }
+        if kind == "histogram" {
+            let le = v
+                .get("le")
+                .and_then(telemetry::Json::as_array)
+                .map(Vec::len);
+            let counts = v
+                .get("counts")
+                .and_then(telemetry::Json::as_array)
+                .map(Vec::len);
+            if le != counts {
+                die(&format!("telemetry histogram le/counts diverge: {line}"));
+            }
+        }
+        *record_counts.entry(kind).or_insert(0) += 1;
+    }
+    let n_of = |kind: &str| record_counts.get(kind).copied().unwrap_or(0);
+    check(
+        ["meta", "counter", "gauge", "histogram", "sweep"]
+            .iter()
+            .all(|k| n_of(k) > 0),
+        &format!(
+            "every JSONL line parses in-process ({} counters / {} gauges / {} histograms / {} sweep records)",
+            n_of("counter"),
+            n_of("gauge"),
+            n_of("histogram"),
+            n_of("sweep"),
+        ),
+    );
+
+    // The telemetry counters are process-global; the expected values are
+    // the flood service's lifetime stats plus the chaos quarantine
+    // instance's (phase 4), when it ran.
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let expected = |field: fn(&ServiceStats) -> u64| {
+        field(&report.stats) + aux_stats.as_ref().map_or(0, field)
+    };
+    check(
+        counter("service.accepted")
+            == counter("service.completed")
+                + counter("service.failed")
+                + counter("service.cancelled"),
+        "telemetry: accepted == completed + failed + cancelled",
+    );
+    type StatField = fn(&ServiceStats) -> u64;
+    let pairs: [(&str, StatField); 11] = [
+        ("service.accepted", |s| s.accepted),
+        ("service.completed", |s| s.completed),
+        ("service.failed", |s| s.failed),
+        ("service.cancelled", |s| s.cancelled),
+        ("service.panics_caught", |s| s.panics_caught),
+        ("service.rejected.queue_full", |s| s.rejected_queue_full),
+        ("service.rejected.backpressure", |s| s.rejected_backpressure),
+        ("service.rejected.quarantined", |s| s.rejected_quarantined),
+        ("service.rejected.shutting_down", |s| s.rejected_shutdown),
+        ("cache.hits", |s| s.cache_hits),
+        ("cache.misses", |s| s.cache_misses),
+    ];
+    for (name, field) in pairs {
+        check(
+            counter(name) == expected(field),
+            &format!(
+                "telemetry counter {name} ({}) matches lifetime ServiceStats",
+                counter(name)
+            ),
+        );
+    }
+    check(
+        counter("service.rejected.unknown_design") + counter("service.rejected.missing_corners")
+            == expected(|s| s.rejected_other),
+        "telemetry rejection counters cover the stats' other bucket",
+    );
+    // Every climb of the service-side recovery ladder counts one
+    // `service.recovery.<rung>`; the rung labels are Relaxation::label's
+    // closed set, so the sum must equal the stats' retry counter.
+    let recovery_total: u64 = ["widen_pattern_set", "raise_max_candidates", "single_side"]
+        .iter()
+        .map(|rung| counter(&format!("service.recovery.{rung}")))
+        .sum();
+    check(
+        recovery_total == expected(|s| s.retries),
+        &format!("telemetry recovery-rung counters ({recovery_total}) sum to the stats' retries"),
+    );
+    if chaos {
+        check(
+            counter("service.panics_caught") > 0,
+            "chaos run surfaced caught panics in the snapshot",
+        );
+    }
+
+    let wall = snap
+        .histogram("job.wall_s")
+        .cloned()
+        .unwrap_or_else(|| die("snapshot lacks the job.wall_s histogram"));
+    println!(
+        "  job latency: p50 {:.1} ms / p95 {:.1} ms / p99 {:.1} ms over {} jobs",
+        wall.p50_s * 1e3,
+        wall.p95_s * 1e3,
+        wall.p99_s * 1e3,
+        wall.count,
+    );
+    check(
+        wall.count > 0 && wall.p50_s <= wall.p95_s && wall.p95_s <= wall.p99_s,
+        "job.wall_s histogram populated with monotone quantiles",
+    );
+    check(
+        snap.histogram("job.queue_wait_s")
+            .is_some_and(|h| h.count > 0),
+        "job.queue_wait_s histogram populated",
+    );
+    // Completed jobs feed their stage rows into per-stage span
+    // histograms; every pipeline job runs insertion and evaluate, so
+    // those must be present and as populated as the completion count.
+    for stage in ["insertion", "evaluate"] {
+        check(
+            snap.histogram(&format!("span.{stage}"))
+                .is_some_and(|h| h.count > 0),
+            &format!("per-job stage breakdown exported (span.{stage} histogram)"),
+        );
+    }
+    check(
+        snap.gauge("service.queue_depth").is_some(),
+        "queue-depth gauge exported",
+    );
+    check(
+        snap.sweeps.iter().any(|s| s.sinks > 0),
+        "sweep-point jobs logged sweep-outcome training records",
+    );
+    if let Some(path) = &args.telemetry {
+        match std::fs::write(path, jsonl.as_bytes()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => die(&format!("writing {}: {e}", path.display())),
+        }
+    }
+
     // ---- Snapshot. -----------------------------------------------------
     let out = args
         .out
-        .unwrap_or_else(|| workspace_root().join("BENCH_pr8.json"));
+        .unwrap_or_else(|| workspace_root().join("BENCH_pr9.json"));
     let mut body = String::new();
     body.push_str("{\n  \"flow\": \"service_loadtest\",\n");
     body.push_str(&format!(
@@ -526,6 +741,10 @@ fn main() {
     body.push_str(&format!(
         "    {{\"design\": \"svc-flood-{}jobs\", \"runtime_s\": {:.6}, \"jobs\": {}, \"completed\": {}, \"degraded\": {}, \"failed\": {}, \"throughput_jobs_per_s\": {:.3}, \"admission_bounces\": {}}},\n",
         submitted, flood_s, submitted, completed, degraded, failed, throughput, rejected_retries
+    ));
+    body.push_str(&format!(
+        "    {{\"design\": \"svc-latency-{}jobs\", \"runtime_s\": {:.6}, \"jobs\": {}, \"p50_s\": {:.6}, \"p95_s\": {:.6}, \"p99_s\": {:.6}}},\n",
+        wall.count, wall.sum_s, wall.count, wall.p50_s, wall.p95_s, wall.p99_s
     ));
     body.push_str(&format!(
         "    {{\"design\": \"svc-register-{}designs\", \"runtime_s\": {:.6}, \"cache_hits\": {}, \"cache_misses\": {}}}\n",

@@ -173,6 +173,10 @@ impl DesignCache {
             .clone();
         if routed_here {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            dscts_telemetry::count("cache.misses", 1);
+            if let Ok(artifact) = &result {
+                dscts_telemetry::observe("span.register_route", artifact.route_s);
+            }
             if result.is_err() {
                 // Do not cache failures: drop the slot so a later
                 // registration retries the routing run.
@@ -183,6 +187,7 @@ impl DesignCache {
             }
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            dscts_telemetry::count("cache.hits", 1);
         }
         (result, !routed_here)
     }

@@ -10,7 +10,7 @@
 
 use crate::cache::DesignKey;
 use dscts_core::mcmm::RobustMetrics;
-use dscts_core::{CtsError, RecoveryStep, TreeMetrics};
+use dscts_core::{CtsError, RecoveryStep, StageTiming, TreeMetrics};
 use std::sync::mpsc;
 use std::time::Duration;
 
@@ -145,6 +145,16 @@ pub struct JobOutcome {
     /// Wall clock spent queued before a worker picked the job up
     /// (seconds).
     pub queue_wait_s: f64,
+    /// Per-stage wall-clock breakdown of the winning attempt, mirroring
+    /// [`Outcome::stages`](dscts_core::Outcome::stages): `insertion`,
+    /// `optimize` (plus one `opt:<name>` entry per executed pass),
+    /// `evaluate`, and `signoff` for corner-aware jobs. Routing is
+    /// **not** listed — it happened once at
+    /// [`register_design`](crate::CtsService::register_design) time and
+    /// is shared by every job on the cached artifact (its cost is the
+    /// cache's `route_s`). Recovery retries report the successful
+    /// attempt's stages only.
+    pub stages: Vec<StageTiming>,
 }
 
 /// The exactly-once terminal response of an accepted job.

@@ -96,6 +96,48 @@
 //! deterministic, the cache stores the routed topology immutably, and
 //! each job clones it exactly as the batched DSE engine does. The
 //! loadtest bin asserts this in-process on every run.
+//!
+//! # Observability
+//!
+//! The service is instrumented with `dscts-telemetry` (re-exported as
+//! [`dscts_core::telemetry`]). With no collector installed every site
+//! is one relaxed atomic load and results stay bit-identical; install
+//! one (`telemetry::install(Arc::new(telemetry::Telemetry::new()))`)
+//! and the service records, per process:
+//!
+//! - **Counters** mirroring [`ServiceStats`] exactly —
+//!   `service.accepted`, `service.completed`, `service.failed`,
+//!   `service.cancelled`, `service.panics_caught`, plus the admission
+//!   mix as `service.rejected.<variant>` (`queue_full`, `backpressure`,
+//!   `quarantined`, `shutting_down`, `unknown_design`,
+//!   `missing_corners`), quarantine progress
+//!   (`service.quarantine_strikes`, `service.quarantined_designs`),
+//!   per-kind submission counts (`service.jobs.<label>`), the
+//!   design cache (`cache.hits`, `cache.misses`), and the service-side
+//!   recovery ladder as `service.recovery.<rung>` (one count per rung
+//!   climbed, labelled by
+//!   [`Relaxation::label`](dscts_core::Relaxation::label); their sum
+//!   equals [`ServiceStats::retries`]).
+//! - **Gauges**: `service.queue_depth`, sampled at every admission and
+//!   dequeue.
+//! - **Histograms**: `job.wall_s` and `job.queue_wait_s` (log-spaced
+//!   buckets; the loadtest reports p50/p95/p99 from them),
+//!   `span.service.job` and `span.register_route`, and per-stage
+//!   `span.<stage>` histograms fed from every completed job's stage
+//!   rows (insertion / optimize / evaluate / signoff; the `opt:<name>`
+//!   rows are skipped because the pass manager already records them as
+//!   `span.pass.<name>`).
+//! - **Per-job stage breakdowns**: every completed job's
+//!   [`JobOutcome::stages`] mirrors
+//!   [`Outcome::stages`](dscts_core::Outcome::stages) — insertion,
+//!   optimize (one `opt:<name>` row per executed pass), evaluate,
+//!   signoff — and [`JobKind::SweepPoint`] jobs additionally log the
+//!   same sweep-outcome training records the batched DSE engine logs.
+//!
+//! Export with `Telemetry::snapshot()` → `TelemetrySnapshot::to_jsonl()`;
+//! the loadtest bin validates every emitted line in-process (schema plus
+//! an `accepted == completed + failed + cancelled` cross-check against
+//! [`ServiceStats`]) and `--telemetry <path>` writes it out for CI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

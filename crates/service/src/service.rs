@@ -7,10 +7,12 @@ use dscts_core::mcmm::CornerReport;
 use dscts_core::resilience::panic_message;
 use dscts_core::{
     mode_vector, AnnealConfig, AnnealedSizingPass, CancelToken, CtsError, DsCts, ModeRule,
-    RecoveryPolicy, RecoveryStep, RunBudget,
+    RecoveryPolicy, RecoveryStep, RunBudget, StageTiming,
 };
 use dscts_netlist::Design;
 use dscts_tech::CornerSet;
+use dscts_telemetry as telemetry;
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -240,6 +242,7 @@ impl CtsService {
                 .counters
                 .rejected_other
                 .fetch_add(1, Ordering::Relaxed);
+            count_rejected("missing_corners");
             return Err(Rejected::MissingCorners);
         }
         {
@@ -249,6 +252,7 @@ impl CtsService {
                     .counters
                     .rejected_quarantined
                     .fetch_add(1, Ordering::Relaxed);
+                count_rejected("quarantined");
                 return Err(Rejected::Quarantined { design: req.design });
             }
         }
@@ -257,6 +261,7 @@ impl CtsService {
                 .counters
                 .rejected_other
                 .fetch_add(1, Ordering::Relaxed);
+            count_rejected("unknown_design");
             return Err(Rejected::UnknownDesign { design: req.design });
         };
 
@@ -266,6 +271,7 @@ impl CtsService {
                 .counters
                 .rejected_shutdown
                 .fetch_add(1, Ordering::Relaxed);
+            count_rejected("shutting_down");
             return Err(Rejected::ShuttingDown);
         }
         if state.queue.len() >= inner.cfg.queue_capacity {
@@ -273,6 +279,7 @@ impl CtsService {
                 .counters
                 .rejected_queue_full
                 .fetch_add(1, Ordering::Relaxed);
+            count_rejected("queue_full");
             return Err(Rejected::QueueFull {
                 capacity: inner.cfg.queue_capacity,
             });
@@ -283,6 +290,7 @@ impl CtsService {
                 .counters
                 .rejected_backpressure
                 .fetch_add(1, Ordering::Relaxed);
+            count_rejected("backpressure");
             return Err(Rejected::Backpressure {
                 outstanding,
                 limit: inner.cfg.max_outstanding_per_tenant,
@@ -311,6 +319,11 @@ impl CtsService {
             tx,
         });
         inner.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        if let Some(tel) = telemetry::active() {
+            tel.counter("service.accepted").incr();
+            tel.gauge("service.queue_depth")
+                .set(state.queue.len() as i64);
+        }
         drop(state);
         inner.work_ready.notify_one();
         Ok(JobTicket {
@@ -373,6 +386,11 @@ impl CtsService {
             let _ = job.tx.send(JobResponse::Cancelled(CancelKind::Drained));
             inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
         }
+        // Keep the telemetry terminal counters in lockstep with the
+        // atomic mirror: drain cancellations never reach a worker, so
+        // they must be counted here for `service.accepted ==
+        // completed + failed + cancelled` to hold in the snapshot.
+        telemetry::count("service.cancelled", cancelled_queued as u64);
         for handle in self.workers {
             // invariant: worker_loop never panics (every job body is
             // wrapped in catch_unwind), so join always succeeds.
@@ -404,6 +422,16 @@ fn stats_of(inner: &Inner) -> ServiceStats {
     }
 }
 
+/// Admission-rejection telemetry, one counter per [`Rejected`] variant
+/// (`service.rejected.<variant>`). The atomic [`Counters`] mirror stays
+/// authoritative for [`ServiceStats`]; these exist so rejection mix is
+/// visible in the same snapshot as everything else.
+fn count_rejected(variant: &'static str) {
+    if let Some(tel) = telemetry::active() {
+        tel.counter(&format!("service.rejected.{variant}")).incr();
+    }
+}
+
 fn release_tenant(load: &mut HashMap<String, usize>, tenant: &str) {
     if let Some(n) = load.get_mut(tenant) {
         *n = n.saturating_sub(1);
@@ -415,11 +443,16 @@ fn release_tenant(load: &mut HashMap<String, usize>, tenant: &str) {
 
 fn worker_loop(inner: &Inner) {
     loop {
+        let tel = telemetry::active();
         let job = {
             let mut state = inner.state.lock().unwrap_or_else(|p| p.into_inner());
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     state.inflight.insert(job.id, job.token.clone());
+                    if let Some(tel) = &tel {
+                        tel.gauge("service.queue_depth")
+                            .set(state.queue.len() as i64);
+                    }
                     break job;
                 }
                 if !state.accepting {
@@ -433,6 +466,11 @@ fn worker_loop(inner: &Inner) {
         };
         let queue_wait_s = job.submitted.elapsed().as_secs_f64();
         let started = Instant::now();
+        if let Some(tel) = &tel {
+            tel.histogram("job.queue_wait_s").record(queue_wait_s);
+            tel.counter(&format!("service.jobs.{}", job.kind.label()))
+                .incr();
+        }
 
         // The per-job isolation boundary: a poisoned request (injected
         // panic, genuine bug) becomes a typed Internal failure and the
@@ -443,6 +481,7 @@ fn worker_loop(inner: &Inner) {
             Ok(response) => response,
             Err(payload) => {
                 inner.counters.panics_caught.fetch_add(1, Ordering::Relaxed);
+                telemetry::count("service.panics_caught", 1);
                 JobResponse::Failed {
                     error: CtsError::Internal {
                         stage: "service",
@@ -467,6 +506,17 @@ fn worker_loop(inner: &Inner) {
                 inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
             }
         }
+        if let Some(tel) = &tel {
+            let wall_s = started.elapsed().as_secs_f64();
+            tel.histogram("job.wall_s").record(wall_s);
+            tel.record_duration("span.service.job", wall_s);
+            let terminal = match &response {
+                JobResponse::Completed(_) => "service.completed",
+                JobResponse::Failed { .. } => "service.failed",
+                JobResponse::Cancelled(_) => "service.cancelled",
+            };
+            tel.counter(terminal).incr();
+        }
         let _ = job.tx.send(response);
 
         let mut state = inner.state.lock().unwrap_or_else(|p| p.into_inner());
@@ -481,8 +531,10 @@ fn strike(inner: &Inner, design: DesignKey) {
     let mut q = inner.quarantine.lock().unwrap_or_else(|p| p.into_inner());
     let strikes = q.strikes.entry(design).or_insert(0);
     *strikes += 1;
+    telemetry::count("service.quarantine_strikes", 1);
     if *strikes >= inner.cfg.quarantine_threshold {
         q.quarantined.insert(design);
+        telemetry::count("service.quarantined_designs", 1);
     }
 }
 
@@ -535,6 +587,10 @@ fn execute_job(inner: &Inner, job: &QueuedJob, queue_wait_s: f64, started: Insta
                         relaxation: rung,
                     });
                     inner.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tel) = telemetry::active() {
+                        tel.counter(&format!("service.recovery.{}", rung.label()))
+                            .incr();
+                    }
                     attempt_pipe = attempt_pipe.with_relaxation(rung);
                     match attempt(inner, &attempt_pipe, job) {
                         Ok(outcome) => {
@@ -561,6 +617,17 @@ fn execute_job(inner: &Inner, job: &QueuedJob, queue_wait_s: f64, started: Insta
             outcome.trials = job.token.trials();
             outcome.wall_s = started.elapsed().as_secs_f64();
             outcome.queue_wait_s = queue_wait_s;
+            if let Some(tel) = telemetry::active() {
+                // The winning attempt's stage rows double as the
+                // aggregate per-stage span histograms (`opt:<name>`
+                // rows are skipped — the pass manager already records
+                // them as `span.pass.<name>`).
+                for stage in &outcome.stages {
+                    if !stage.name.starts_with("opt:") {
+                        tel.record_duration(&format!("span.{}", stage.name), stage.seconds);
+                    }
+                }
+            }
             JobResponse::Completed(outcome)
         }
         Err(error) => JobResponse::Failed { error, recovery },
@@ -573,16 +640,53 @@ fn execute_job(inner: &Inner, job: &QueuedJob, queue_wait_s: f64, started: Insta
 /// routed topology.
 fn attempt(inner: &Inner, pipe: &DsCts, job: &QueuedJob) -> Result<JobOutcome, CtsError> {
     let token = &job.token;
+    let mut stages: Vec<StageTiming> = Vec::new();
+    let mut stage_start = Instant::now();
+    // Mirrors `Outcome::stages`' construction in the pipeline's own
+    // run loop: name + wall clock + RSS high-water mark per stage,
+    // `opt:<name>` rows folded in behind the optimize stage. Routing is
+    // deliberately absent — it ran once at registration (`route_s` on
+    // the cached artifact), not per job.
+    let push_stage = |stages: &mut Vec<StageTiming>, stage_start: &mut Instant, name| {
+        let now = Instant::now();
+        stages.push(StageTiming {
+            name: Cow::Borrowed(name),
+            seconds: (now - *stage_start).as_secs_f64(),
+            peak_rss_bytes: dscts_core::rss::peak_rss_bytes(),
+        });
+        *stage_start = now;
+    };
+    // Intra-side node count for the sweep-outcome training record,
+    // computed only when a collector is live (bit-identity aside, the
+    // disabled path should not pay for a scan either).
+    let mut sweep_intra: u64 = 0;
     let (mut tree, _dp) = match &job.kind {
         JobKind::SweepPoint { threshold } => {
             let modes = mode_vector(&job.design.topo, ModeRule::FanoutThreshold(*threshold));
+            if telemetry::enabled() {
+                sweep_intra = modes
+                    .iter()
+                    .filter(|&&m| m == dscts_core::Mode::IntraSide)
+                    .count() as u64;
+            }
             pipe.insert_with_modes_cancel(job.design.topo.clone(), &modes, Some(token))?
         }
         _ => pipe.insert_cancel(job.design.topo.clone(), Some(token))?,
     };
+    push_stage(&mut stages, &mut stage_start, "insertion");
     let report = pipe.optimize_tree_cancel(&mut tree, Some(token));
-    let degraded = report.is_some_and(|r| r.truncated);
+    let degraded = report.as_ref().is_some_and(|r| r.truncated);
+    push_stage(&mut stages, &mut stage_start, "optimize");
+    if let Some(report) = &report {
+        let stage_peak = stages.last().and_then(|t| t.peak_rss_bytes);
+        stages.extend(report.passes.iter().map(|p| StageTiming {
+            name: Cow::Owned(format!("opt:{}", p.name)),
+            seconds: p.seconds,
+            peak_rss_bytes: stage_peak,
+        }));
+    }
     let metrics = pipe.evaluate_tree(&tree);
+    push_stage(&mut stages, &mut stage_start, "evaluate");
     // Corner evaluation is fallible: a capacitance-derating corner can
     // overload a pattern buffer the DP placed near its max-load budget
     // at nominal. That is a data-dependent `NoFeasiblePattern` — the
@@ -593,10 +697,35 @@ fn attempt(inner: &Inner, pipe: &DsCts, job: &QueuedJob) -> Result<JobOutcome, C
     };
     let robust = match corners {
         Some(corners) => {
-            Some(CornerReport::try_evaluate(&tree, corners, pipe.delay_model())?.robust)
+            let robust = CornerReport::try_evaluate(&tree, corners, pipe.delay_model())?.robust;
+            push_stage(&mut stages, &mut stage_start, "signoff");
+            Some(robust)
         }
         None => None,
     };
+    // Sweep-point jobs are the service's per-class DSE bodies; log the
+    // same training record `SweepEngine` logs per mode class, keyed by
+    // the class the threshold falls into.
+    if let JobKind::SweepPoint { threshold } = &job.kind {
+        if let Some(tel) = telemetry::active() {
+            let levels = job.design.topo.distinct_fanouts();
+            tel.record_sweep(telemetry::SweepRecord {
+                design: job.design.name.clone(),
+                sinks: job.design.sinks as u64,
+                distinct_fanouts: levels.len() as u64,
+                mode_class: levels.partition_point(|&f| f < *threshold) as u64,
+                threshold_lo: *threshold,
+                threshold_hi: *threshold,
+                intra_nodes: sweep_intra,
+                latency_ps: metrics.latency_ps,
+                skew_ps: metrics.skew_ps,
+                buffers: u64::from(metrics.buffers),
+                ntsvs: u64::from(metrics.ntsvs),
+                trunk_wirelength_nm: metrics.trunk_wirelength_nm.max(0) as u64,
+                switched_cap_ff: metrics.switched_cap_ff,
+            });
+        }
+    }
     Ok(JobOutcome {
         metrics,
         robust,
@@ -605,5 +734,6 @@ fn attempt(inner: &Inner, pipe: &DsCts, job: &QueuedJob) -> Result<JobOutcome, C
         trials: 0,
         wall_s: 0.0,
         queue_wait_s: 0.0,
+        stages,
     })
 }

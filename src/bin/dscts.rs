@@ -17,6 +17,7 @@
 //!   --size             run the post-CTS buffer-sizing pass
 //!   --deadline-ms <N>  wall-clock run budget (degraded-but-valid on expiry)
 //!   --recover          retry infeasible runs down the relaxation ladder
+//!   --telemetry <file> write a JSON-lines telemetry snapshot of the run
 //! ```
 
 use dscts::baseline::{flip_backside, FlipMethod, HTreeCts};
@@ -51,6 +52,17 @@ fn run() -> Result<(), String> {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let has = |flag: &str| args.iter().any(|a| a == flag);
+
+    // Observability: with --telemetry, the whole run executes under a
+    // live collector and the snapshot (stage/pass/DP span histograms,
+    // counters, peak RSS) is written as JSON lines at exit.
+    let telemetry_out = get("--telemetry");
+    let collector = telemetry_out
+        .is_some()
+        .then(|| std::sync::Arc::new(dscts::telemetry::Telemetry::new()));
+    let _telemetry_guard = collector
+        .as_ref()
+        .map(|c| dscts::telemetry::install(std::sync::Arc::clone(c)));
 
     let design = load_design(get("--design"), get("--def"))?;
     let tech = Technology::asap7();
@@ -180,6 +192,12 @@ fn run() -> Result<(), String> {
             .map_err(|e| format!("cannot write `{out}`: {e}"))?;
         println!("post-CTS DEF written to {out}");
     }
+
+    if let (Some(path), Some(collector)) = (telemetry_out, collector) {
+        std::fs::write(&path, collector.snapshot().to_jsonl())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("telemetry snapshot written to {path}");
+    }
     Ok(())
 }
 
@@ -223,5 +241,7 @@ OPTIONS:
                      degraded-but-valid tree, earlier expiry aborts typed
   --recover        on infeasibility, retry down the relaxation ladder
                    (extended patterns, more candidates, single-side)
+  --telemetry <file>  run under a telemetry collector and write its
+                      JSON-lines snapshot (span histograms, counters)
   -h, --help       show this help
 ";

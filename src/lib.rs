@@ -19,6 +19,7 @@
 //! | [`vanginneken`] | `dscts-buffer` | classic single-side buffer insertion |
 //! | [`core`] | `dscts-core` | the staged CTS engine: stages, patterns, DP, the composable `opt` pass layer, the `mcmm` multi-corner subsystem, DSE, baselines, errors |
 //! | [`service`] | `dscts-service` | multi-tenant job service: route-once design cache, bounded worker pool, admission control, quarantine, graceful drain |
+//! | [`telemetry`] | `dscts-telemetry` | zero-dependency observability: spans, metrics registry, JSON-lines export |
 //!
 //! The synthesis flow itself is a **staged engine**: [`DsCts`] executes
 //! `route → insertion → optimize → evaluate`, where each phase is a
@@ -107,6 +108,7 @@ pub use dscts_geom as geom;
 pub use dscts_netlist as netlist;
 pub use dscts_service as service;
 pub use dscts_tech as tech;
+pub use dscts_telemetry as telemetry;
 pub use dscts_timing as timing;
 
 /// Classic van Ginneken single-side buffer insertion (oracle / baseline).
