@@ -203,7 +203,7 @@ pub struct RootCand {
 }
 
 /// Output of [`run_dp`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DpResult {
     /// Pattern for every trunk node's incoming edge (`None` for node 0).
     pub assignment: Vec<Option<Pattern>>,
@@ -269,11 +269,52 @@ struct DpCtx<'a> {
     depths: &'a [u32],
 }
 
+/// Candidate-set capture of one DP run, reusable by later runs over the
+/// *same* topology/technology/configuration whose per-node [`Mode`]
+/// vector differs only on some nodes (mode-class *suffix sharing*, the
+/// PR 3 follow-on).
+///
+/// A node's candidate set is a pure function of its subtree: the modes
+/// of the node and all its descendants, plus the shared
+/// topo/tech/config inputs. When a later class's mode vector agrees
+/// with the cached one on a whole subtree, that subtree's sets are
+/// bit-identical by construction and are copied from the cache instead
+/// of recomputed. Fanout-threshold classes differ exactly on the nodes
+/// whose fanout lies between the two thresholds — the high-fanout
+/// trunk near the root — so deep subtrees (the bulk of the DP work)
+/// are shared.
+///
+/// **Caller contract:** only the mode vector may vary between the
+/// cached run and a reusing run. Reusing a cache across different
+/// topologies, technologies or [`DpConfig`]s is a logic error (a
+/// node-count mismatch is detected and silently disables reuse; other
+/// mismatches are not detectable here). [`crate::dse::SweepEngine`]
+/// upholds this by building one cache per routed design.
+#[derive(Debug)]
+pub struct DpSuffixCache {
+    modes: Vec<Mode>,
+    arena: CandArena,
+}
+
+impl DpSuffixCache {
+    /// Total candidate records captured (the arena footprint this cache
+    /// keeps alive).
+    pub fn stored_candidates(&self) -> usize {
+        self.arena.works.len()
+    }
+
+    /// Trunk-node count of the topology the cache was built over.
+    pub fn nodes(&self) -> usize {
+        self.arena.off.len()
+    }
+}
+
 /// Flat SoA arena holding every node's surviving candidate set — the
 /// `TreeCsr`-style replacement for the former `Vec<Vec<Work>>`: one
 /// contiguous `Work` buffer plus per-node `(offset, len)` slots. Sets are
 /// appended in height order (children before parents), so by the time a
 /// node is processed all of its children's slices are already resident.
+#[derive(Debug)]
 struct CandArena {
     off: Vec<u32>,
     len: Vec<u32>,
@@ -499,6 +540,51 @@ pub fn try_run_dp_with_modes_cancel(
     modes: &[Mode],
     cancel: Option<&CancelToken>,
 ) -> Result<DpResult, CtsError> {
+    run_dp_core(topo, tech, cfg, modes, cancel, None).map(|(res, _)| res)
+}
+
+/// [`try_run_dp_with_modes_cancel`] with mode-class suffix sharing:
+/// returns the run's own [`DpSuffixCache`] (a free move of the arena the
+/// run built anyway) and, when `reuse` is given, copies cached candidate
+/// sets for every node whose whole subtree carries the same modes as the
+/// cached run instead of recomputing them.
+///
+/// Bit-identical to the uncached path at any thread count: a clean
+/// subtree's sets are pure functions of unchanged inputs, so the copy
+/// *is* the recomputation (enforced by `dp_suffix_proptests`). See
+/// [`DpSuffixCache`] for the caller contract — only the mode vector may
+/// differ between the cached and the reusing run.
+///
+/// # Panics
+///
+/// Panics if `modes.len() != topo.nodes.len()` (a caller bug, not a
+/// data-dependent failure).
+pub fn try_run_dp_suffix_cached(
+    topo: &ClockTopo,
+    tech: &Technology,
+    cfg: &DpConfig,
+    modes: &[Mode],
+    cancel: Option<&CancelToken>,
+    reuse: Option<&DpSuffixCache>,
+) -> Result<(DpResult, DpSuffixCache), CtsError> {
+    let (res, arena) = run_dp_core(topo, tech, cfg, modes, cancel, reuse)?;
+    Ok((
+        res,
+        DpSuffixCache {
+            modes: modes.to_vec(),
+            arena,
+        },
+    ))
+}
+
+fn run_dp_core(
+    topo: &ClockTopo,
+    tech: &Technology,
+    cfg: &DpConfig,
+    modes: &[Mode],
+    cancel: Option<&CancelToken>,
+    reuse: Option<&DpSuffixCache>,
+) -> Result<(DpResult, CandArena), CtsError> {
     assert_eq!(modes.len(), topo.nodes.len(), "mode vector arity");
     // Whole-DP span plus per-height-group progress counters; handles
     // are resolved once here so the loop body never touches the
@@ -568,6 +654,29 @@ pub fn try_run_dp_with_modes_cancel(
         Vec::new()
     };
 
+    // Suffix sharing: a node is *clean* when its own mode and every
+    // descendant's mode match the cached run, making its cached
+    // candidate set bit-identical to what process_node would recompute.
+    // Computed children-first so the check is O(n) total.
+    let clean: Vec<bool> = match reuse {
+        Some(cache) if cache.modes.len() == n => {
+            let mut clean = vec![false; n];
+            for &id in order.iter().rev() {
+                let idu = id as usize;
+                clean[idu] = cache.modes[idu] == modes[idu]
+                    && csr.children(id).iter().all(|&c| clean[c as usize]);
+            }
+            clean
+        }
+        _ => vec![false; n],
+    };
+    if reuse.is_some() {
+        if let Some(t) = dscts_telemetry::active() {
+            t.counter("dp.suffix_reused")
+                .add(clean.iter().skip(1).filter(|&&c| c).count() as u64);
+        }
+    }
+
     let ctx = DpCtx {
         topo,
         tech,
@@ -593,6 +702,12 @@ pub fn try_run_dp_with_modes_cancel(
         let results: Vec<(u32, Result<Vec<Work>, CtsError>)> = group
             .par_iter()
             .map(|&id| {
+                // Clean subtree: lift the cached set instead of
+                // recomputing (bit-identical — see the clean[] contract).
+                if clean[id as usize] {
+                    let cache = reuse.expect("clean nodes only exist under reuse");
+                    return (id, Ok(cache.arena.node(id as usize).to_vec()));
+                }
                 // Panic isolation per worker closure: the rayon shim
                 // re-raises worker panics on the joining thread, but
                 // catching here pins the failure to the offending node's
@@ -661,12 +776,13 @@ pub fn try_run_dp_with_modes_cancel(
         }
     }
 
-    Ok(DpResult {
+    let result = DpResult {
         assignment,
         root_candidates,
         chosen,
         stored_candidates: arena.works.len(),
-    })
+    };
+    Ok((result, arena))
 }
 
 /// Per-side dominance pruning with diversity-preserving truncation.

@@ -319,6 +319,23 @@ fn insert_on(
     Ok((tree, dp))
 }
 
+/// [`insert_on`] through the suffix-cached DP entry: same stages, plus
+/// the run's own candidate-arena capture for cross-class reuse.
+fn insert_on_suffix(
+    topo: ClockTopo,
+    tech: &Technology,
+    cfg: &DpConfig,
+    modes: &[Mode],
+    cancel: Option<&CancelToken>,
+    reuse: Option<&crate::dp::DpSuffixCache>,
+) -> Result<(SynthesizedTree, DpResult, crate::dp::DpSuffixCache), CtsError> {
+    let (dp, cache) = crate::dp::try_run_dp_suffix_cached(&topo, tech, cfg, modes, cancel, reuse)?;
+    fault::fault_check(fault::SITE_SYNTH)?;
+    let tree = SynthesizedTree::new(topo, dp.assignment.clone());
+    tree.validate_sides().map_err(CtsError::IllegalSides)?;
+    Ok((tree, dp, cache))
+}
+
 /// Post-CTS optimization (§III-D and beyond): executes a configured
 /// [`OptSchedule`] over one resident incremental evaluator. Optional:
 /// present only when [`DsCts::schedule`] or [`DsCts::skew_refinement`]
@@ -712,6 +729,24 @@ impl DsCts {
         cancel: Option<&CancelToken>,
     ) -> Result<(SynthesizedTree, DpResult), CtsError> {
         insert_on(topo, &self.tech, &self.dp, Some(modes), cancel)
+    }
+
+    /// [`DsCts::insert_with_modes_cancel`] through the suffix-cached DP
+    /// entry ([`crate::try_run_dp_suffix_cached`]): always returns the
+    /// run's own [`DpSuffixCache`](crate::dp::DpSuffixCache) (a free arena move), and when `reuse`
+    /// carries an earlier class's cache, candidate sets of subtrees whose
+    /// modes match are copied instead of recomputed — bit-identical
+    /// either way. The batched DSE engine scores the fullest-mode class
+    /// first and lends its cache to every other class of the same routed
+    /// design.
+    pub fn insert_with_modes_suffix_cached(
+        &self,
+        topo: ClockTopo,
+        modes: &[Mode],
+        cancel: Option<&CancelToken>,
+        reuse: Option<&crate::dp::DpSuffixCache>,
+    ) -> Result<(SynthesizedTree, DpResult, crate::dp::DpSuffixCache), CtsError> {
+        insert_on_suffix(topo, &self.tech, &self.dp, modes, cancel, reuse)
     }
 
     /// Runs only the legacy skew-refinement pass on a synthesized tree,

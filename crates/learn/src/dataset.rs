@@ -1,0 +1,247 @@
+//! Training datasets ingested from telemetry sweep records.
+//!
+//! Two ingestion paths, both landing in the same [`Dataset`]:
+//!
+//! - **In-process**: hand the sweep records of a live collector snapshot
+//!   to [`Dataset::from_records`] (e.g. right after a
+//!   `SweepEngine::try_sweep` ran under an installed collector).
+//! - **From exported logs**: [`Dataset::from_jsonl`] parses the
+//!   JSON-lines a `TelemetrySnapshot::to_jsonl` export produced, keeping
+//!   only `"record":"sweep"` lines. Because the exporter writes floats
+//!   in shortest round-trip form, a record that goes through JSONL and
+//!   back featurizes to the bit-identical row the in-process path
+//!   produces — property-tested in `learn_proptests`.
+//!
+//! Records newer than [`SWEEP_SCHEMA_VERSION`] are skipped (never
+//! guessed at); version-1 records (which predate the `schema_version`,
+//! `stars`, `sink_spread_nm` and `fanout_hist` fields) load with those
+//! features zeroed.
+
+use crate::features::{FeatureExtractor, DIM};
+use dscts_core::dse::ClassFeatures;
+use dscts_telemetry::{self as telemetry, Json, SweepRecord, SWEEP_SCHEMA_VERSION};
+
+/// Number of regression targets: latency, skew, buffers, nTSVs — the
+/// four components of `dscts_core::dse::PredictedMetrics`.
+pub const TARGETS: usize = 4;
+
+/// A training set: one canonical feature row and one target tuple per
+/// ingested sweep record.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    /// Feature rows ([`FeatureExtractor::vector`] of each record).
+    pub features: Vec<[f64; DIM]>,
+    /// Target tuples: `[latency_ps, skew_ps, buffers, ntsvs]`.
+    pub targets: Vec<[f64; TARGETS]>,
+    /// Source design name per row (for grouping / leave-one-out splits).
+    pub designs: Vec<String>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `true` iff no rows were ingested.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Ingest one record. Returns `false` (and ingests nothing) when the
+    /// record's schema version is newer than this build understands.
+    pub fn push_record(&mut self, r: &SweepRecord) -> bool {
+        if r.schema_version > SWEEP_SCHEMA_VERSION {
+            return false;
+        }
+        self.features
+            .push(FeatureExtractor::vector(&ClassFeatures::from_sweep_record(
+                r,
+            )));
+        self.targets
+            .push([r.latency_ps, r.skew_ps, r.buffers as f64, r.ntsvs as f64]);
+        self.designs.push(r.design.clone());
+        true
+    }
+
+    /// Build a dataset from in-process records (a collector snapshot's
+    /// `sweeps`), skipping unknown-version records.
+    pub fn from_records<'a>(records: impl IntoIterator<Item = &'a SweepRecord>) -> Self {
+        let mut ds = Self::new();
+        for r in records {
+            ds.push_record(r);
+        }
+        ds
+    }
+
+    /// Parse a telemetry JSONL export, ingesting every `sweep` record.
+    ///
+    /// Non-sweep lines (meta, counters, gauges, histograms) are ignored;
+    /// blank lines are skipped; sweep records from a newer schema are
+    /// skipped. A line that fails to parse, or a sweep record missing a
+    /// known-required field, is an error (the log is corrupt — training
+    /// on a silently truncated set would be worse than failing).
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut ds = Self::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = telemetry::parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if v.get("record").and_then(Json::as_str) != Some("sweep") {
+                continue;
+            }
+            let r = sweep_from_json(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            ds.push_record(&r);
+        }
+        Ok(ds)
+    }
+}
+
+/// Decode one parsed `"record":"sweep"` object back into a
+/// [`SweepRecord`]. The inverse of the telemetry exporter's sweep
+/// serialization; v2 fields are optional with zero defaults so v1 logs
+/// stay loadable.
+fn sweep_from_json(v: &Json) -> Result<SweepRecord, String> {
+    let req_u = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing or non-integer field `{k}`"))
+    };
+    let req_f = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing or non-numeric field `{k}`"))
+    };
+    let schema_version = match v.get("schema_version") {
+        // v1 records predate the field itself.
+        None => 1,
+        Some(x) => x
+            .as_u64()
+            .ok_or_else(|| "non-integer `schema_version`".to_string())? as u32,
+    };
+    let mut fanout_hist = [0u64; 4];
+    if let Some(arr) = v.get("fanout_hist").and_then(Json::as_array) {
+        if arr.len() != fanout_hist.len() {
+            return Err(format!(
+                "`fanout_hist` must have {} buckets, got {}",
+                fanout_hist.len(),
+                arr.len()
+            ));
+        }
+        for (slot, item) in fanout_hist.iter_mut().zip(arr) {
+            *slot = item
+                .as_u64()
+                .ok_or_else(|| "non-integer `fanout_hist` entry".to_string())?;
+        }
+    }
+    Ok(SweepRecord {
+        schema_version,
+        design: v
+            .get("design")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing or non-string field `design`".to_string())?
+            .to_owned(),
+        sinks: req_u("sinks")?,
+        distinct_fanouts: req_u("distinct_fanouts")?,
+        mode_class: req_u("mode_class")?,
+        threshold_lo: req_u("threshold_lo")? as u32,
+        threshold_hi: req_u("threshold_hi")? as u32,
+        intra_nodes: req_u("intra_nodes")?,
+        stars: v.get("stars").and_then(Json::as_u64).unwrap_or(0),
+        sink_spread_nm: v.get("sink_spread_nm").and_then(Json::as_u64).unwrap_or(0),
+        fanout_hist,
+        latency_ps: req_f("latency_ps")?,
+        skew_ps: req_f("skew_ps")?,
+        buffers: req_u("buffers")?,
+        ntsvs: req_u("ntsvs")?,
+        trunk_wirelength_nm: req_u("trunk_wirelength_nm")?,
+        switched_cap_ff: req_f("switched_cap_ff")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn record(design: &str, class: u64, latency: f64) -> SweepRecord {
+        SweepRecord {
+            schema_version: SWEEP_SCHEMA_VERSION,
+            design: design.to_owned(),
+            sinks: 200,
+            distinct_fanouts: 6,
+            mode_class: class,
+            threshold_lo: 10 + class as u32,
+            threshold_hi: 20 + class as u32,
+            intra_nodes: 12 - class,
+            stars: 9,
+            sink_spread_nm: 1_500_000,
+            fanout_hist: [4, 1, 1, 0],
+            latency_ps: latency,
+            skew_ps: 2.5,
+            buffers: 40 + class,
+            ntsvs: 3 + class,
+            trunk_wirelength_nm: 7_777_777,
+            switched_cap_ff: 123.456,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_matches_in_process_ingest() {
+        let records = vec![
+            record("a", 0, 310.5),
+            record("a", 1, 300.25),
+            record("b", 0, 99.0),
+        ];
+        let direct = Dataset::from_records(&records);
+
+        let tel = telemetry::Telemetry::new();
+        for r in &records {
+            tel.record_sweep(r.clone());
+        }
+        let jsonl = tel.snapshot().to_jsonl();
+        let parsed = Dataset::from_jsonl(&jsonl).expect("export parses");
+        assert_eq!(parsed, direct);
+    }
+
+    #[test]
+    fn newer_schema_records_are_skipped_not_guessed() {
+        let mut newer = record("future", 0, 1.0);
+        newer.schema_version = SWEEP_SCHEMA_VERSION + 1;
+        let ds = Dataset::from_records([&newer, &record("now", 0, 2.0)].map(|r| r.clone()).iter());
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.designs, vec!["now".to_owned()]);
+    }
+
+    #[test]
+    fn v1_lines_load_with_zeroed_new_features() {
+        // A pre-PR10 export line: no schema_version/stars/spread/hist.
+        let line = "{\"record\":\"sweep\",\"design\":\"old\",\"sinks\":50,\
+                    \"distinct_fanouts\":3,\"mode_class\":1,\"threshold_lo\":5,\
+                    \"threshold_hi\":9,\"intra_nodes\":4,\"latency_ps\":120.5,\
+                    \"skew_ps\":1.25,\"buffers\":11,\"ntsvs\":2,\
+                    \"trunk_wirelength_nm\":500,\"switched_cap_ff\":7.5}";
+        let ds = Dataset::from_jsonl(line).expect("v1 line loads");
+        assert_eq!(ds.len(), 1);
+        // stars / spread / hist columns featurize as zeros.
+        assert_eq!(ds.features[0][10], 0.0);
+        assert_eq!(ds.features[0][12], 0.0);
+        assert_eq!(ds.targets[0], [120.5, 1.25, 11.0, 2.0]);
+    }
+
+    #[test]
+    fn corrupt_sweep_line_is_an_error() {
+        assert!(Dataset::from_jsonl("{\"record\":\"sweep\",\"design\":\"x\"}").is_err());
+        assert!(Dataset::from_jsonl("not json at all").is_err());
+        // Non-sweep garbage-free lines are ignored.
+        let ds = Dataset::from_jsonl("{\"record\":\"counter\",\"name\":\"n\",\"value\":1}\n\n")
+            .expect("non-sweep lines ignored");
+        assert!(ds.is_empty());
+    }
+}

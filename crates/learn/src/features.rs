@@ -1,0 +1,121 @@
+//! The canonical feature vector learned DSE models consume.
+//!
+//! One function ([`FeatureExtractor::vector`]) maps the engine's cheap
+//! pre-DP [`ClassFeatures`] to a fixed-width `[f64; DIM]` row. Both the
+//! training path (telemetry sweep records → [`crate::Dataset`]) and the
+//! prediction path (`SweepEngine::sweep_fanout_learned`) go through it,
+//! so a trained model can never see a differently-shaped row than it was
+//! fit on.
+
+use dscts_core::dse::ClassFeatures;
+
+/// Width of the canonical feature vector.
+pub const DIM: usize = 18;
+
+/// Stateless featurizer: raw class features → the canonical model row.
+///
+/// The derived columns (logs, ratios) are redundant encodings of the raw
+/// counts that linear models need to capture the strongly sub-linear
+/// scaling of latency with design size; the tree model simply ignores
+/// whichever columns never win a split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeatureExtractor;
+
+impl FeatureExtractor {
+    /// Column names, index-aligned with [`FeatureExtractor::vector`].
+    pub const NAMES: [&'static str; DIM] = [
+        "sinks",
+        "ln1p_sinks",
+        "distinct_fanouts",
+        "mode_class",
+        "mode_class_frac",
+        "ln1p_threshold_lo",
+        "ln1p_threshold_hi",
+        "intra_nodes",
+        "ln1p_intra_nodes",
+        "intra_frac",
+        "stars",
+        "sinks_per_star",
+        "sink_spread_mm",
+        "trunk_wirelength_mm",
+        "fanout_hist0",
+        "fanout_hist1",
+        "fanout_hist2",
+        "fanout_hist3",
+    ];
+
+    /// The canonical feature row of one mode class.
+    pub fn vector(f: &ClassFeatures) -> [f64; DIM] {
+        let sinks = f.sinks as f64;
+        let intra = f.intra_nodes as f64;
+        [
+            sinks,
+            sinks.ln_1p(),
+            f.distinct_fanouts as f64,
+            f.mode_class as f64,
+            f.mode_class as f64 / f.distinct_fanouts.max(1) as f64,
+            f64::from(f.threshold_lo).ln_1p(),
+            f64::from(f.threshold_hi).ln_1p(),
+            intra,
+            intra.ln_1p(),
+            intra / (1.0 + sinks),
+            f.stars as f64,
+            sinks / f.stars.max(1) as f64,
+            f.sink_spread_nm as f64 * 1e-6,
+            f.trunk_wirelength_nm as f64 * 1e-6,
+            f.fanout_hist[0] as f64,
+            f.fanout_hist[1] as f64,
+            f.fanout_hist[2] as f64,
+            f.fanout_hist[3] as f64,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClassFeatures {
+        ClassFeatures {
+            sinks: 100,
+            distinct_fanouts: 5,
+            mode_class: 2,
+            threshold_lo: 20,
+            threshold_hi: 60,
+            intra_nodes: 7,
+            stars: 12,
+            sink_spread_nm: 2_000_000,
+            trunk_wirelength_nm: 5_000_000,
+            fanout_hist: [3, 1, 1, 0],
+        }
+    }
+
+    #[test]
+    fn vector_is_finite_and_name_aligned() {
+        let v = FeatureExtractor::vector(&sample());
+        assert_eq!(v.len(), FeatureExtractor::NAMES.len());
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert_eq!(v[0], 100.0);
+        assert_eq!(v[4], 2.0 / 5.0);
+        assert_eq!(v[12], 2.0);
+        assert_eq!(v[17], 0.0);
+    }
+
+    #[test]
+    fn degenerate_counts_do_not_divide_by_zero() {
+        let mut f = sample();
+        f.distinct_fanouts = 0;
+        f.stars = 0;
+        f.sinks = 0;
+        let v = FeatureExtractor::vector(&f);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn extreme_threshold_stays_finite() {
+        let mut f = sample();
+        f.threshold_hi = u32::MAX;
+        let v = FeatureExtractor::vector(&f);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,369 @@
+//! Hand-rolled gradient-boosted decision trees (squared loss).
+//!
+//! One ensemble per metric target. Each boosting round fits a small
+//! regression tree to the current residuals with **exact greedy**
+//! variance-reduction splits (no histogram binning): candidates are every
+//! midpoint between adjacent distinct feature values, scanned in
+//! ascending `(feature, threshold)` order with a strict-improvement
+//! tie-break, so the chosen split — and therefore the whole model — is a
+//! pure function of the dataset and [`GbdtConfig`]. Training is fully
+//! sequential; nothing reads thread state, so models are bit-identical
+//! across `RAYON_NUM_THREADS` settings (property-tested in
+//! `learn_proptests`). Optional row subsampling draws from a hand-rolled
+//! splitmix64 stream seeded by [`GbdtConfig::seed`].
+
+use crate::dataset::{Dataset, TARGETS};
+use crate::features::{FeatureExtractor, DIM};
+use dscts_core::dse::{ClassFeatures, MetricPredictor, PredictedMetrics};
+
+/// GBDT hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbdtConfig {
+    /// Boosting rounds per target ensemble.
+    pub trees: usize,
+    /// Maximum tree depth (1 = stumps).
+    pub depth: usize,
+    /// Shrinkage applied to every leaf contribution.
+    pub learning_rate: f64,
+    /// Row subsampling fraction per round, in `(0, 1]`; `1.0` uses every
+    /// row (and never touches the RNG stream).
+    pub subsample: f64,
+    /// Seed of the subsampling RNG stream.
+    pub seed: u64,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig {
+            trees: 150,
+            depth: 4,
+            learning_rate: 0.3,
+            subsample: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Fewest rows either side of a split may hold.
+const MIN_LEAF: usize = 2;
+
+/// One flat-array tree node. `feature < 0` marks a leaf; internal nodes
+/// route `x[feature] <= threshold` left. Children always have larger
+/// indices than their parent (the builder emits parents first), which
+/// the model loader re-checks so evaluation provably terminates.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Node {
+    pub(crate) feature: i32,
+    pub(crate) threshold: f64,
+    pub(crate) left: u32,
+    pub(crate) right: u32,
+    pub(crate) value: f64,
+}
+
+pub(crate) type Tree = Vec<Node>;
+
+/// Evaluate one tree on one feature row.
+pub(crate) fn eval_tree(tree: &Tree, x: &[f64; DIM]) -> f64 {
+    let mut i = 0usize;
+    loop {
+        let node = &tree[i];
+        if node.feature < 0 {
+            return node.value;
+        }
+        i = if x[node.feature as usize] <= node.threshold {
+            node.left as usize
+        } else {
+            node.right as usize
+        };
+    }
+}
+
+/// A trained GBDT model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GbdtPredictor {
+    pub(crate) cfg: GbdtConfig,
+    /// Per-target prior: the training-set target mean.
+    pub(crate) base: [f64; TARGETS],
+    pub(crate) ensembles: [Vec<Tree>; TARGETS],
+}
+
+impl GbdtPredictor {
+    /// Fit on `data` with hyperparameters `cfg`.
+    pub fn train(data: &Dataset, cfg: &GbdtConfig) -> Result<Self, String> {
+        let n = data.len();
+        if n == 0 {
+            return Err("cannot train a GBDT model on an empty dataset".into());
+        }
+        if cfg.trees == 0 || cfg.depth == 0 {
+            return Err("GBDT needs at least one tree of depth >= 1".into());
+        }
+        if !(cfg.learning_rate > 0.0 && cfg.learning_rate <= 1.0) {
+            return Err(format!(
+                "GBDT learning rate must be in (0, 1], got {}",
+                cfg.learning_rate
+            ));
+        }
+        if !(cfg.subsample > 0.0 && cfg.subsample <= 1.0) {
+            return Err(format!(
+                "GBDT subsample must be in (0, 1], got {}",
+                cfg.subsample
+            ));
+        }
+
+        let mut base = [0.0f64; TARGETS];
+        for (t, b) in base.iter_mut().enumerate() {
+            *b = data.targets.iter().map(|y| y[t]).sum::<f64>() / n as f64;
+        }
+
+        let mut ensembles: [Vec<Tree>; TARGETS] = Default::default();
+        for t in 0..TARGETS {
+            // Independent deterministic stream per target, so adding a
+            // target never perturbs another target's subsampling.
+            let mut rng = cfg.seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut pred = vec![base[t]; n];
+            let mut forest: Vec<Tree> = Vec::with_capacity(cfg.trees);
+            for _ in 0..cfg.trees {
+                let rows: Vec<usize> = if cfg.subsample >= 1.0 {
+                    (0..n).collect()
+                } else {
+                    let sampled: Vec<usize> = (0..n)
+                        .filter(|_| next_f64(&mut rng) < cfg.subsample)
+                        .collect();
+                    if sampled.is_empty() {
+                        (0..n).collect()
+                    } else {
+                        sampled
+                    }
+                };
+                let residual: Vec<f64> = (0..n).map(|i| data.targets[i][t] - pred[i]).collect();
+                let mut tree = Tree::new();
+                build(&data.features, &residual, &rows, cfg.depth, &mut tree);
+                for (i, p) in pred.iter_mut().enumerate() {
+                    *p += cfg.learning_rate * eval_tree(&tree, &data.features[i]);
+                }
+                forest.push(tree);
+            }
+            ensembles[t] = forest;
+        }
+        Ok(GbdtPredictor {
+            cfg: *cfg,
+            base,
+            ensembles,
+        })
+    }
+
+    /// The hyperparameters this model was fit with.
+    pub fn config(&self) -> &GbdtConfig {
+        &self.cfg
+    }
+
+    pub(crate) fn predict_row(&self, x: &[f64; DIM]) -> [f64; TARGETS] {
+        let mut out = self.base;
+        for (o, trees) in out.iter_mut().zip(&self.ensembles) {
+            for tree in trees {
+                *o += self.cfg.learning_rate * eval_tree(tree, x);
+            }
+        }
+        out
+    }
+}
+
+/// Recursively build one regression tree over `rows`, appending nodes to
+/// `tree` (parent before children) and returning the new node's index.
+fn build(xs: &[[f64; DIM]], y: &[f64], rows: &[usize], depth: usize, tree: &mut Tree) -> u32 {
+    let idx = tree.len() as u32;
+    let mean = rows.iter().map(|&i| y[i]).sum::<f64>() / rows.len() as f64;
+    tree.push(Node {
+        feature: -1,
+        threshold: 0.0,
+        left: 0,
+        right: 0,
+        value: mean,
+    });
+    if depth == 0 || rows.len() < 2 * MIN_LEAF {
+        return idx;
+    }
+    let Some((feat, thr)) = best_split(xs, y, rows) else {
+        return idx;
+    };
+    let (lrows, rrows): (Vec<usize>, Vec<usize>) = rows.iter().partition(|&&i| xs[i][feat] <= thr);
+    let left = build(xs, y, &lrows, depth - 1, tree);
+    let right = build(xs, y, &rrows, depth - 1, tree);
+    tree[idx as usize] = Node {
+        feature: feat as i32,
+        threshold: thr,
+        left,
+        right,
+        value: mean,
+    };
+    idx
+}
+
+/// Exact greedy split search: maximize the variance-reduction surrogate
+/// `Σ_left²/n_left + Σ_right²/n_right` over every (feature, midpoint)
+/// candidate. Strict improvement (beyond 1e-12) is required to replace
+/// the incumbent, so the lowest feature index and lowest threshold win
+/// ties deterministically. Returns `None` when no split beats keeping
+/// the node whole.
+fn best_split(xs: &[[f64; DIM]], y: &[f64], rows: &[usize]) -> Option<(usize, f64)> {
+    let total: f64 = rows.iter().map(|&i| y[i]).sum();
+    let no_split = total * total / rows.len() as f64;
+    let mut best: Option<(f64, usize, f64)> = None;
+    let mut sorted = rows.to_vec();
+    // `d` walks the feature axis of the row-major `xs` matrix, so there is
+    // no slice to iterate directly.
+    #[allow(clippy::needless_range_loop)]
+    for d in 0..DIM {
+        sorted.sort_by(|&a, &b| xs[a][d].total_cmp(&xs[b][d]).then(a.cmp(&b)));
+        let mut lsum = 0.0f64;
+        for (k, &i) in sorted[..sorted.len() - 1].iter().enumerate() {
+            lsum += y[i];
+            let lcnt = k + 1;
+            let rcnt = sorted.len() - lcnt;
+            let lo = xs[i][d];
+            let hi = xs[sorted[k + 1]][d];
+            if lo == hi || lcnt < MIN_LEAF || rcnt < MIN_LEAF {
+                continue;
+            }
+            let rsum = total - lsum;
+            let score = lsum * lsum / lcnt as f64 + rsum * rsum / rcnt as f64;
+            let incumbent = best.map_or(no_split, |(s, _, _)| s);
+            if score > incumbent + 1e-12 {
+                // The midpoint can round up to `hi` when the two values
+                // are adjacent floats; snap to `lo` so `x <= thr` always
+                // leaves both sides non-empty.
+                let mut thr = 0.5 * (lo + hi);
+                if thr >= hi {
+                    thr = lo;
+                }
+                best = Some((score, d, thr));
+            }
+        }
+    }
+    best.map(|(_, d, thr)| (d, thr))
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` with 53 bits of precision.
+fn next_f64(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl MetricPredictor for GbdtPredictor {
+    fn predict(&self, features: &ClassFeatures) -> PredictedMetrics {
+        let y = self.predict_row(&FeatureExtractor::vector(features));
+        PredictedMetrics {
+            latency_ps: y[0],
+            skew_ps: y[1],
+            buffers: y[2].max(0.0),
+            ntsvs: y[3].max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Step-function dataset: latency depends only on whether the
+    /// mode_class column crosses 6 — a single stump must capture it.
+    fn step_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        for c in 0..16u64 {
+            let mut f = [0.0f64; DIM];
+            f[3] = c as f64;
+            ds.features.push(f);
+            let lat = if c < 6 { 400.0 } else { 250.0 };
+            ds.targets.push([lat, 1.0, 10.0, 2.0]);
+            ds.designs.push("step".to_owned());
+        }
+        ds
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let cfg = GbdtConfig {
+            trees: 20,
+            depth: 2,
+            learning_rate: 0.5,
+            ..GbdtConfig::default()
+        };
+        let model = GbdtPredictor::train(&step_dataset(), &cfg).expect("trainable");
+        let mut low = [0.0f64; DIM];
+        low[3] = 2.0;
+        let mut high = [0.0f64; DIM];
+        high[3] = 10.0;
+        let yl = model.predict_row(&low)[0];
+        let yh = model.predict_row(&high)[0];
+        assert!((yl - 400.0).abs() < 1.0, "low side: {yl}");
+        assert!((yh - 250.0).abs() < 1.0, "high side: {yh}");
+    }
+
+    #[test]
+    fn training_is_bit_identical_per_seed() {
+        let cfg = GbdtConfig {
+            trees: 10,
+            subsample: 0.7,
+            ..GbdtConfig::default()
+        };
+        let a = GbdtPredictor::train(&step_dataset(), &cfg).unwrap();
+        let b = GbdtPredictor::train(&step_dataset(), &cfg).unwrap();
+        assert_eq!(a, b);
+        let other = GbdtPredictor::train(&step_dataset(), &GbdtConfig { seed: 99, ..cfg }).unwrap();
+        // Different subsampling stream → (almost surely) different trees.
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let ds = step_dataset();
+        assert!(GbdtPredictor::train(&Dataset::new(), &GbdtConfig::default()).is_err());
+        assert!(GbdtPredictor::train(
+            &ds,
+            &GbdtConfig {
+                trees: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(GbdtPredictor::train(
+            &ds,
+            &GbdtConfig {
+                learning_rate: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(GbdtPredictor::train(
+            &ds,
+            &GbdtConfig {
+                subsample: 1.5,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn children_always_follow_parents() {
+        let model = GbdtPredictor::train(&step_dataset(), &GbdtConfig::default()).unwrap();
+        for forest in &model.ensembles {
+            for tree in forest {
+                for (i, node) in tree.iter().enumerate() {
+                    if node.feature >= 0 {
+                        assert!(node.left as usize > i && node.right as usize > i);
+                        assert!((node.left as usize) < tree.len());
+                        assert!((node.right as usize) < tree.len());
+                    }
+                }
+            }
+        }
+    }
+}

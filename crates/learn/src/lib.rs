@@ -1,0 +1,78 @@
+//! Learned design-space exploration for dscts (SwiftCTS-style).
+//!
+//! A fanout-threshold sweep evaluates one route + DP + refinement run
+//! per mode-equivalence class; on large grids most classes turn out
+//! Pareto-dominated and their exact evaluation is wasted work. This
+//! crate supplies the *learning* half of the pruned sweep the core
+//! engine exposes as `SweepEngine::sweep_fanout_learned`:
+//!
+//! - [`Dataset`] — training rows ingested from telemetry sweep records,
+//!   either in-process (a live collector's snapshot) or from exported
+//!   JSONL logs ([`Dataset::from_jsonl`]). Both paths featurize through
+//!   the one canonical [`FeatureExtractor`], which itself wraps the core
+//!   engine's pre-DP `ClassFeatures`, so training rows and
+//!   prediction-time inputs cannot drift.
+//! - Two pure-Rust regressors implementing the core
+//!   `dse::MetricPredictor` trait: [`RidgePredictor`] (closed-form
+//!   normal equations) and [`GbdtPredictor`] (hand-rolled
+//!   gradient-boosted trees with exact greedy splits). Both train
+//!   bit-identically per seed at any thread count — training is
+//!   sequential fixed-order float arithmetic by design.
+//! - [`LearnedModel`] — the on-disk model format: hand-rolled JSON with
+//!   shortest-round-trip floats, so `from_json(to_json(m)) == m`
+//!   bit-for-bit and model files survive CLI → CI → CLI trips exactly.
+//!
+//! # Learned DSE
+//!
+//! The intended loop (`dscts --train` / `--predict` drive it from the
+//! CLI, the `learned-dse-smoke` CI job gates it):
+//!
+//! 1. Run exact sweeps under an installed telemetry collector; export
+//!    the snapshot as JSONL (each sweep record carries the features
+//!    *and* the exact metrics of one mode class).
+//! 2. Train: `Dataset::from_jsonl` → [`GbdtPredictor::train`] (or
+//!    [`RidgePredictor::train`]) → [`LearnedModel::to_json`].
+//! 3. Predict: hand the model to `SweepEngine::sweep_fanout_learned`,
+//!    which evaluates only the predicted Pareto band exactly and reports
+//!    how many classes it skipped plus the `guaranteed_vs_predicted`
+//!    frontier distance (the model's own claimed risk of having pruned a
+//!    true frontier point).
+//!
+//! Predictions only ever *rank* classes — every reported sweep point is
+//! still computed exactly, so a bad model costs coverage (or speed),
+//! never correctness of reported numbers.
+//!
+//! ```
+//! use dscts_learn::{Dataset, GbdtConfig, GbdtPredictor, LearnedModel};
+//!
+//! # fn main() -> Result<(), String> {
+//! // One exported telemetry line per evaluated mode class.
+//! let log = "{\"record\":\"sweep\",\"schema_version\":2,\"design\":\"c1\",\
+//!            \"sinks\":64,\"distinct_fanouts\":3,\"mode_class\":0,\
+//!            \"threshold_lo\":20,\"threshold_hi\":40,\"intra_nodes\":5,\
+//!            \"stars\":8,\"sink_spread_nm\":90000,\"fanout_hist\":[2,1,0,0],\
+//!            \"latency_ps\":310.5,\"skew_ps\":2.25,\"buffers\":17,\
+//!            \"ntsvs\":4,\"trunk_wirelength_nm\":123456,\
+//!            \"switched_cap_ff\":88.5}";
+//! let data = Dataset::from_jsonl(log)?;
+//! let model = GbdtPredictor::train(&data, &GbdtConfig { trees: 4, ..Default::default() })?;
+//! let file = LearnedModel::Gbdt(model).to_json();
+//! assert_eq!(LearnedModel::from_json(&file)?.kind(), "gbdt");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod features;
+mod gbdt;
+mod model;
+mod ridge;
+
+pub use dataset::{Dataset, TARGETS};
+pub use features::{FeatureExtractor, DIM};
+pub use gbdt::{GbdtConfig, GbdtPredictor};
+pub use model::LearnedModel;
+pub use ridge::RidgePredictor;

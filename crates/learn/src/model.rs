@@ -1,0 +1,380 @@
+//! Model files: hand-rolled JSON (de)serialization for trained models.
+//!
+//! One-object-per-file format, dispatched on the `"model"` member
+//! (`"ridge"` / `"gbdt"`). Floats are written in Rust's shortest
+//! round-trip form (`format!("{v}")`), so `from_json(to_json(m)) == m`
+//! bit-for-bit — property-tested in `learn_proptests`. Parsing reuses
+//! the telemetry crate's JSON parser; the loader re-validates structural
+//! invariants (array widths, tree-node child ordering) so a hand-edited
+//! file cannot make prediction loop or index out of bounds.
+
+use crate::dataset::TARGETS;
+use crate::features::DIM;
+use crate::gbdt::{GbdtConfig, GbdtPredictor, Node, Tree};
+use crate::ridge::RidgePredictor;
+use dscts_core::dse::{ClassFeatures, MetricPredictor, PredictedMetrics};
+use dscts_telemetry::{parse_json, Json};
+
+/// A trained model of either family, as stored in a model file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LearnedModel {
+    /// Closed-form linear model (boxed: the inline weight/scale arrays
+    /// would otherwise dwarf the `Gbdt` variant).
+    Ridge(Box<RidgePredictor>),
+    /// Gradient-boosted trees.
+    Gbdt(GbdtPredictor),
+}
+
+impl MetricPredictor for LearnedModel {
+    fn predict(&self, features: &ClassFeatures) -> PredictedMetrics {
+        match self {
+            LearnedModel::Ridge(m) => m.predict(features),
+            LearnedModel::Gbdt(m) => m.predict(features),
+        }
+    }
+}
+
+impl LearnedModel {
+    /// The model-family tag written to the file (`"ridge"` / `"gbdt"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LearnedModel::Ridge(_) => "ridge",
+            LearnedModel::Gbdt(_) => "gbdt",
+        }
+    }
+
+    /// Serialize to the single-object JSON model format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        match self {
+            LearnedModel::Ridge(m) => {
+                out.push_str("{\"model\":\"ridge\",\"lambda\":");
+                push_f64(&mut out, m.lambda);
+                out.push_str(",\"seed\":");
+                out.push_str(&m.seed.to_string());
+                out.push_str(",\"mean\":");
+                push_f64_array(&mut out, &m.mean);
+                out.push_str(",\"std\":");
+                push_f64_array(&mut out, &m.std);
+                out.push_str(",\"bias\":");
+                push_f64_array(&mut out, &m.bias);
+                out.push_str(",\"weights\":[");
+                for (t, w) in m.weights.iter().enumerate() {
+                    if t > 0 {
+                        out.push(',');
+                    }
+                    push_f64_array(&mut out, w);
+                }
+                out.push_str("]}");
+            }
+            LearnedModel::Gbdt(m) => {
+                out.push_str("{\"model\":\"gbdt\",\"trees\":");
+                out.push_str(&m.cfg.trees.to_string());
+                out.push_str(",\"depth\":");
+                out.push_str(&m.cfg.depth.to_string());
+                out.push_str(",\"learning_rate\":");
+                push_f64(&mut out, m.cfg.learning_rate);
+                out.push_str(",\"subsample\":");
+                push_f64(&mut out, m.cfg.subsample);
+                out.push_str(",\"seed\":");
+                out.push_str(&m.cfg.seed.to_string());
+                out.push_str(",\"base\":");
+                push_f64_array(&mut out, &m.base);
+                out.push_str(",\"ensembles\":[");
+                for (t, forest) in m.ensembles.iter().enumerate() {
+                    if t > 0 {
+                        out.push(',');
+                    }
+                    out.push('[');
+                    for (k, tree) in forest.iter().enumerate() {
+                        if k > 0 {
+                            out.push(',');
+                        }
+                        push_tree(&mut out, tree);
+                    }
+                    out.push(']');
+                }
+                out.push_str("]}");
+            }
+        }
+        out
+    }
+
+    /// Parse a model file produced by [`LearnedModel::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = parse_json(text)?;
+        match v.get("model").and_then(Json::as_str) {
+            Some("ridge") => ridge_from_json(&v).map(Box::new).map(LearnedModel::Ridge),
+            Some("gbdt") => gbdt_from_json(&v).map(LearnedModel::Gbdt),
+            Some(other) => Err(format!("unknown model family `{other}`")),
+            None => Err("missing or non-string `model` field".into()),
+        }
+    }
+}
+
+/// Each node serializes as the 5-tuple `[feature, threshold, left,
+/// right, value]`; leaves carry `feature = -1` with zeroed links.
+fn push_tree(out: &mut String, tree: &Tree) {
+    out.push('[');
+    for (i, n) in tree.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        out.push_str(&n.feature.to_string());
+        out.push(',');
+        push_f64(out, n.threshold);
+        out.push(',');
+        out.push_str(&n.left.to_string());
+        out.push(',');
+        out.push_str(&n.right.to_string());
+        out.push(',');
+        push_f64(out, n.value);
+        out.push(']');
+    }
+    out.push(']');
+}
+
+/// Shortest round-trip float repr; trained models only contain finite
+/// values (asserted here rather than silently corrupting the file).
+fn push_f64(out: &mut String, v: f64) {
+    assert!(
+        v.is_finite(),
+        "model files only hold finite floats, got {v}"
+    );
+    let s = format!("{v}");
+    out.push_str(&s);
+    // `{}` prints integral floats without a decimal point; the JSON
+    // number grammar allows that, and the parser reads it back as f64.
+}
+
+fn push_f64_array(out: &mut String, vals: &[f64]) {
+    out.push('[');
+    for (i, &v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, v);
+    }
+    out.push(']');
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field `{key}`"))
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+}
+
+fn f64_array<const N: usize>(v: &Json, key: &str) -> Result<[f64; N], String> {
+    let arr = v
+        .get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("missing or non-array field `{key}`"))?;
+    if arr.len() != N {
+        return Err(format!(
+            "field `{key}` must have {N} entries, got {}",
+            arr.len()
+        ));
+    }
+    let mut out = [0.0f64; N];
+    for (slot, item) in out.iter_mut().zip(arr) {
+        *slot = item
+            .as_f64()
+            .ok_or_else(|| format!("non-numeric entry in `{key}`"))?;
+    }
+    Ok(out)
+}
+
+fn ridge_from_json(v: &Json) -> Result<RidgePredictor, String> {
+    let weights_arr = v
+        .get("weights")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing or non-array field `weights`".to_string())?;
+    if weights_arr.len() != TARGETS {
+        return Err(format!(
+            "`weights` must have {TARGETS} rows, got {}",
+            weights_arr.len()
+        ));
+    }
+    let mut weights = [[0.0f64; DIM]; TARGETS];
+    for (row, item) in weights_arr.iter().enumerate() {
+        let cols = item
+            .as_array()
+            .ok_or_else(|| format!("`weights[{row}]` is not an array"))?;
+        if cols.len() != DIM {
+            return Err(format!(
+                "`weights[{row}]` must have {DIM} entries, got {}",
+                cols.len()
+            ));
+        }
+        for (slot, col) in weights[row].iter_mut().zip(cols) {
+            *slot = col
+                .as_f64()
+                .ok_or_else(|| format!("non-numeric entry in `weights[{row}]`"))?;
+        }
+    }
+    Ok(RidgePredictor {
+        lambda: req_f64(v, "lambda")?,
+        seed: req_u64(v, "seed")?,
+        mean: f64_array::<DIM>(v, "mean")?,
+        std: f64_array::<DIM>(v, "std")?,
+        bias: f64_array::<TARGETS>(v, "bias")?,
+        weights,
+    })
+}
+
+fn gbdt_from_json(v: &Json) -> Result<GbdtPredictor, String> {
+    let cfg = GbdtConfig {
+        trees: req_u64(v, "trees")? as usize,
+        depth: req_u64(v, "depth")? as usize,
+        learning_rate: req_f64(v, "learning_rate")?,
+        subsample: req_f64(v, "subsample")?,
+        seed: req_u64(v, "seed")?,
+    };
+    let ensembles_arr = v
+        .get("ensembles")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing or non-array field `ensembles`".to_string())?;
+    if ensembles_arr.len() != TARGETS {
+        return Err(format!(
+            "`ensembles` must have {TARGETS} forests, got {}",
+            ensembles_arr.len()
+        ));
+    }
+    let mut ensembles: [Vec<Tree>; TARGETS] = Default::default();
+    for (t, forest_json) in ensembles_arr.iter().enumerate() {
+        let trees = forest_json
+            .as_array()
+            .ok_or_else(|| format!("`ensembles[{t}]` is not an array"))?;
+        let mut forest = Vec::with_capacity(trees.len());
+        for (k, tree_json) in trees.iter().enumerate() {
+            forest.push(
+                tree_from_json(tree_json).map_err(|e| format!("`ensembles[{t}]` tree {k}: {e}"))?,
+            );
+        }
+        ensembles[t] = forest;
+    }
+    Ok(GbdtPredictor {
+        cfg,
+        base: f64_array::<TARGETS>(v, "base")?,
+        ensembles,
+    })
+}
+
+fn tree_from_json(v: &Json) -> Result<Tree, String> {
+    let nodes = v
+        .as_array()
+        .ok_or_else(|| "tree is not an array".to_string())?;
+    if nodes.is_empty() {
+        return Err("tree has no nodes".into());
+    }
+    let mut tree = Tree::with_capacity(nodes.len());
+    for (i, node_json) in nodes.iter().enumerate() {
+        let tup = node_json
+            .as_array()
+            .ok_or_else(|| format!("node {i} is not an array"))?;
+        if tup.len() != 5 {
+            return Err(format!("node {i} must be a 5-tuple, got {}", tup.len()));
+        }
+        let feature = tup[0]
+            .as_f64()
+            .filter(|f| f.fract() == 0.0 && (-1.0..DIM as f64).contains(f))
+            .ok_or_else(|| format!("node {i}: feature index out of range"))?
+            as i32;
+        let left = tup[2]
+            .as_u64()
+            .ok_or_else(|| format!("node {i}: non-integer left link"))?;
+        let right = tup[3]
+            .as_u64()
+            .ok_or_else(|| format!("node {i}: non-integer right link"))?;
+        if feature >= 0 {
+            // Parent-before-children ordering makes evaluation provably
+            // terminate; enforce it on load, not just at build time.
+            let (lo, hi) = (i as u64 + 1, nodes.len() as u64);
+            if !(lo..hi).contains(&left) || !(lo..hi).contains(&right) {
+                return Err(format!("node {i}: child links must point past the node"));
+            }
+        }
+        tree.push(Node {
+            feature,
+            threshold: tup[1]
+                .as_f64()
+                .ok_or_else(|| format!("node {i}: non-numeric threshold"))?,
+            left: left as u32,
+            right: right as u32,
+            value: tup[4]
+                .as_f64()
+                .ok_or_else(|| format!("node {i}: non-numeric value"))?,
+        });
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn toy_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        for c in 0..10u64 {
+            let mut f = [0.0f64; DIM];
+            f[3] = c as f64;
+            f[7] = (10 - c) as f64;
+            ds.features.push(f);
+            ds.targets.push([
+                300.0 - 7.5 * c as f64,
+                2.0 + 0.1 * c as f64,
+                30.0 + c as f64,
+                5.0,
+            ]);
+            ds.designs.push("toy".to_owned());
+        }
+        ds
+    }
+
+    #[test]
+    fn ridge_round_trips_bit_identically() {
+        let m = LearnedModel::Ridge(Box::new(
+            RidgePredictor::train(&toy_dataset(), 0.1, 42).unwrap(),
+        ));
+        let parsed = LearnedModel::from_json(&m.to_json()).expect("own output parses");
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.kind(), "ridge");
+    }
+
+    #[test]
+    fn gbdt_round_trips_bit_identically() {
+        let cfg = GbdtConfig {
+            trees: 12,
+            depth: 3,
+            subsample: 0.8,
+            ..GbdtConfig::default()
+        };
+        let m = LearnedModel::Gbdt(GbdtPredictor::train(&toy_dataset(), &cfg).unwrap());
+        let parsed = LearnedModel::from_json(&m.to_json()).expect("own output parses");
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.kind(), "gbdt");
+    }
+
+    #[test]
+    fn rejects_corrupt_model_files() {
+        assert!(LearnedModel::from_json("{}").is_err());
+        assert!(LearnedModel::from_json("{\"model\":\"svm\"}").is_err());
+        assert!(LearnedModel::from_json("not json").is_err());
+        // A tree whose child link points backwards (would loop) is
+        // rejected even though it is syntactically valid.
+        let evil = "{\"model\":\"gbdt\",\"trees\":1,\"depth\":1,\
+                    \"learning_rate\":0.5,\"subsample\":1,\"seed\":0,\
+                    \"base\":[0,0,0,0],\
+                    \"ensembles\":[[[[0,1.0,0,0,0.0]]],[],[],[]]}";
+        let err = LearnedModel::from_json(evil).unwrap_err();
+        assert!(err.contains("child links"), "got: {err}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Closed-form ridge regression, one linear model per metric target.
+//!
+//! Features are z-score normalized, targets centered; the regularized
+//! normal equations `(ZᵀZ + λI) w = Zᵀ(y − ȳ)` are solved exactly by
+//! Gaussian elimination with partial pivoting. Everything is sequential
+//! floating-point arithmetic in a fixed order, so training is
+//! bit-identical run-to-run and thread-count invariant by construction.
+
+use crate::dataset::{Dataset, TARGETS};
+use crate::features::{FeatureExtractor, DIM};
+use dscts_core::dse::{ClassFeatures, MetricPredictor, PredictedMetrics};
+
+/// A trained ridge regressor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RidgePredictor {
+    /// L2 regularization strength used at fit time.
+    pub(crate) lambda: f64,
+    /// Provenance only: ridge training is deterministic with no random
+    /// choices, but the seed rides along in the model file so a training
+    /// pipeline can be replayed exactly as configured.
+    pub(crate) seed: u64,
+    pub(crate) mean: [f64; DIM],
+    pub(crate) std: [f64; DIM],
+    pub(crate) bias: [f64; TARGETS],
+    pub(crate) weights: [[f64; DIM]; TARGETS],
+}
+
+impl RidgePredictor {
+    /// Fit on `data` with regularization `lambda` (> 0).
+    pub fn train(data: &Dataset, lambda: f64, seed: u64) -> Result<Self, String> {
+        let n = data.len();
+        if n == 0 {
+            return Err("cannot train a ridge model on an empty dataset".into());
+        }
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(format!(
+                "ridge lambda must be positive and finite, got {lambda}"
+            ));
+        }
+
+        let mut mean = [0.0f64; DIM];
+        for x in &data.features {
+            for (m, v) in mean.iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut std = [0.0f64; DIM];
+        for x in &data.features {
+            for d in 0..DIM {
+                let c = x[d] - mean[d];
+                std[d] += c * c;
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n as f64).sqrt();
+            // Constant columns carry no signal; a unit scale keeps their
+            // z-scores at exactly 0 instead of dividing by ~0.
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+
+        let z: Vec<[f64; DIM]> = data
+            .features
+            .iter()
+            .map(|x| {
+                let mut zx = [0.0f64; DIM];
+                for d in 0..DIM {
+                    zx[d] = (x[d] - mean[d]) / std[d];
+                }
+                zx
+            })
+            .collect();
+        let mut gram = [[0.0f64; DIM]; DIM];
+        for zx in &z {
+            for a in 0..DIM {
+                for b in 0..DIM {
+                    gram[a][b] += zx[a] * zx[b];
+                }
+            }
+        }
+        for (d, row) in gram.iter_mut().enumerate() {
+            row[d] += lambda;
+        }
+
+        let mut bias = [0.0f64; TARGETS];
+        let mut weights = [[0.0f64; DIM]; TARGETS];
+        for t in 0..TARGETS {
+            let ymean = data.targets.iter().map(|y| y[t]).sum::<f64>() / n as f64;
+            bias[t] = ymean;
+            let mut rhs = [0.0f64; DIM];
+            for (zx, y) in z.iter().zip(&data.targets) {
+                let yc = y[t] - ymean;
+                for d in 0..DIM {
+                    rhs[d] += zx[d] * yc;
+                }
+            }
+            weights[t] = solve(gram, rhs)?;
+        }
+        Ok(RidgePredictor {
+            lambda,
+            seed,
+            mean,
+            std,
+            bias,
+            weights,
+        })
+    }
+
+    /// The regularization strength this model was fit with.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The provenance seed recorded at fit time.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub(crate) fn predict_row(&self, x: &[f64; DIM]) -> [f64; TARGETS] {
+        let mut out = self.bias;
+        for (o, w) in out.iter_mut().zip(&self.weights) {
+            for (((wv, xv), m), s) in w.iter().zip(x).zip(&self.mean).zip(&self.std) {
+                *o += wv * (xv - m) / s;
+            }
+        }
+        out
+    }
+}
+
+/// Solve `a · x = b` by Gaussian elimination with partial pivoting. The
+/// ridge term makes the system symmetric positive definite, so a
+/// vanishing pivot can only mean non-finite inputs.
+fn solve(mut a: [[f64; DIM]; DIM], mut b: [f64; DIM]) -> Result<[f64; DIM], String> {
+    for col in 0..DIM {
+        let piv = (col..DIM)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty pivot range");
+        let pivot = a[piv][col].abs();
+        if !pivot.is_finite() || pivot <= 1e-12 {
+            return Err("singular ridge system: non-finite feature or target values".into());
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        for row in col + 1..DIM {
+            let (upper, lower) = a.split_at_mut(row);
+            let (prow, crow) = (&upper[col], &mut lower[0]);
+            let f = crow[col] / prow[col];
+            if f == 0.0 {
+                continue;
+            }
+            for (cv, pv) in crow[col..].iter_mut().zip(&prow[col..]) {
+                *cv -= f * pv;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0f64; DIM];
+    for col in (0..DIM).rev() {
+        let mut acc = b[col];
+        for k in col + 1..DIM {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Ok(x)
+}
+
+impl MetricPredictor for RidgePredictor {
+    fn predict(&self, features: &ClassFeatures) -> PredictedMetrics {
+        let y = self.predict_row(&FeatureExtractor::vector(features));
+        PredictedMetrics {
+            latency_ps: y[0],
+            skew_ps: y[1],
+            buffers: y[2].max(0.0),
+            ntsvs: y[3].max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A dataset whose latency is an exact linear function of the
+    /// `mode_class` column — ridge with tiny lambda must recover it.
+    fn linear_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        for c in 0..12u64 {
+            let mut f = [0.0f64; DIM];
+            f[3] = c as f64; // mode_class column
+            f[0] = 100.0; // constant sinks column
+            ds.features.push(f);
+            ds.targets
+                .push([500.0 - 10.0 * c as f64, 3.0, 20.0 + c as f64, 4.0]);
+            ds.designs.push("lin".to_owned());
+        }
+        ds
+    }
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        let model = RidgePredictor::train(&linear_dataset(), 1e-6, 1).expect("trainable");
+        for c in [0u64, 5, 11] {
+            let mut x = [0.0f64; DIM];
+            x[3] = c as f64;
+            x[0] = 100.0;
+            let y = model.predict_row(&x);
+            // Tolerance budgets the lambda-induced shrinkage, not FP noise.
+            assert!(
+                (y[0] - (500.0 - 10.0 * c as f64)).abs() < 1e-3,
+                "latency at {c}: {}",
+                y[0]
+            );
+            assert!((y[2] - (20.0 + c as f64)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn training_is_bit_identical() {
+        let a = RidgePredictor::train(&linear_dataset(), 0.5, 7).unwrap();
+        let b = RidgePredictor::train(&linear_dataset(), 0.5, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_bad_lambda_are_errors() {
+        assert!(RidgePredictor::train(&Dataset::new(), 1.0, 0).is_err());
+        assert!(RidgePredictor::train(&linear_dataset(), 0.0, 0).is_err());
+        assert!(RidgePredictor::train(&linear_dataset(), f64::NAN, 0).is_err());
+    }
+}

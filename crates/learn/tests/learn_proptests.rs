@@ -1,0 +1,143 @@
+//! Property tests for the learned-DSE data path and trainers.
+//!
+//! Three claims, each over random records with arbitrary (not just
+//! round) floating-point values:
+//!
+//! 1. **JSONL losslessness** — sweep records exported through
+//!    `TelemetrySnapshot::to_jsonl` and re-ingested by
+//!    [`Dataset::from_jsonl`] featurize to the bit-identical dataset the
+//!    in-process path builds (the exporter writes shortest round-trip
+//!    float reprs, so nothing is lost in text).
+//! 2. **Deterministic training** — ridge and GBDT training are
+//!    bit-identical per seed at any `RAYON_NUM_THREADS` (training is
+//!    sequential by design; this guards against parallelism sneaking in
+//!    later and breaking reproducible model files).
+//! 3. **Model-file round trip** — `from_json(to_json(m)) == m` exactly,
+//!    for both families, including every tree node and weight.
+
+use dscts_learn::{Dataset, GbdtConfig, GbdtPredictor, LearnedModel, RidgePredictor};
+use dscts_telemetry::{SweepRecord, Telemetry, SWEEP_SCHEMA_VERSION};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = SweepRecord> {
+    (
+        (
+            0u64..100_000,       // sinks
+            0u64..64,            // distinct_fanouts
+            0u64..64,            // mode_class
+            0u32..10_000,        // threshold_lo
+            0u32..10_000,        // threshold_hi
+            0u64..10_000,        // intra_nodes
+            0u64..10_000,        // stars
+            0u64..1_000_000_000, // sink_spread_nm
+        ),
+        (
+            prop::collection::vec(0u64..100, 4..5), // fanout_hist
+            0.0f64..5_000.0,                        // latency_ps
+            0.0f64..500.0,                          // skew_ps
+            0u64..10_000,                           // buffers
+            0u64..1_000,                            // ntsvs
+            0u64..1_000_000_000,                    // trunk_wirelength_nm
+            0.0f64..10_000.0,                       // switched_cap_ff
+            0usize..4,                              // design name pick
+        ),
+    )
+        .prop_map(
+            |(
+                (sinks, distinct, class, tlo, thi, intra, stars, spread),
+                (hist, lat, skew, bufs, ntsvs, trunk, cap, name),
+            )| SweepRecord {
+                schema_version: SWEEP_SCHEMA_VERSION,
+                design: ["c1", "c2", "c3", "c4"][name].to_owned(),
+                sinks,
+                distinct_fanouts: distinct,
+                mode_class: class,
+                threshold_lo: tlo,
+                threshold_hi: thi,
+                intra_nodes: intra,
+                stars,
+                sink_spread_nm: spread,
+                fanout_hist: [hist[0], hist[1], hist[2], hist[3]],
+                latency_ps: lat,
+                skew_ps: skew,
+                buffers: bufs,
+                ntsvs,
+                trunk_wirelength_nm: trunk,
+                switched_cap_ff: cap,
+            },
+        )
+}
+
+/// Serializes `RAYON_NUM_THREADS` manipulation across the test binary.
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn jsonl_round_trip_is_lossless(
+        records in prop::collection::vec(arb_record(), 1..24),
+    ) {
+        let direct = Dataset::from_records(&records);
+        let tel = Telemetry::new();
+        for r in &records {
+            tel.record_sweep(r.clone());
+        }
+        let jsonl = tel.snapshot().to_jsonl();
+        let parsed = Dataset::from_jsonl(&jsonl).expect("own export parses");
+        prop_assert_eq!(parsed, direct);
+    }
+
+    #[test]
+    fn training_is_bit_identical_across_thread_counts(
+        records in prop::collection::vec(arb_record(), 8..32),
+        seed in 0u64..1_000,
+    ) {
+        let data = Dataset::from_records(&records);
+        let gbdt_cfg = GbdtConfig {
+            trees: 8,
+            depth: 3,
+            subsample: 0.8,
+            seed,
+            ..GbdtConfig::default()
+        };
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let ridge_ref = RidgePredictor::train(&data, 0.5, seed).expect("trainable");
+        let gbdt_ref = GbdtPredictor::train(&data, &gbdt_cfg).expect("trainable");
+        for threads in ["1", "2", "4"] {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            let ridge = RidgePredictor::train(&data, 0.5, seed).expect("trainable");
+            let gbdt = GbdtPredictor::train(&data, &gbdt_cfg).expect("trainable");
+            std::env::remove_var("RAYON_NUM_THREADS");
+            prop_assert_eq!(&ridge, &ridge_ref, "ridge diverged at {} threads", threads);
+            prop_assert_eq!(&gbdt, &gbdt_ref, "gbdt diverged at {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn model_files_round_trip_bit_identically(
+        records in prop::collection::vec(arb_record(), 4..24),
+        seed in 0u64..1_000,
+        lambda in 0.001f64..10.0,
+    ) {
+        let data = Dataset::from_records(&records);
+        let ridge = LearnedModel::Ridge(Box::new(
+            RidgePredictor::train(&data, lambda, seed).expect("trainable"),
+        ));
+        prop_assert_eq!(
+            LearnedModel::from_json(&ridge.to_json()).expect("parses"),
+            ridge
+        );
+        let gbdt = LearnedModel::Gbdt(
+            GbdtPredictor::train(
+                &data,
+                &GbdtConfig { trees: 6, depth: 3, seed, ..GbdtConfig::default() },
+            )
+            .expect("trainable"),
+        );
+        prop_assert_eq!(
+            LearnedModel::from_json(&gbdt.to_json()).expect("parses"),
+            gbdt
+        );
+    }
+}

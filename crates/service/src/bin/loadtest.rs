@@ -571,6 +571,7 @@ fn main() {
             "sweep" => (
                 "sweep",
                 &[
+                    "schema_version",
                     "design",
                     "sinks",
                     "distinct_fanouts",
@@ -578,6 +579,9 @@ fn main() {
                     "threshold_lo",
                     "threshold_hi",
                     "intra_nodes",
+                    "stars",
+                    "sink_spread_nm",
+                    "fanout_hist",
                     "latency_ps",
                     "skew_ps",
                     "buffers",
@@ -591,6 +595,17 @@ fn main() {
         for field in fields {
             if v.get(field).is_none() {
                 die(&format!("telemetry {kind} record lacks {field:?}: {line}"));
+            }
+        }
+        // Forward-compat contract for the dataset ingester: every sweep
+        // record this build exports carries the current schema version.
+        if kind == "sweep" {
+            let version = v.get("schema_version").and_then(telemetry::Json::as_u64);
+            if version != Some(u64::from(telemetry::SWEEP_SCHEMA_VERSION)) {
+                die(&format!(
+                    "telemetry sweep record schema_version {version:?} != {}: {line}",
+                    telemetry::SWEEP_SCHEMA_VERSION
+                ));
             }
         }
         if kind == "histogram" {

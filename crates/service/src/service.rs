@@ -710,6 +710,7 @@ fn attempt(inner: &Inner, pipe: &DsCts, job: &QueuedJob) -> Result<JobOutcome, C
         if let Some(tel) = telemetry::active() {
             let levels = job.design.topo.distinct_fanouts();
             tel.record_sweep(telemetry::SweepRecord {
+                schema_version: telemetry::SWEEP_SCHEMA_VERSION,
                 design: job.design.name.clone(),
                 sinks: job.design.sinks as u64,
                 distinct_fanouts: levels.len() as u64,
@@ -717,6 +718,9 @@ fn attempt(inner: &Inner, pipe: &DsCts, job: &QueuedJob) -> Result<JobOutcome, C
                 threshold_lo: *threshold,
                 threshold_hi: *threshold,
                 intra_nodes: sweep_intra,
+                stars: job.design.topo.stars.len() as u64,
+                sink_spread_nm: job.design.topo.sink_spread().max(0) as u64,
+                fanout_hist: dscts_core::dse::fanout_histogram(&levels),
                 latency_ps: metrics.latency_ps,
                 skew_ps: metrics.skew_ps,
                 buffers: u64::from(metrics.buffers),

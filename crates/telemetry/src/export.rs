@@ -51,12 +51,28 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(f64, u64)>,
 }
 
+/// Schema version stamped into every exported sweep record.
+///
+/// Version history:
+/// - `1` (implicit — records carried no version field): the original
+///   PR 9 feature/metric tuple.
+/// - `2`: adds `schema_version` itself plus the pre-DP design features
+///   `stars`, `sink_spread_nm` and `fanout_hist` that learned DSE
+///   trains on.
+///
+/// The dataset ingester (`dscts-learn`) accepts any version it knows how
+/// to featurize and skips newer records instead of guessing; the service
+/// loadtest validates the field on every exported line.
+pub const SWEEP_SCHEMA_VERSION: u32 = 2;
+
 /// One sweep-outcome training record: the design features and mode
 /// class a DSE evaluation ran with, and the metrics it produced. This
 /// is the raw material for learned design-space exploration (predict
 /// metrics from features; skip dominated classes).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SweepRecord {
+    /// Record schema version (see [`SWEEP_SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// Design name.
     pub design: String,
     /// Number of clock sinks.
@@ -71,6 +87,14 @@ pub struct SweepRecord {
     pub threshold_hi: u32,
     /// Nodes placed in intra-side mode by this class's threshold.
     pub intra_nodes: u64,
+    /// Leaf clusters (stars) of the routed topology.
+    pub stars: u64,
+    /// Half-perimeter of the sink bounding box, nm — the cheap spatial
+    /// spread feature.
+    pub sink_spread_nm: u64,
+    /// Log-bucketed histogram of the distinct fanout values: counts in
+    /// `[1,8)`, `[8,32)`, `[32,128)`, `[128,∞)`.
+    pub fanout_hist: [u64; 4],
     /// Resulting worst sink latency, ps.
     pub latency_ps: f64,
     /// Resulting global skew, ps.
@@ -79,7 +103,9 @@ pub struct SweepRecord {
     pub buffers: u64,
     /// Nano-TSVs inserted.
     pub ntsvs: u64,
-    /// Trunk wirelength, nm.
+    /// Trunk wirelength, nm. Insertion and optimization never move
+    /// trunk edges, so this doubles as the pre-DP routed trunk length —
+    /// a design feature learned DSE can recompute before any DP runs.
     pub trunk_wirelength_nm: u64,
     /// Switched capacitance, fF.
     pub switched_cap_ff: f64,
@@ -156,18 +182,31 @@ impl TelemetrySnapshot {
             out.push_str("]}\n");
         }
         for s in &self.sweeps {
-            out.push_str("{\"record\":\"sweep\",\"design\":");
+            out.push_str("{\"record\":\"sweep\",\"schema_version\":");
+            out.push_str(&s.schema_version.to_string());
+            out.push_str(",\"design\":");
             push_json_str(&mut out, &s.design);
             out.push_str(&format!(
                 ",\"sinks\":{},\"distinct_fanouts\":{},\"mode_class\":{},\
-                 \"threshold_lo\":{},\"threshold_hi\":{},\"intra_nodes\":{}",
+                 \"threshold_lo\":{},\"threshold_hi\":{},\"intra_nodes\":{},\
+                 \"stars\":{},\"sink_spread_nm\":{}",
                 s.sinks,
                 s.distinct_fanouts,
                 s.mode_class,
                 s.threshold_lo,
                 s.threshold_hi,
-                s.intra_nodes
+                s.intra_nodes,
+                s.stars,
+                s.sink_spread_nm
             ));
+            out.push_str(",\"fanout_hist\":[");
+            for (i, c) in s.fanout_hist.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push(']');
             push_f64_field(&mut out, "latency_ps", s.latency_ps);
             push_f64_field(&mut out, "skew_ps", s.skew_ps);
             out.push_str(&format!(
@@ -243,6 +282,7 @@ mod tests {
                 buckets: vec![(1e-3, 0), (1.0, 2), (f64::MAX, 0)],
             }],
             sweeps: vec![SweepRecord {
+                schema_version: SWEEP_SCHEMA_VERSION,
                 design: "c1_jpeg".to_owned(),
                 sinks: 2000,
                 distinct_fanouts: 5,
@@ -250,6 +290,9 @@ mod tests {
                 threshold_lo: 8,
                 threshold_hi: 16,
                 intra_nodes: 37,
+                stars: 63,
+                sink_spread_nm: 480_000,
+                fanout_hist: [2, 1, 1, 1],
                 latency_ps: 123.5,
                 skew_ps: 2.25,
                 buffers: 41,
@@ -278,6 +321,23 @@ mod tests {
         );
         let sweep = parse(lines[5]).expect("parses");
         assert_eq!(sweep.get("design").and_then(Json::as_str), Some("c1_jpeg"));
+        assert_eq!(
+            sweep.get("schema_version").and_then(Json::as_u64),
+            Some(u64::from(SWEEP_SCHEMA_VERSION))
+        );
+        assert_eq!(sweep.get("stars").and_then(Json::as_u64), Some(63));
+        assert_eq!(
+            sweep.get("sink_spread_nm").and_then(Json::as_u64),
+            Some(480_000)
+        );
+        let hist: Vec<u64> = sweep
+            .get("fanout_hist")
+            .and_then(Json::as_array)
+            .expect("fanout_hist is an array")
+            .iter()
+            .map(|v| v.as_u64().expect("hist counts are integers"))
+            .collect();
+        assert_eq!(hist, vec![2, 1, 1, 1]);
         assert_eq!(
             sweep.get("switched_cap_ff").and_then(Json::as_f64),
             Some(18.75)

@@ -74,7 +74,7 @@ mod export;
 mod json;
 mod metrics;
 
-pub use export::{HistogramSnapshot, SweepRecord, TelemetrySnapshot};
+pub use export::{HistogramSnapshot, SweepRecord, TelemetrySnapshot, SWEEP_SCHEMA_VERSION};
 pub use json::{parse as parse_json, Json};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 
@@ -348,6 +348,7 @@ mod tests {
         let guard_c = install(c.clone());
         if let Some(t) = active() {
             t.record_sweep(SweepRecord {
+                schema_version: SWEEP_SCHEMA_VERSION,
                 design: "unit".to_owned(),
                 sinks: 10,
                 distinct_fanouts: 3,
@@ -355,6 +356,9 @@ mod tests {
                 threshold_lo: 1,
                 threshold_hi: 4,
                 intra_nodes: 2,
+                stars: 4,
+                sink_spread_nm: 2_000,
+                fanout_hist: [3, 0, 0, 0],
                 latency_ps: 100.0,
                 skew_ps: 1.5,
                 buffers: 7,

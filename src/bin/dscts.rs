@@ -8,6 +8,9 @@
 //! USAGE:
 //!   dscts --design <c1|c2|c3|c4|c5>          run a built-in benchmark
 //!   dscts --def <placed.def>                 run on a placed DEF file
+//!   dscts --design c3 --sweep 10             exact DSE threshold sweep
+//!   dscts --train log.jsonl --model m.json   train a metric predictor
+//!   dscts --design c3 --predict --model m.json   predictor-pruned sweep
 //!
 //! OPTIONS:
 //!   --flow <ours|front|openroad|flip2|flip7|flip6>   flow to run   [ours]
@@ -18,6 +21,12 @@
 //!   --deadline-ms <N>  wall-clock run budget (degraded-but-valid on expiry)
 //!   --recover          retry infeasible runs down the relaxation ladder
 //!   --telemetry <file> write a JSON-lines telemetry snapshot of the run
+//!   --sweep <step>     sweep fanout thresholds 20..=1000 by <step>
+//!   --train <jsonl>    train on a telemetry log (requires --model)
+//!   --predict          prune the sweep with a trained --model
+//!   --model <file>     model file to write (--train) or read (--predict)
+//!   --gbdt             train the GBDT ensemble instead of ridge
+//!   --seed <N>         training seed (default 7)
 //! ```
 
 use dscts::baseline::{flip_backside, FlipMethod, HTreeCts};
@@ -64,6 +73,12 @@ fn run() -> Result<(), String> {
         .as_ref()
         .map(|c| dscts::telemetry::install(std::sync::Arc::clone(c)));
 
+    // Model training runs standalone — no design, just a JSONL telemetry
+    // log from a previous `--sweep --telemetry` run (or the service).
+    if let Some(data_path) = get("--train") {
+        return train_model(&data_path, get("--model"), has("--gbdt"), get("--seed"));
+    }
+
     let design = load_design(get("--design"), get("--def"))?;
     let tech = Technology::asap7();
     let model = if has("--nldm") {
@@ -94,6 +109,65 @@ fn run() -> Result<(), String> {
     }
     if has("--recover") {
         pipeline = pipeline.recovery(RecoveryPolicy::default());
+    }
+
+    // DSE sweeps: `--sweep` runs the exact batched engine (recording
+    // per-class training rows when --telemetry is set); `--predict`
+    // prunes the same grid with a trained model instead.
+    if has("--predict") || get("--sweep").is_some() {
+        let step: usize = match get("--sweep") {
+            Some(s) => s.parse().map_err(|_| format!("bad --sweep value `{s}`"))?,
+            None => 10,
+        };
+        if step == 0 {
+            return Err("--sweep step must be positive".to_owned());
+        }
+        let thresholds: Vec<u32> = (20..=1000).step_by(step).collect();
+        let base = DsCts::new(tech.clone()).eval_model(model);
+        let engine = dscts::core::dse::SweepEngine::new(&base);
+        let frontier = if has("--predict") {
+            let model_path = get("--model").ok_or("--predict requires --model <file>")?;
+            let text = std::fs::read_to_string(&model_path)
+                .map_err(|e| format!("cannot read `{model_path}`: {e}"))?;
+            let predictor = dscts::learn::LearnedModel::from_json(&text)?;
+            let cfg = dscts::core::dse::PruneConfig::default();
+            let learned = engine
+                .sweep_fanout_learned(&design, thresholds.iter().copied(), &predictor, &cfg)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "learned sweep ({} model): {} thresholds, {} mode classes, {} evaluated, {} skipped",
+                predictor.kind(),
+                thresholds.len(),
+                learned.classes.len(),
+                learned.classes.len() - learned.classes_skipped,
+                learned.classes_skipped,
+            );
+            println!(
+                "guaranteed-vs-predicted frontier distance: {:.6}",
+                learned.guaranteed_vs_predicted
+            );
+            dscts::core::dse::frontier_pairs(&learned.points)
+        } else {
+            let sweep = engine
+                .try_sweep(&design, thresholds.iter().copied())
+                .map_err(|e| e.to_string())?;
+            println!(
+                "exact sweep: {} thresholds collapsed into {} mode-class DP runs",
+                thresholds.len(),
+                sweep.classes.len(),
+            );
+            dscts::core::dse::frontier_pairs(&sweep.points)
+        };
+        println!("Pareto frontier ({} points):", frontier.len());
+        for (res, lat) in frontier {
+            println!("  {res:>6} resources  {lat:>10.3} ps latency");
+        }
+        if let (Some(path), Some(collector)) = (&telemetry_out, &collector) {
+            std::fs::write(path, collector.snapshot().to_jsonl())
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("telemetry snapshot written to {path} (feed it to --train)");
+        }
+        return Ok(());
     }
 
     // Staged flows report which phase failed via CtsError instead of
@@ -201,6 +275,42 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+/// Trains a metric predictor on a JSONL telemetry log and writes the
+/// model file (`--train`). Ridge by default; `--gbdt` for the boosted
+/// ensemble.
+fn train_model(
+    data_path: &str,
+    model_out: Option<String>,
+    gbdt: bool,
+    seed: Option<String>,
+) -> Result<(), String> {
+    use dscts::learn::{Dataset, GbdtConfig, GbdtPredictor, LearnedModel, RidgePredictor};
+    let out = model_out.ok_or("--train requires --model <file>")?;
+    let seed: u64 = match seed {
+        Some(s) => s.parse().map_err(|_| format!("bad --seed value `{s}`"))?,
+        None => 7,
+    };
+    let text = std::fs::read_to_string(data_path)
+        .map_err(|e| format!("cannot read `{data_path}`: {e}"))?;
+    let data = Dataset::from_jsonl(&text)?;
+    let model = if gbdt {
+        let cfg = GbdtConfig {
+            seed,
+            ..GbdtConfig::default()
+        };
+        LearnedModel::Gbdt(GbdtPredictor::train(&data, &cfg)?)
+    } else {
+        LearnedModel::Ridge(Box::new(RidgePredictor::train(&data, 1.0, seed)?))
+    };
+    std::fs::write(&out, model.to_json()).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!(
+        "trained {} model on {} sweep records; written to {out}",
+        model.kind(),
+        data.len()
+    );
+    Ok(())
+}
+
 fn load_design(named: Option<String>, def_path: Option<String>) -> Result<Design, String> {
     match (named, def_path) {
         (Some(name), None) => {
@@ -230,6 +340,12 @@ dscts - systematic multi-objective double-side clock tree synthesis
 USAGE:
   dscts --design <c1|c2|c3|c4|c5> [options]   run a built-in benchmark
   dscts --def <placed.def> [options]          run on a placed DEF file
+  dscts --design c3 --sweep 10 --telemetry log.jsonl   exact DSE sweep,
+                   recording per-class training rows
+  dscts --train log.jsonl --model m.json [--gbdt] [--seed N]
+                   train a metric predictor on a telemetry log
+  dscts --design c3 --predict --model m.json  predictor-pruned sweep
+                   (prints classes skipped + frontier distance)
 
 OPTIONS:
   --flow <ours|front|openroad|flip2|flip7|flip6>   flow to run (default ours)
@@ -242,6 +358,16 @@ OPTIONS:
   --recover        on infeasibility, retry down the relaxation ladder
                    (extended patterns, more candidates, single-side)
   --telemetry <file>  run under a telemetry collector and write its
-                      JSON-lines snapshot (span histograms, counters)
+                      JSON-lines snapshot (span histograms, counters;
+                      with --sweep, per-class training rows)
+  --sweep <step>   sweep fanout thresholds 20..=1000 by <step> with the
+                   batched DSE engine and print the Pareto frontier
+  --train <jsonl>  train a metric predictor on a telemetry log and write
+                   it to --model (ridge unless --gbdt; exits afterwards)
+  --predict        prune the --sweep grid with the trained --model: only
+                   predicted-frontier classes are evaluated exactly
+  --model <file>   model file to write (--train) or read (--predict)
+  --gbdt           train the hand-rolled GBDT ensemble instead of ridge
+  --seed <N>       training seed for reproducible model files (default 7)
   -h, --help       show this help
 ";
